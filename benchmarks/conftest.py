@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures at the ``small``
+scale (seconds, not minutes) and asserts its qualitative claim, so the
+benchmark suite doubles as an end-to-end reproduction check. Simulated
+performance (the figures' content) is independent of the wall-clock
+numbers pytest-benchmark reports; the benchmark timings measure the
+*simulator's* own cost, which is what a developer iterating on this
+code base wants tracked.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig.small()

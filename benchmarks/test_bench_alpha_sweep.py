@@ -1,0 +1,18 @@
+"""Bench: the α-sweep ablation (locality gain vs compression cost)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_alpha_sweep(benchmark, bench_config):
+    result = benchmark.pedantic(
+        ablations.alpha_sweep,
+        args=(bench_config,),
+        kwargs={"alphas": (0.0, 0.1, 0.3)},
+        rounds=1,
+        iterations=1,
+    )
+    kept = result.series["kept redund %"]
+    comp = result.series["compression x"]
+    assert kept[0] == 0.0
+    assert kept == sorted(kept)  # more alpha, more kept redundancy
+    assert comp == sorted(comp, reverse=True)  # ... and less compression

@@ -1,0 +1,28 @@
+"""Benches for the extension experiments (related-work comparison, GC)."""
+
+from repro.experiments import extensions
+
+
+def test_bench_related_work(benchmark, bench_config):
+    result = benchmark.pedantic(
+        extensions.related_work_comparison,
+        args=(bench_config,),
+        kwargs={"engines": ("DDFS-Like", "SiLo-Like", "iDedup", "DeFrag")},
+        rounds=1,
+        iterations=1,
+    )
+    # selective schemes (iDedup, DeFrag) must restore at least as fast as
+    # plain DDFS at this scale
+    assert result.series["DeFrag"][3] >= result.series["DDFS-Like"][3] * 0.9
+
+
+def test_bench_gc_study(benchmark, bench_config):
+    result = benchmark.pedantic(
+        extensions.gc_study,
+        args=(bench_config,),
+        kwargs={"retain_last": 2, "min_utilization": 0.8},
+        rounds=1,
+        iterations=1,
+    )
+    values = result.series["value"]
+    assert values[1] <= values[0]  # physical bytes shrink or hold

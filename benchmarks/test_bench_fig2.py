@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 2 (DDFS-like throughput decay)."""
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark, bench_config):
+    result = benchmark.pedantic(fig2.run, args=(bench_config,), rounds=1, iterations=1)
+    thr = result.series["MB/s"]
+    assert len(thr) == bench_config.n_generations
+    # the paper's claim: decay with generations
+    assert sum(thr[-3:]) / 3 < max(thr[:4])

@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 3 (SiLo-like efficiency degradation)."""
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, bench_config):
+    result = benchmark.pedantic(fig3.run, args=(bench_config,), rounds=1, iterations=1)
+    cum = result.series["cumulative"]
+    assert cum[-1] < 1.0  # redundancy is being missed
+    assert all(0.0 <= v <= 1.0 + 1e-9 for v in result.series["efficiency"])

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the hot substrates (the simulator's own speed).
+
+These are the components the figure regenerations spend their wall-clock
+in; tracking them catches performance regressions in the simulator
+itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chunking.base import ChunkStream
+from repro.chunking.fingerprint import splitmix64_array
+from repro.chunking.gear import GearChunker
+from repro.index.bloom import BloomFilter
+from repro.segmenting.segmenter import ContentDefinedSegmenter
+from repro.storage.layout import container_run_lengths
+
+
+def make_stream(n: int, seed: int = 7, size: int = 1024) -> ChunkStream:
+    base = np.arange(n, dtype=np.uint64) + np.uint64(seed * 1_000_003)
+    return ChunkStream(splitmix64_array(base), np.full(n, size, dtype=np.uint32))
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return bytes(np.random.default_rng(0).integers(0, 256, 4 << 20, dtype=np.uint8))
+
+
+def test_bench_gear_chunking(benchmark, payload):
+    chunker = GearChunker(avg_size=8192)
+    boundaries = benchmark(chunker.cut_boundaries, payload)
+    assert boundaries[-1] == len(payload)
+
+
+def test_bench_bloom_add_many(benchmark):
+    bloom = BloomFilter(2_000_000, 0.01)
+    fps = make_stream(100_000).fps
+
+    benchmark(bloom.add_many, fps)
+    assert bloom.contains_many(fps).all()
+
+
+def test_bench_bloom_contains_many(benchmark):
+    bloom = BloomFilter(2_000_000, 0.01)
+    fps = make_stream(100_000).fps
+    bloom.add_many(fps)
+    result = benchmark(bloom.contains_many, fps)
+    assert result.all()
+
+
+def test_bench_segmenter(benchmark):
+    stream = make_stream(100_000, size=8192)
+    segmenter = ContentDefinedSegmenter()
+    segments = benchmark(segmenter.split, stream)
+    assert sum(s.n_chunks for s in segments) == len(stream)
+
+
+def test_bench_run_lengths(benchmark):
+    cids = np.repeat(np.arange(10_000), 16)
+    runs = benchmark(container_run_lengths, cids)
+    assert runs.size == 10_000

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""End-to-end byte-level ingest: real bytes -> CDC -> segments -> dedup.
+
+The large-scale experiments run at chunk level (the workload generator
+emits fingerprints directly), but the full byte path exists and this
+example exercises it: it synthesizes two "versions" of a file tree as raw
+bytes, cuts them with the Gear content-defined chunker, and shows that
+the version-2 backup deduplicates against version 1 despite inserted
+bytes shifting every offset.
+
+Run:
+    python examples/byte_level_ingest.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChunkStream,
+    ContentDefinedSegmenter,
+    DDFSEngine,
+    EngineResources,
+    GearChunker,
+    run_backup,
+)
+from repro._util import MIB, format_bytes
+from repro.workloads import BackupJob
+
+
+def make_version1(nbytes: int) -> bytes:
+    rng = np.random.default_rng(2012)
+    return bytes(rng.integers(0, 256, nbytes, dtype=np.uint8))
+
+
+def edit(data: bytes, n_edits: int) -> bytes:
+    """Scattered inserts/overwrites, the way documents actually change."""
+    rng = np.random.default_rng(7)
+    out = bytearray(data)
+    for _ in range(n_edits):
+        pos = int(rng.integers(0, len(out)))
+        patch = bytes(rng.integers(0, 256, int(rng.integers(16, 400)), dtype=np.uint8))
+        if rng.random() < 0.5:
+            out[pos:pos] = patch  # insert (shifts all later offsets!)
+        else:
+            out[pos : pos + len(patch)] = patch  # overwrite
+    return bytes(out)
+
+
+def main() -> None:
+    v1 = make_version1(8 * MIB)
+    v2 = edit(v1, n_edits=60)
+
+    chunker = GearChunker(avg_size=8192)
+    stream1 = chunker.chunk(v1)
+    stream2 = chunker.chunk(v2)
+    print(f"v1: {format_bytes(len(v1))} -> {len(stream1)} chunks")
+    print(f"v2: {format_bytes(len(v2))} -> {len(stream2)} chunks")
+
+    resources = EngineResources.create()
+    engine = DDFSEngine(resources)
+    segmenter = ContentDefinedSegmenter(
+        min_bytes=128 * 1024, avg_bytes=256 * 1024, max_bytes=512 * 1024
+    )
+
+    run_backup(engine, BackupJob(0, "v1", stream1), segmenter)
+    report = run_backup(engine, BackupJob(1, "v2", stream2), segmenter)
+
+    dup_frac = report.removed_dup_bytes / report.logical_bytes
+    print(
+        f"v2 backup: {format_bytes(report.removed_dup_bytes)} deduplicated "
+        f"({100 * dup_frac:.1f}%), {format_bytes(report.written_new_bytes)} new"
+    )
+    assert dup_frac > 0.8, "CDC should have preserved most chunk identities"
+    print("content-defined chunking survived byte-shifting edits — "
+          "fixed-size chunking would have deduplicated almost nothing.")
+
+
+if __name__ == "__main__":
+    main()

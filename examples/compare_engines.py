@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Compare all four engines on one workload — the paper's evaluation in
+miniature.
+
+Runs Exact (naive full-index), DDFS-Like, SiLo-Like, and DeFrag over the
+same 12-generation workload and prints the trade-off triangle the paper
+is about: ingest throughput vs dedup efficiency vs restore speed.
+
+Run:
+    python examples/compare_engines.py [--fs-mib 48] [--generations 12]
+"""
+
+import argparse
+
+from repro import (
+    ContentDefinedSegmenter,
+    RestoreReader,
+    author_fs_20_full,
+    run_workload,
+)
+from repro._util import MIB
+from repro.experiments.common import build_engine, build_resources
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.efficiency import cumulative_efficiency
+from repro.metrics.storage import storage_summary
+from repro.metrics.throughput import mean_throughput
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fs-mib", type=int, default=48)
+    parser.add_argument("--generations", type=int, default=12)
+    args = parser.parse_args()
+
+    config = ExperimentConfig.default().with_(
+        fs_bytes=args.fs_mib * MIB, n_generations=args.generations
+    )
+    segmenter = ContentDefinedSegmenter()
+
+    print(f"{'engine':>10} {'ingest MB/s':>12} {'efficiency':>11} "
+          f"{'compression':>12} {'restore MB/s':>13} {'reads':>6}")
+    for name in ("Exact", "DDFS-Like", "SiLo-Like", "DeFrag"):
+        res = build_resources(config)
+        engine = build_engine(name, config, res)
+        jobs = author_fs_20_full(
+            fs_bytes=config.fs_bytes,
+            n_generations=config.n_generations,
+            churn=config.churn_full,
+        )
+        reports = run_workload(engine, jobs, segmenter)
+        restore = RestoreReader(res.store).restore(reports[-1].recipe)
+        print(
+            f"{name:>10} "
+            f"{mean_throughput(reports) / 1e6:>12.1f} "
+            f"{cumulative_efficiency(reports)[-1]:>11.3f} "
+            f"{storage_summary(reports).compression_ratio:>11.1f}x "
+            f"{restore.read_rate / 1e6:>13.1f} {restore.container_reads:>6}"
+        )
+
+    print(
+        "\nreading: Exact is exact but disk-bound; DDFS is exact and fast "
+        "until placement de-linearizes; SiLo stays fast but misses "
+        "duplicates; DeFrag stays exact-in-detection, trades a little "
+        "compression for locality."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Eq. 1 in action: how fragment count destroys read performance.
+
+Reproduces the paper's Section II analysis (Fig. 1 / Eq. 1): a file whose
+chunks are split into N physically separate parts costs
+
+    F(read) = N * T_seek + f_size / W_seq
+
+so in the seek-dominated regime reading is ~N x slower than a linear
+layout. The script prints the analytic curve and then demonstrates the
+same effect operationally: it deduplicates an evolving file system and
+measures how each generation's restore rate tracks its measured fragment
+count.
+
+Run:
+    python examples/read_amplification.py
+"""
+
+from repro import (
+    ContentDefinedSegmenter,
+    DDFSEngine,
+    EngineResources,
+    RestoreReader,
+    analyze_recipe,
+    author_fs_20_full,
+    run_workload,
+)
+from repro._util import MIB
+from repro.restore import read_rate_eq1
+from repro.storage.disk import HDD_2012
+
+
+def analytic_curve() -> None:
+    print("== Eq. 1, analytically (64 MiB file on a 2012 HDD) ==")
+    print(f"{'fragments':>10} {'read time':>10} {'MB/s':>8} {'slowdown':>9}")
+    base = None
+    for n in (1, 2, 4, 16, 64, 256, 1024):
+        rate = read_rate_eq1(n, 64 * MIB, HDD_2012)
+        t = 64 * MIB / rate
+        base = base or t
+        print(f"{n:>10} {t:>9.2f}s {rate / 1e6:>8.1f} {t / base:>8.1f}x")
+
+
+def operational_curve() -> None:
+    print("\n== The same effect, operationally (DDFS-like dedup) ==")
+    resources = EngineResources.create()
+    engine = DDFSEngine(resources)
+    reports = run_workload(
+        engine,
+        author_fs_20_full(fs_bytes=48 * MIB, n_generations=12),
+        ContentDefinedSegmenter(),
+    )
+    reader = RestoreReader(resources.store)
+    print(f"{'gen':>4} {'fragments/MiB':>14} {'restore MB/s':>13}")
+    for r in reports:
+        layout = analyze_recipe(r.recipe)
+        restore = reader.restore(r.recipe)
+        print(f"{r.generation:>4} {layout.fragments_per_mib:>14.2f} "
+              f"{restore.read_rate / 1e6:>13.1f}")
+    print("\nfragments/MiB climbs with every generation the deduplicator "
+          "de-linearizes; restore MB/s falls in lockstep — Eq. 1 live.")
+
+
+if __name__ == "__main__":
+    analytic_curve()
+    operational_curve()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the `wheel` package, which PEP 517
+editable installs require with this setuptools version; keeping a
+setup.py lets `pip install -e . --no-build-isolation` use the legacy
+develop path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

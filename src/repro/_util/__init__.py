@@ -1,0 +1,40 @@
+"""Shared utilities: unit handling, seeded RNG helpers, simulated clock.
+
+These helpers are internal plumbing used by every subsystem; they carry no
+deduplication semantics of their own.
+"""
+
+from repro._util.units import (
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    format_bytes,
+    format_rate,
+    format_seconds,
+    parse_size,
+)
+from repro._util.rng import derive_seed, rng_from
+from repro._util.clock import SimClock
+from repro._util.validation import (
+    check_fraction,
+    check_positive,
+    check_nonnegative,
+)
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_bytes",
+    "format_rate",
+    "format_seconds",
+    "parse_size",
+    "derive_seed",
+    "rng_from",
+    "SimClock",
+    "check_fraction",
+    "check_positive",
+    "check_nonnegative",
+]

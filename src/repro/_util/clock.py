@@ -1,0 +1,43 @@
+"""A simulated clock.
+
+All performance numbers in this reproduction are *simulated* time driven
+by the disk model and an analytic CPU cost term — never wall-clock — so a
+pure-Python implementation cannot skew the evaluation (see DESIGN.md §2,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated clock measured in seconds.
+
+    Components call :meth:`advance` with the cost of each modeled
+    operation; experiments read :attr:`now` deltas to compute throughput.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start negative: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be >= 0); returns new now."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self._now += seconds
+        return self._now
+
+    def elapsed_since(self, t0: float) -> float:
+        """Seconds elapsed since an earlier reading ``t0``."""
+        return self._now - t0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now:.6f})"

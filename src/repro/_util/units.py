@@ -1,0 +1,85 @@
+"""Byte-size units, parsing and human-readable formatting."""
+
+from __future__ import annotations
+
+import re
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KIB,
+    "kb": KIB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MIB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GIB,
+    "gib": GIB,
+    "t": TIB,
+    "tb": TIB,
+    "tib": TIB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: "str | int | float") -> int:
+    """Parse a human size spec (``"4MiB"``, ``"8k"``, ``4096``) into bytes.
+
+    Integers and floats pass through (floats are rounded). Suffixes are
+    case-insensitive and binary (``k`` == KiB == 1024).
+
+    Raises:
+        ValueError: if the string cannot be parsed or the size is negative.
+    """
+    if isinstance(text, bool):  # bool is an int subclass; reject it
+        raise ValueError(f"not a size: {text!r}")
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be >= 0, got {text}")
+        return int(round(text))
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(m.group(1))
+    suffix = m.group(2).lower()
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {m.group(2)!r} in {text!r}")
+    return int(round(value * _SUFFIXES[suffix]))
+
+
+def format_bytes(n: "int | float") -> str:
+    """Format a byte count with a binary suffix, e.g. ``format_bytes(2*MIB)
+    == "2.00 MiB"``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, div in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if n >= div:
+            return f"{sign}{n / div:.2f} {unit}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Format a throughput as ``MB/s`` style text (binary units)."""
+    return f"{format_bytes(bytes_per_second)}/s"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration compactly (``532 ms``, ``2.41 s``, ``3 m 11 s``)."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)} m {rem:.0f} s"

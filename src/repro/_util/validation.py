@@ -1,0 +1,24 @@
+"""Small argument-validation helpers used across the package."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it unchanged."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it unchanged."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it unchanged."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value

@@ -1,0 +1,136 @@
+"""Chunk representation and the chunker interface.
+
+`ChunkStream` is a structure-of-arrays (fingerprints, sizes) so that
+multi-gigabyte simulated streams stay compact and amenable to vectorized
+analysis; `Chunk` is the scalar view handed out on iteration.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, NamedTuple, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.chunking.fingerprint import fingerprint_segments
+
+
+class Chunk(NamedTuple):
+    """One chunk: a 64-bit fingerprint and its size in bytes."""
+
+    fp: int
+    size: int
+
+
+class ChunkStream:
+    """An ordered sequence of chunks, stored as parallel numpy arrays.
+
+    Immutable by convention: operations return new streams. Supports
+    len/iter/indexing, concatenation, and byte accounting.
+    """
+
+    __slots__ = ("fps", "sizes")
+
+    def __init__(self, fps: np.ndarray, sizes: np.ndarray) -> None:
+        fps = np.asarray(fps, dtype=np.uint64)
+        sizes = np.asarray(sizes, dtype=np.uint32)
+        if fps.shape != sizes.shape or fps.ndim != 1:
+            raise ValueError("fps and sizes must be parallel 1-D arrays")
+        if sizes.size and int(sizes.min()) <= 0:
+            raise ValueError("chunk sizes must be > 0")
+        self.fps = fps
+        self.sizes = sizes
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ChunkStream":
+        return cls(np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.uint32))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "ChunkStream":
+        """Build from an iterable of ``(fp, size)`` pairs."""
+        fps, sizes = [], []
+        for fp, size in pairs:
+            fps.append(fp)
+            sizes.append(size)
+        return cls(np.asarray(fps, dtype=np.uint64), np.asarray(sizes, dtype=np.uint32))
+
+    @classmethod
+    def concat(cls, streams: Sequence["ChunkStream"]) -> "ChunkStream":
+        """Concatenate streams in order."""
+        if not streams:
+            return cls.empty()
+        return cls(
+            np.concatenate([s.fps for s in streams]),
+            np.concatenate([s.sizes for s in streams]),
+        )
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of chunk sizes (the logical stream size)."""
+        return int(self.sizes.sum(dtype=np.int64)) if len(self) else 0
+
+    def __len__(self) -> int:
+        return int(self.fps.size)
+
+    def __iter__(self) -> Iterator[Chunk]:
+        for fp, size in zip(self.fps, self.sizes):
+            yield Chunk(int(fp), int(size))
+
+    def __getitem__(self, idx: Union[int, slice]) -> Union[Chunk, "ChunkStream"]:
+        if isinstance(idx, slice):
+            return ChunkStream(self.fps[idx], self.sizes[idx])
+        return Chunk(int(self.fps[idx]), int(self.sizes[idx]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChunkStream):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.fps, other.fps) and np.array_equal(self.sizes, other.sizes)
+        )
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("ChunkStream is unhashable")
+
+    def unique_fingerprints(self) -> np.ndarray:
+        """Sorted unique fingerprints in the stream."""
+        return np.unique(self.fps)
+
+    def duplicate_bytes_within(self) -> int:
+        """Bytes that an exact deduplicator would remove *within* this
+        single stream (every occurrence after the first)."""
+        if not len(self):
+            return 0
+        _, first_idx = np.unique(self.fps, return_index=True)
+        unique_bytes = int(self.sizes[first_idx].sum(dtype=np.int64))
+        return self.total_bytes - unique_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ChunkStream(n={len(self)}, bytes={self.total_bytes})"
+
+
+class Chunker(abc.ABC):
+    """Interface: cut a byte stream into chunk boundaries.
+
+    Subclasses implement :meth:`cut_boundaries`; :meth:`chunk` adds
+    fingerprinting to produce a :class:`ChunkStream`.
+    """
+
+    @abc.abstractmethod
+    def cut_boundaries(self, data: bytes) -> np.ndarray:
+        """Return monotonically increasing cut offsets into ``data``,
+        starting at 0 and ending at ``len(data)``, so ``n_chunks ==
+        len(boundaries) - 1``. For empty input, return ``array([0])``
+        (zero chunks)."""
+
+    def chunk(self, data: bytes) -> ChunkStream:
+        """Chunk ``data`` and fingerprint every piece."""
+        boundaries = self.cut_boundaries(data)
+        if len(boundaries) < 2:
+            return ChunkStream.empty()
+        fps = fingerprint_segments(data, boundaries.tolist())
+        sizes = np.diff(boundaries).astype(np.uint32)
+        return ChunkStream(fps, sizes)

@@ -1,0 +1,63 @@
+"""Chunk fingerprints.
+
+Real systems use SHA-1; for simulation we use 64-bit fingerprints:
+
+* byte-level path: BLAKE2b-64 of the chunk contents (collision odds at
+  simulation scales are negligible, ~n^2 / 2^65);
+* chunk-level path: :func:`splitmix64` of a globally unique counter —
+  splitmix64 is a bijection on 64-bit ints, so distinct counters can
+  never collide while still looking uniformly random to the index
+  structures (bloom filters, hash tables) that consume them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+_U64 = np.uint64
+_MASK64 = (1 << 64) - 1
+
+
+def fingerprint64(data: bytes) -> int:
+    """64-bit BLAKE2b fingerprint of ``data``."""
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "little")
+
+
+def fingerprint_segments(data: bytes, boundaries: Sequence[int]) -> np.ndarray:
+    """Fingerprint each ``data[boundaries[i]:boundaries[i+1]]`` slice.
+
+    Args:
+        data: the raw byte stream.
+        boundaries: monotonically increasing cut offsets, beginning with 0
+            and ending with ``len(data)`` (as produced by chunkers).
+
+    Returns:
+        uint64 array of per-chunk fingerprints.
+    """
+    view = memoryview(data)
+    n = len(boundaries) - 1
+    out = np.empty(n, dtype=np.uint64)
+    for i in range(n):
+        out[i] = fingerprint64(bytes(view[boundaries[i] : boundaries[i + 1]]))
+    return out
+
+
+def splitmix64(x: int) -> int:
+    """The splitmix64 finalizer: a fast 64-bit bijective mixer."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a uint64 array."""
+    x = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        x = x + _U64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> _U64(27))) * _U64(0x94D049BB133111EB)
+        return x ^ (x >> _U64(31))

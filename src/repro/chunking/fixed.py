@@ -1,0 +1,35 @@
+"""Fixed-size chunking: the classic baseline.
+
+Fixed-size chunks are trivial to compute but shift-intolerant: a single
+inserted byte re-aligns every later chunk and destroys dedup. Included as
+the comparison point for the content-defined chunkers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import KIB, check_positive
+from repro.chunking.base import Chunker
+
+
+class FixedChunker(Chunker):
+    """Cut the stream every ``chunk_size`` bytes (last chunk may be short).
+
+    Args:
+        chunk_size: fixed chunk length in bytes (default 8 KiB).
+    """
+
+    def __init__(self, chunk_size: int = 8 * KIB) -> None:
+        check_positive("chunk_size", chunk_size)
+        self.chunk_size = int(chunk_size)
+
+    def cut_boundaries(self, data: bytes) -> np.ndarray:
+        n = len(data)
+        if n == 0:
+            return np.zeros(1, dtype=np.int64)
+        cuts = np.arange(0, n, self.chunk_size, dtype=np.int64)
+        return np.append(cuts, n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FixedChunker(chunk_size={self.chunk_size})"

@@ -1,0 +1,121 @@
+"""Gear-hash content-defined chunking, numpy-vectorized.
+
+The Gear rolling hash is ``h_i = (h_{i-1} << 1) + G[b_i]  (mod 2^64)``
+with a random 256-entry gear table ``G``; a boundary is declared where
+``h_i & mask == 0`` (mask with ``log2(avg_size)`` bits), subject to
+min/max chunk-size clamps.
+
+Because the left-shift discards bits past 64, the hash at position ``i``
+depends only on the trailing 64 bytes:
+
+    h_i = sum_{k=0..63} G[b_{i-k}] << k   (mod 2^64)
+
+which we evaluate with 64 vectorized passes over the whole buffer — exact,
+and orders of magnitude faster than a per-byte Python loop. Candidate
+boundaries (where the masked hash is zero) are sparse (one per ``avg``
+bytes on average), so the min/max clamping walk over candidates is cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import KIB, check_positive, rng_from
+from repro.chunking.base import Chunker
+
+_U64 = np.uint64
+
+
+def _gear_table(seed: int) -> np.ndarray:
+    """The 256-entry random gear table, derived deterministically."""
+    rng = rng_from(seed, "gear-table")
+    return rng.integers(0, 2**64, size=256, dtype=np.uint64)
+
+
+def _mask_for_average(avg_size: int) -> int:
+    """Boundary mask with ``round(log2(avg))`` low bits set, so boundaries
+    fire with probability 1/avg per position."""
+    bits = max(1, int(round(np.log2(avg_size))))
+    return (1 << bits) - 1
+
+
+class GearChunker(Chunker):
+    """Content-defined chunker using the Gear rolling hash.
+
+    Args:
+        avg_size: target average chunk size (sets the boundary mask).
+        min_size: no boundary closer than this to the previous cut.
+        max_size: force a cut at this length if no boundary fired.
+        seed: gear-table seed (two chunkers with the same seed cut
+            identically — required for dedup to work at all).
+    """
+
+    def __init__(
+        self,
+        avg_size: int = 8 * KIB,
+        min_size: "int | None" = None,
+        max_size: "int | None" = None,
+        seed: int = 2012,
+    ) -> None:
+        check_positive("avg_size", avg_size)
+        self.avg_size = int(avg_size)
+        self.min_size = int(min_size) if min_size is not None else self.avg_size // 4
+        self.max_size = int(max_size) if max_size is not None else self.avg_size * 4
+        if not 0 < self.min_size <= self.avg_size <= self.max_size:
+            raise ValueError(
+                f"need 0 < min <= avg <= max, got "
+                f"{self.min_size}/{self.avg_size}/{self.max_size}"
+            )
+        self.seed = int(seed)
+        self._table = _gear_table(seed)
+        self._mask = _U64(_mask_for_average(self.avg_size))
+
+    # ------------------------------------------------------------------
+
+    def rolling_hashes(self, data: bytes) -> np.ndarray:
+        """Exact Gear hash at every byte position (vectorized)."""
+        buf = np.frombuffer(data, dtype=np.uint8)
+        g = self._table[buf]  # per-byte gear values
+        h = np.zeros(buf.size, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            for k in range(64):
+                if k >= buf.size:
+                    break
+                # contribution of the byte k positions back, shifted by k
+                if k == 0:
+                    h += g
+                else:
+                    h[k:] += g[:-k] << _U64(k)
+        return h
+
+    def cut_boundaries(self, data: bytes) -> np.ndarray:
+        n = len(data)
+        if n == 0:
+            return np.zeros(1, dtype=np.int64)
+        hashes = self.rolling_hashes(data)
+        # candidate cut *after* position i  ->  boundary offset i+1
+        candidates = np.flatnonzero((hashes & self._mask) == 0) + 1
+        cuts = [0]
+        last = 0
+        ci = 0
+        m = candidates.size
+        while last < n:
+            limit = last + self.max_size
+            lower = last + self.min_size
+            # advance to first candidate >= lower
+            ci = int(np.searchsorted(candidates, lower, side="left"))
+            if ci < m and candidates[ci] < limit:
+                cut = int(candidates[ci])
+            else:
+                cut = min(limit, n)
+            if cut >= n:
+                cut = n
+            cuts.append(cut)
+            last = cut
+        return np.asarray(cuts, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GearChunker(avg={self.avg_size}, min={self.min_size}, "
+            f"max={self.max_size}, seed={self.seed})"
+        )

@@ -1,0 +1,125 @@
+"""Rabin polynomial fingerprinting CDC (reference implementation).
+
+This is the classic LBFS/DDFS chunker: a degree-53 irreducible polynomial
+over GF(2), a sliding window of 48 bytes, and a boundary wherever the
+window fingerprint's low bits match a fixed pattern. It is implemented
+with the standard two-table scheme (overflow-reduction table and
+outgoing-byte table) as a per-byte Python loop.
+
+It exists as the *reference* chunker — exact Rabin semantics for tests and
+small inputs. The production byte-level path is
+:class:`~repro.chunking.gear.GearChunker` (vectorized); large-scale
+experiments bypass byte chunking entirely (chunk-level streams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import KIB, check_positive
+from repro.chunking.base import Chunker
+
+#: The LBFS irreducible polynomial of degree 53 over GF(2).
+DEFAULT_POLY = 0x3DA3358B4DC173
+_DEGREE = 53
+_WINDOW = 48
+
+
+def _polymod(value: int, poly: int, degree: int) -> int:
+    """Reduce ``value`` modulo ``poly`` in GF(2) polynomial arithmetic."""
+    while True:
+        bl = value.bit_length()
+        if bl <= degree:
+            return value
+        value ^= poly << (bl - 1 - degree)
+
+
+def _build_tables(poly: int, degree: int, window: int):
+    """Precompute the shift-reduction table T and outgoing-byte table U."""
+    # T[t] is the reduced value of the 8 bits that overflow past `degree`
+    # on a left shift: (t << degree) mod poly.
+    T = [_polymod(t << degree, poly, degree) for t in range(256)]
+    # U[b] is b * x^(8*window) mod poly: the contribution of the byte
+    # leaving the window.
+    shift = 8 * window
+    U = [_polymod(b << shift, poly, degree) for b in range(256)]
+    return T, U
+
+
+class RabinChunker(Chunker):
+    """Sliding-window Rabin fingerprint chunker.
+
+    Args:
+        avg_size: target average chunk size; sets the boundary mask width.
+        min_size: minimum chunk size (skip boundary checks below it).
+        max_size: forced cut length.
+        window: sliding window width in bytes.
+        poly: irreducible polynomial (degree 53).
+    """
+
+    def __init__(
+        self,
+        avg_size: int = 8 * KIB,
+        min_size: "int | None" = None,
+        max_size: "int | None" = None,
+        window: int = _WINDOW,
+        poly: int = DEFAULT_POLY,
+    ) -> None:
+        check_positive("avg_size", avg_size)
+        self.avg_size = int(avg_size)
+        self.min_size = int(min_size) if min_size is not None else self.avg_size // 4
+        self.max_size = int(max_size) if max_size is not None else self.avg_size * 4
+        if not 0 < self.min_size <= self.avg_size <= self.max_size:
+            raise ValueError(
+                f"need 0 < min <= avg <= max, got "
+                f"{self.min_size}/{self.avg_size}/{self.max_size}"
+            )
+        check_positive("window", window)
+        self.window = int(window)
+        self.poly = int(poly)
+        self._T, self._U = _build_tables(self.poly, _DEGREE, self.window)
+        bits = max(1, int(round(np.log2(self.avg_size))))
+        self._mask = (1 << bits) - 1
+        # match-anything-but-zero target avoids degenerate all-zero input
+        # cutting at every position after min_size
+        self._target = self._mask
+
+    def cut_boundaries(self, data: bytes) -> np.ndarray:
+        n = len(data)
+        if n == 0:
+            return np.zeros(1, dtype=np.int64)
+        T = self._T
+        U = self._U
+        mask = self._mask
+        target = self._target
+        window = self.window
+        degree_shift = _DEGREE - 8
+        state_mask = (1 << _DEGREE) - 1
+
+        cuts = [0]
+        last = 0
+        h = 0
+        win_start = 0  # logical start of the sliding window
+        i = 0
+        while i < n:
+            byte = data[i]
+            h = (((h << 8) | byte) & state_mask) ^ T[h >> degree_shift]
+            if i - win_start >= window:
+                h ^= U[data[win_start]]
+                win_start += 1
+            i += 1
+            length = i - last
+            if (length >= self.min_size and (h & mask) == target) or length >= self.max_size:
+                cuts.append(i)
+                last = i
+                h = 0
+                win_start = i
+        if cuts[-1] != n:
+            cuts.append(n)
+        return np.asarray(cuts, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RabinChunker(avg={self.avg_size}, min={self.min_size}, "
+            f"max={self.max_size}, window={self.window})"
+        )

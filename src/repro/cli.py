@@ -1,0 +1,115 @@
+"""Command-line entry point: regenerate any figure or ablation.
+
+Usage::
+
+    python -m repro fig2 [--scale small|default|large] [--seed N]
+    python -m repro fig4 --alpha 0.2
+    python -m repro all --scale small
+    python -m repro alpha-sweep
+    defrag-repro fig6            # console script, same thing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import ablations, fig2, fig3, fig4, fig5, fig6
+from repro.experiments import extensions
+from repro.experiments.common import FigureResult
+from repro.experiments.config import ExperimentConfig
+
+_FIGURES: Dict[str, Callable[[ExperimentConfig], FigureResult]] = {
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "alpha-sweep": ablations.alpha_sweep,
+    "segment-ablation": ablations.segment_ablation,
+    "cache-ablation": ablations.cache_ablation,
+    "related-work": extensions.related_work_comparison,
+    "gc-study": extensions.gc_study,
+}
+
+_FLOAT_FMT = {"fig3": "{:.3f}", "fig5": "{:.3f}"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="defrag-repro",
+        description="Regenerate the SC'12 DeFrag paper's evaluation figures "
+        "on the simulated substrate.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_FIGURES) + ["all", "report"],
+        help="which figure/ablation to regenerate ('all' runs fig2..fig6; "
+        "'report' renders everything as one markdown document)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=["small", "default", "large"],
+        help="experiment scale preset (default: default)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="workload seed override")
+    parser.add_argument(
+        "--alpha", type=float, default=None, help="DeFrag SPL threshold override"
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="also write each result as JSON and CSV into DIR",
+    )
+    return parser
+
+
+def _make_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.by_name(args.scale)
+    if args.seed is not None:
+        config = config.with_(seed=args.seed)
+    if args.alpha is not None:
+        config = config.with_(alpha=args.alpha)
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    config = _make_config(args)
+    if args.experiment == "report":
+        from repro.experiments.report import generate_markdown
+
+        text = generate_markdown(config)
+        print(text)
+        if args.save is not None:
+            from pathlib import Path
+
+            outdir = Path(args.save)
+            outdir.mkdir(parents=True, exist_ok=True)
+            (outdir / "report.md").write_text(text)
+        return 0
+    names = ["fig2", "fig3", "fig4", "fig5", "fig6"] if args.experiment == "all" else [
+        args.experiment
+    ]
+    for name in names:
+        result = _FIGURES[name](config)
+        print(result.table(fmt=_FLOAT_FMT.get(name, "{:.1f}")))
+        print()
+        if args.save is not None:
+            from pathlib import Path
+
+            from repro.experiments.io import save_csv, save_json
+
+            outdir = Path(args.save)
+            outdir.mkdir(parents=True, exist_ok=True)
+            save_json(result, outdir / f"{name}.json")
+            save_csv(result, outdir / f"{name}.csv")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""DeFrag: the paper's core contribution.
+
+DeFrag reduces the *de-linearization of data placement* by selectively
+NOT deduplicating: after duplicate identification, each incoming segment
+``Seg_m`` is scored against every stored segment ``Seg_k`` holding some
+of its duplicates with the **Spatial Locality Level**
+
+    SPL(m, k) = |Seg_m ∩ Seg_k| / |Seg_m|        (paper Eq. 2)
+
+If ``SPL(m, k) < α`` the duplicates shared with ``Seg_k`` are *rewritten*
+sequentially next to ``Seg_m``'s new chunks instead of being removed —
+sacrificing a little compression to keep placement linear, which
+preserves duplicate locality (throughput, Fig. 4), keeps similarity
+detection effective (efficiency, Fig. 5), and cuts restore seeks
+(read performance, Fig. 6).
+
+* :mod:`~repro.core.spl` — the SPL metric and per-segment profiles.
+* :mod:`~repro.core.policy` — rewrite policies: the paper's α-threshold
+  plus ablation alternatives (byte-weighted SPL, top-K capping, never /
+  always bounds).
+* :mod:`~repro.core.defrag` — :class:`DeFragEngine`, the DDFS machinery
+  with the selective-rewrite stage inserted.
+"""
+
+from repro.core.spl import SPLProfile, spl_profile
+from repro.core.policy import (
+    AlwaysRewritePolicy,
+    CappingPolicy,
+    NeverRewritePolicy,
+    RewriteDecision,
+    RewritePolicy,
+    SPLThresholdPolicy,
+)
+from repro.core.defrag import DeFragEngine
+
+__all__ = [
+    "SPLProfile",
+    "spl_profile",
+    "RewritePolicy",
+    "RewriteDecision",
+    "SPLThresholdPolicy",
+    "CappingPolicy",
+    "NeverRewritePolicy",
+    "AlwaysRewritePolicy",
+    "DeFragEngine",
+]

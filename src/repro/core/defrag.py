@@ -1,0 +1,158 @@
+"""DeFragEngine: DDFS identification + SPL-driven selective rewrite.
+
+Processing of one incoming segment (paper §III-B) is three-phase:
+
+1. **Identify** — resolve every chunk through the DDFS decision ladder
+   (prefetch cache → stream buffer → summary vector → on-disk index with
+   locality prefetch), collecting for each duplicate the stored segment
+   id holding its copy. All identification disk costs are charged here,
+   identically to DDFS.
+2. **Decide** — build the segment's SPL profile and ask the rewrite
+   policy (the paper's α-threshold by default) which stored segments'
+   duplicates to rewrite.
+3. **Place** — walk the segment in stream order: new chunks and rewritten
+   duplicates are appended to the container log (and the index is
+   re-pointed at the fresh copies, so *future* streams inherit the
+   restored linearity); kept duplicates are referenced in place.
+
+The engine inherits all DDFS parameters; with
+``policy=SPLThresholdPolicy(alpha=0.0)`` (or ``NeverRewritePolicy``) it
+degrades to byte-identical DDFS behaviour, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.policy import RewritePolicy, SPLThresholdPolicy
+from repro.core.spl import SPLProfile, spl_profile
+from repro.dedup.base import CostModel, EngineResources, SegmentOutcome
+from repro.dedup.ddfs import DDFSEngine
+from repro.index.full_index import ChunkLocation
+from repro.segmenting.segmenter import Segment
+
+
+class DeFragEngine(DDFSEngine):
+    """Selective deduplication guided by Spatial Locality Level.
+
+    Args:
+        resources, cost, bloom_capacity, bloom_fp_rate, cache_containers:
+            as in :class:`~repro.dedup.ddfs.DDFSEngine`.
+        policy: the rewrite policy; defaults to the paper's
+            ``SPLThresholdPolicy(alpha=0.1)``.
+        byte_weighted_spl: score SPL in bytes instead of chunk counts
+            (ablation; the paper counts chunks).
+    """
+
+    def __init__(
+        self,
+        resources: EngineResources,
+        cost: Optional[CostModel] = None,
+        *,
+        policy: Optional[RewritePolicy] = None,
+        byte_weighted_spl: bool = False,
+        **ddfs_kwargs,
+    ) -> None:
+        super().__init__(resources, cost, **ddfs_kwargs)
+        self.policy = policy if policy is not None else SPLThresholdPolicy(alpha=0.1)
+        self.byte_weighted_spl = bool(byte_weighted_spl)
+        # cumulative accounting of intentionally kept redundancy
+        self.total_rewritten_bytes = 0
+        self.total_rewritten_chunks = 0
+        # per-backup policy telemetry (reset in _on_begin_backup)
+        self._segments_with_rewrites = 0
+        self._referenced_segment_groups = 0
+        self._rewritten_groups = 0
+
+    # ------------------------------------------------------------------
+
+    def _identify(self, segment: Segment) -> List[Optional[ChunkLocation]]:
+        """Phase 1: the DDFS ladder for every chunk (charges disk)."""
+        return [self._resolve_duplicate(int(fp)) for fp in segment.fps]
+
+    def _profile(
+        self, segment: Segment, locations: List[Optional[ChunkLocation]]
+    ) -> SPLProfile:
+        """Phase 2a: SPL profile from the identification results."""
+        dup_sids: List[int] = []
+        dup_weights: List[int] = []
+        for loc, size in zip(locations, segment.sizes):
+            if loc is not None:
+                dup_sids.append(loc.sid)
+                dup_weights.append(int(size))
+        if self.byte_weighted_spl:
+            return spl_profile(
+                dup_sids,
+                segment.n_chunks,
+                dup_weights=dup_weights,
+                segment_nbytes=segment.nbytes,
+            )
+        return spl_profile(dup_sids, segment.n_chunks)
+
+    def _process_segment(self, segment: Segment) -> SegmentOutcome:
+        outcome = SegmentOutcome(
+            index=segment.index, n_chunks=segment.n_chunks, nbytes=segment.nbytes
+        )
+        assert self._recipe is not None
+        recipe = self._recipe
+
+        locations = self._identify(segment)
+        profile = self._profile(segment, locations)
+        decision = self.policy.decide(profile)
+        self._referenced_segment_groups += profile.n_referenced_segments
+        self._rewritten_groups += decision.n_rewritten_segments
+        if decision.n_rewritten_segments:
+            self._segments_with_rewrites += 1
+
+        sid = self._allocate_sid()
+        for fp, size, loc in zip(segment.fps, segment.sizes, locations):
+            fp = int(fp)
+            size = int(size)
+            if loc is None:
+                # identification ran before any of this segment's writes;
+                # an earlier occurrence within the segment may have landed
+                # in the stream buffer since
+                prior = self._stream_new.get(fp)
+                if prior is not None:
+                    outcome.removed_dup += size
+                    recipe.add(fp, size, prior.cid)
+                    continue
+                cid = self._write_new_chunk(fp, size, sid)
+                outcome.written_new += size
+                recipe.add(fp, size, cid)
+            elif decision.should_rewrite(loc.sid):
+                cid = self._rewrite_duplicate(fp, size, sid)
+                outcome.rewritten_dup += size
+                recipe.add(fp, size, cid)
+            else:
+                outcome.removed_dup += size
+                recipe.add(fp, size, loc.cid)
+        return outcome
+
+    def _on_begin_backup(self) -> None:
+        super()._on_begin_backup()
+        self._segments_with_rewrites = 0
+        self._referenced_segment_groups = 0
+        self._rewritten_groups = 0
+
+    def _collect_extras(self) -> dict:
+        extras = super()._collect_extras()
+        extras.update(
+            {
+                "segments_with_rewrites": float(self._segments_with_rewrites),
+                "spl_groups_referenced": float(self._referenced_segment_groups),
+                "spl_groups_rewritten": float(self._rewritten_groups),
+            }
+        )
+        return extras
+
+    def _rewrite_duplicate(self, fp: int, size: int, sid: int) -> int:
+        """Phase 3, rewrite path: store the duplicate again next to the
+        segment's new chunks and re-point the index at the fresh copy."""
+        cid = self.res.store.append(fp, size)
+        loc = ChunkLocation(cid, sid)
+        self.res.index.update(fp, loc)
+        self._stream_new[fp] = loc
+        self.total_rewritten_bytes += size
+        self.total_rewritten_chunks += 1
+        return cid

@@ -1,0 +1,112 @@
+"""Rewrite policies: which duplicates keep their redundancy.
+
+The paper's policy is a straight SPL threshold (α = 0.1 in the
+evaluation): duplicates shared with a stored segment whose SPL is below α
+are rewritten. The alternatives here exist for the ablation benches:
+
+* :class:`CappingPolicy` — keep references only to the top-K stored
+  segments by share (in the spirit of capping à la Lillibridge et al.);
+  rewrite duplicates pointing anywhere else.
+* :class:`NeverRewritePolicy` / :class:`AlwaysRewritePolicy` — the two
+  extremes: pure DDFS behaviour and no-dedup-across-segments behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro._util import check_fraction
+from repro.core.spl import SPLProfile
+
+
+@dataclass(frozen=True)
+class RewriteDecision:
+    """The policy's verdict for one incoming segment.
+
+    Attributes:
+        rewrite_sids: stored segments whose shared duplicates must be
+            written again instead of referenced.
+    """
+
+    rewrite_sids: FrozenSet[int]
+
+    def should_rewrite(self, sid: int) -> bool:
+        return sid in self.rewrite_sids
+
+    @property
+    def n_rewritten_segments(self) -> int:
+        return len(self.rewrite_sids)
+
+
+_KEEP_ALL = RewriteDecision(rewrite_sids=frozenset())
+
+
+class RewritePolicy(abc.ABC):
+    """Maps a segment's SPL profile to a rewrite decision."""
+
+    @abc.abstractmethod
+    def decide(self, profile: SPLProfile) -> RewriteDecision:
+        """Choose which stored segments' duplicates to rewrite."""
+
+
+@dataclass(frozen=True)
+class SPLThresholdPolicy(RewritePolicy):
+    """The paper's policy: rewrite duplicates shared with any stored
+    segment whose SPL(m, k) < α.
+
+    Attributes:
+        alpha: the preset threshold (paper evaluates 0.1). ``alpha == 0``
+            never rewrites (every SPL is >= 0, and strict inequality
+            fails), recovering DDFS exactly.
+    """
+
+    alpha: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_fraction("alpha", self.alpha)
+
+    def decide(self, profile: SPLProfile) -> RewriteDecision:
+        if not profile.shares:
+            return _KEEP_ALL
+        total = profile.segment_total
+        rewrite = frozenset(
+            sid for sid, cnt in profile.shares.items() if cnt < self.alpha * total
+        )
+        return RewriteDecision(rewrite_sids=rewrite)
+
+
+@dataclass(frozen=True)
+class CappingPolicy(RewritePolicy):
+    """Reference at most ``cap`` stored segments per incoming segment —
+    the ones sharing the most — and rewrite the duplicates pointing at
+    everything else. Bounds the per-segment fragment count directly."""
+
+    cap: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cap < 0:
+            raise ValueError(f"cap must be >= 0, got {self.cap}")
+
+    def decide(self, profile: SPLProfile) -> RewriteDecision:
+        if len(profile.shares) <= self.cap:
+            return _KEEP_ALL
+        ranked = sorted(profile.shares.items(), key=lambda kv: (-kv[1], kv[0]))
+        losers = frozenset(sid for sid, _ in ranked[self.cap :])
+        return RewriteDecision(rewrite_sids=losers)
+
+
+class NeverRewritePolicy(RewritePolicy):
+    """Always deduplicate — byte-identical behaviour to DDFS."""
+
+    def decide(self, profile: SPLProfile) -> RewriteDecision:
+        return _KEEP_ALL
+
+
+class AlwaysRewritePolicy(RewritePolicy):
+    """Rewrite every cross-segment duplicate — maximal linearity, worst
+    compression; the upper bound on DeFrag's storage overhead."""
+
+    def decide(self, profile: SPLProfile) -> RewriteDecision:
+        return RewriteDecision(rewrite_sids=frozenset(profile.shares.keys()))

@@ -1,0 +1,103 @@
+"""The Spatial Locality Level (SPL) metric — paper Eq. 2.
+
+    SPL(m, k) = |Seg_m ∩ Seg_k| / |Seg_m|
+
+where ``Seg_m`` is the incoming segment and ``Seg_k`` a stored segment
+holding some of its duplicate chunks. ``SPL(m,k) == 1`` means every chunk
+of ``Seg_m`` can be retrieved with the single positioning that reads
+``Seg_k``; values near 0 mean the shared chunks are a tiny sliver of
+``Seg_m`` — retrieving them costs a seek that buys almost nothing.
+
+The intersection is counted in *chunks* by default (the paper counts
+shared data chunks); byte weighting is available for the ablation in
+:mod:`repro.core.policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SPLProfile:
+    """SPL scores of one incoming segment against all stored segments
+    that share chunks with it.
+
+    Attributes:
+        segment_total: |Seg_m| in the chosen unit (chunks or bytes).
+        shares: stored-segment id -> shared amount (same unit).
+    """
+
+    segment_total: int
+    shares: Mapping[int, int]
+
+    def spl(self, sid: int) -> float:
+        """SPL(m, k) for stored segment ``sid`` (0.0 if nothing shared)."""
+        if self.segment_total <= 0:
+            return 0.0
+        return self.shares.get(sid, 0) / self.segment_total
+
+    @property
+    def max_spl(self) -> float:
+        """The strongest locality any stored segment offers."""
+        if not self.shares or self.segment_total <= 0:
+            return 0.0
+        return max(self.shares.values()) / self.segment_total
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of the segment that is duplicate (any stored segment)."""
+        if self.segment_total <= 0:
+            return 0.0
+        return sum(self.shares.values()) / self.segment_total
+
+    @property
+    def n_referenced_segments(self) -> int:
+        """How many stored segments this segment's duplicates live in —
+        the segment-granularity fragment count."""
+        return len(self.shares)
+
+    def items(self):
+        """(sid, spl) pairs."""
+        total = self.segment_total
+        return [(sid, cnt / total if total else 0.0) for sid, cnt in self.shares.items()]
+
+
+def spl_profile(
+    dup_sids: Sequence[int],
+    segment_n_chunks: int,
+    dup_weights: Optional[Sequence[int]] = None,
+    segment_nbytes: Optional[int] = None,
+) -> SPLProfile:
+    """Build an :class:`SPLProfile` from per-duplicate stored-segment ids.
+
+    Args:
+        dup_sids: for every duplicate chunk of ``Seg_m`` (in any order),
+            the id of the stored segment holding its copy.
+        segment_n_chunks: |Seg_m| in chunks.
+        dup_weights: optional per-duplicate byte sizes; when given
+            (together with ``segment_nbytes``) the profile is
+            byte-weighted instead of chunk-counted.
+        segment_nbytes: |Seg_m| in bytes (required with ``dup_weights``).
+
+    Note that each duplicate chunk contributes to exactly one stored
+    segment (the one the index resolves it to), so the shares sum to at
+    most the segment total and every SPL lies in [0, 1].
+    """
+    if (dup_weights is None) != (segment_nbytes is None):
+        raise ValueError("dup_weights and segment_nbytes must be given together")
+    shares: Dict[int, int] = {}
+    if dup_weights is None:
+        for sid in dup_sids:
+            shares[int(sid)] = shares.get(int(sid), 0) + 1
+        total = int(segment_n_chunks)
+    else:
+        if len(dup_weights) != len(dup_sids):
+            raise ValueError("dup_weights must parallel dup_sids")
+        for sid, w in zip(dup_sids, dup_weights):
+            shares[int(sid)] = shares.get(int(sid), 0) + int(w)
+        total = int(segment_nbytes)  # type: ignore[arg-type]
+    if sum(shares.values()) > total:
+        raise ValueError("shared amount exceeds segment total")
+    return SPLProfile(segment_total=total, shares=shares)

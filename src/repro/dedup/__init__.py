@@ -1,0 +1,54 @@
+"""Deduplication engines.
+
+All engines share one contract (:class:`~repro.dedup.base.DedupEngine`):
+segments in, per-segment classification out, every cost charged to a
+shared simulated disk + CPU model. Included engines:
+
+* :class:`~repro.dedup.exact.ExactEngine` — the naive full-index baseline
+  (every chunk consults the on-disk index): exact dedup, crushed by the
+  disk bottleneck the paper opens with.
+* :class:`~repro.dedup.ddfs.DDFSEngine` — DDFS-like (Zhu et al. FAST'08):
+  bloom summary vector + stream-informed layout + locality-preserved
+  container-metadata caching. Exact dedup, throughput hostage to
+  placement linearity (paper Fig. 2).
+* :class:`~repro.dedup.silo.SiLoEngine` — SiLo-like (Xia et al. ATC'11):
+  similarity-sampled segments grouped into blocks; near-exact dedup whose
+  efficiency decays with duplicate locality (paper Fig. 3).
+
+The paper's contribution, :class:`~repro.core.defrag.DeFragEngine`, lives
+in :mod:`repro.core` and builds on the DDFS machinery here.
+
+:mod:`~repro.dedup.pipeline` drives whole workloads through an engine and
+attaches ground-truth redundancy accounting to every report.
+"""
+
+from repro.dedup.base import (
+    BackupReport,
+    CostModel,
+    DedupEngine,
+    EngineResources,
+    SegmentOutcome,
+)
+from repro.dedup.exact import ExactEngine
+from repro.dedup.ddfs import DDFSEngine
+from repro.dedup.silo import SiLoEngine
+from repro.dedup.idedup import IDedupEngine
+from repro.dedup.sparse import SparseIndexEngine
+from repro.dedup.pipeline import GroundTruth, ingest_bytes, run_backup, run_workload
+
+__all__ = [
+    "BackupReport",
+    "CostModel",
+    "DedupEngine",
+    "EngineResources",
+    "SegmentOutcome",
+    "ExactEngine",
+    "DDFSEngine",
+    "SiLoEngine",
+    "IDedupEngine",
+    "SparseIndexEngine",
+    "GroundTruth",
+    "ingest_bytes",
+    "run_backup",
+    "run_workload",
+]

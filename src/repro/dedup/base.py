@@ -1,0 +1,284 @@
+"""Engine contract, cost model, and per-backup reports.
+
+An engine consumes a backup stream segment by segment. Everything it does
+is charged to two meters:
+
+* the shared :class:`~repro.storage.disk.DiskModel` (index page faults,
+  metadata prefetches, container seals), and
+* an analytic CPU term (:class:`CostModel`): fingerprinting/lookup work
+  per byte and per chunk.
+
+Simulated throughput for a backup is ``logical_bytes / elapsed simulated
+seconds``. Wall-clock time never enters any reported number, so the
+reproduction's results cannot be skewed by Python's own speed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._util import MIB, check_nonnegative, format_rate
+from repro.index.full_index import DiskChunkIndex
+from repro.segmenting.segmenter import Segment
+from repro.storage.disk import DiskModel, DiskStats
+from repro.storage.recipe import BackupRecipe, RecipeBuilder
+from repro.storage.store import ContainerStore
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Analytic CPU costs of the ingest path.
+
+    Attributes:
+        cpu_seconds_per_byte: chunking + fingerprinting cost (defaults to
+            a 600 MB/s single-stream hash pipeline, the right order for a
+            circa-2012 backup server).
+        cpu_seconds_per_chunk: constant per-chunk work: RAM lookups,
+            bloom probes, amortized batched index merge.
+    """
+
+    cpu_seconds_per_byte: float = 1.0 / 600e6
+    cpu_seconds_per_chunk: float = 2e-6
+
+    def __post_init__(self) -> None:
+        check_nonnegative("cpu_seconds_per_byte", self.cpu_seconds_per_byte)
+        check_nonnegative("cpu_seconds_per_chunk", self.cpu_seconds_per_chunk)
+
+    def segment_cpu_seconds(self, nbytes: int, n_chunks: int) -> float:
+        """CPU time to ingest one segment."""
+        return nbytes * self.cpu_seconds_per_byte + n_chunks * self.cpu_seconds_per_chunk
+
+
+@dataclass
+class SegmentOutcome:
+    """What happened to one incoming segment.
+
+    Byte counters partition the segment exactly:
+    ``written_new + removed_dup + rewritten_dup == nbytes`` where
+
+    * ``written_new`` — chunks the engine believed new. For near-exact
+      engines this may include true duplicates the engine failed to
+      detect; the pipeline's oracle quantifies those afterwards
+      (``BackupReport.missed_dup_bytes``).
+    * ``removed_dup`` — duplicates eliminated by reference.
+    * ``rewritten_dup`` — duplicates knowingly stored again (DeFrag's
+      low-SPL rewrites).
+    """
+
+    index: int
+    n_chunks: int
+    nbytes: int
+    written_new: int = 0
+    removed_dup: int = 0
+    rewritten_dup: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_chunks < 0 or self.nbytes < 0:
+            raise ValueError("segment accounting cannot be negative")
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes physically written for this segment."""
+        return self.written_new + self.rewritten_dup
+
+    def check_partition(self) -> None:
+        """Assert the byte partition identity."""
+        total = self.written_new + self.removed_dup + self.rewritten_dup
+        if total != self.nbytes:
+            raise AssertionError(
+                f"segment {self.index}: partition {total} != nbytes {self.nbytes}"
+            )
+
+
+@dataclass
+class BackupReport:
+    """Per-backup result: dedup accounting, simulated time, the recipe.
+
+    Ground-truth fields (``true_dup_bytes`` etc.) are filled in by the
+    pipeline's oracle, not by engines.
+    """
+
+    generation: int
+    label: str
+    n_chunks: int
+    logical_bytes: int
+    written_new_bytes: int
+    removed_dup_bytes: int
+    rewritten_dup_bytes: int
+    elapsed_seconds: float
+    recipe: BackupRecipe
+    disk_delta: DiskStats
+    segments: List[SegmentOutcome] = field(default_factory=list)
+    # oracle-provided ground truth
+    true_dup_bytes: Optional[int] = None
+    seg_true_dup_bytes: Optional[List[int]] = None
+    seg_fully_dup: Optional[List[bool]] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Simulated ingest rate, bytes/second."""
+        return self.logical_bytes / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def stored_bytes(self) -> int:
+        return self.written_new_bytes + self.rewritten_dup_bytes
+
+    @property
+    def dedup_ratio(self) -> float:
+        """logical / stored for this backup alone (1.0 == no savings)."""
+        stored = self.stored_bytes
+        return self.logical_bytes / stored if stored else float("inf")
+
+    @property
+    def missed_dup_bytes(self) -> Optional[int]:
+        """True duplicates the engine stored as new (None before the
+        oracle runs). DeFrag's intentional rewrites are *not* misses."""
+        if self.true_dup_bytes is None:
+            return None
+        return self.true_dup_bytes - self.removed_dup_bytes - self.rewritten_dup_bytes
+
+    @property
+    def efficiency(self) -> Optional[float]:
+        """The paper's deduplication-efficiency metric: redundant data
+        removed divided by redundant data actually existing (Fig. 3)."""
+        if self.true_dup_bytes is None:
+            return None
+        if self.true_dup_bytes == 0:
+            return 1.0
+        return self.removed_dup_bytes / self.true_dup_bytes
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        eff = self.efficiency
+        eff_s = f", eff={eff:.3f}" if eff is not None else ""
+        return (
+            f"gen {self.generation:>3} [{self.label}] "
+            f"{self.logical_bytes / MIB:8.1f} MiB in {self.elapsed_seconds:7.3f} s "
+            f"-> {format_rate(self.throughput)}{eff_s}"
+        )
+
+
+@dataclass
+class EngineResources:
+    """The shared substrate an engine runs on: one disk, one container
+    store, one on-disk index sized for the workload."""
+
+    disk: DiskModel
+    store: ContainerStore
+    index: DiskChunkIndex
+
+    @classmethod
+    def create(
+        cls,
+        profile=None,
+        container_bytes: int = 4 * MIB,
+        expected_entries: int = 4_000_000,
+        index_page_cache_pages: int = 256,
+    ) -> "EngineResources":
+        """Convenience constructor wiring a fresh disk/store/index."""
+        from repro.storage.disk import HDD_2012
+
+        disk = DiskModel(profile=profile if profile is not None else HDD_2012)
+        store = ContainerStore(disk, container_bytes=container_bytes)
+        index = DiskChunkIndex(
+            disk,
+            expected_entries=expected_entries,
+            page_cache_pages=index_page_cache_pages,
+        )
+        return cls(disk=disk, store=store, index=index)
+
+
+class DedupEngine(abc.ABC):
+    """Common engine skeleton: backup lifecycle + shared meters.
+
+    Subclasses implement :meth:`_process_segment`.
+    """
+
+    def __init__(self, resources: EngineResources, cost: Optional[CostModel] = None) -> None:
+        self.res = resources
+        self.cost = cost if cost is not None else CostModel()
+        self._recipe: Optional[RecipeBuilder] = None
+        self._outcomes: List[SegmentOutcome] = []
+        self._backup_t0 = 0.0
+        self._disk_t0: Optional[DiskStats] = None
+        self._generation = -1
+        self._label = ""
+
+    # -- lifecycle ------------------------------------------------------
+
+    def begin_backup(self, generation: int, label: str = "") -> None:
+        """Start ingesting one backup stream."""
+        if self._recipe is not None:
+            raise RuntimeError("previous backup not finished (call end_backup)")
+        self._generation = int(generation)
+        self._label = label
+        self._recipe = RecipeBuilder(generation, label)
+        self._outcomes = []
+        self._backup_t0 = self.res.disk.clock.now
+        self._disk_t0 = self.res.disk.stats.snapshot()
+        self._on_begin_backup()
+
+    def process_segment(self, segment: Segment) -> SegmentOutcome:
+        """Ingest one segment: charge CPU, classify chunks, write data."""
+        if self._recipe is None:
+            raise RuntimeError("call begin_backup first")
+        self.res.disk.clock.advance(
+            self.cost.segment_cpu_seconds(segment.nbytes, segment.n_chunks)
+        )
+        outcome = self._process_segment(segment)
+        outcome.check_partition()
+        self._outcomes.append(outcome)
+        return outcome
+
+    def end_backup(self) -> BackupReport:
+        """Finish the stream: flush the open container, build the report."""
+        if self._recipe is None or self._disk_t0 is None:
+            raise RuntimeError("call begin_backup first")
+        self._on_end_backup()
+        self.res.store.flush()
+        recipe = self._recipe.finalize()
+        elapsed = self.res.disk.clock.now - self._backup_t0
+        report = BackupReport(
+            generation=self._generation,
+            label=self._label,
+            n_chunks=recipe.n_chunks,
+            logical_bytes=recipe.total_bytes,
+            written_new_bytes=sum(o.written_new for o in self._outcomes),
+            removed_dup_bytes=sum(o.removed_dup for o in self._outcomes),
+            rewritten_dup_bytes=sum(o.rewritten_dup for o in self._outcomes),
+            elapsed_seconds=elapsed,
+            recipe=recipe,
+            disk_delta=self.res.disk.stats.delta_since(self._disk_t0),
+            segments=self._outcomes,
+        )
+        report.extras.update(self._collect_extras())
+        self._recipe = None
+        self._disk_t0 = None
+        return report
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _on_begin_backup(self) -> None:
+        """Per-stream state reset hook (optional)."""
+
+    def _on_end_backup(self) -> None:
+        """Pre-flush hook (optional)."""
+
+    def _collect_extras(self) -> Dict[str, float]:
+        """Engine-specific per-backup metrics merged into the report's
+        ``extras`` (optional)."""
+        return {}
+
+    @abc.abstractmethod
+    def _process_segment(self, segment: Segment) -> SegmentOutcome:
+        """Classify and store one segment; return its outcome."""
+
+    # -- shared helpers ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Engine display name."""
+        return type(self).__name__.replace("Engine", "")

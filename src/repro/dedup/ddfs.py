@@ -1,0 +1,175 @@
+"""DDFS-like engine (Zhu et al., FAST'08).
+
+Per-chunk decision ladder, each rung cheaper than the next:
+
+1. **Prefetch cache** (RAM) — fingerprint covered by a previously
+   prefetched container's metadata: duplicate, zero disk cost.
+2. **Current-stream buffer** (RAM) — fingerprint written earlier in this
+   very backup (new fingerprints are buffered before the batched index
+   merge, as DDFS does): duplicate against the in-flight copy.
+3. **Summary vector** (bloom, RAM) — not present: definitely new, write
+   it; no disk touched.
+4. **On-disk index** — bloom said maybe: one bucket page fault (unless
+   the page cache holds it). Hit ⇒ duplicate; *prefetch the whole
+   metadata section of the container that holds it* (one more seek +
+   transfer) betting on duplicate locality. Miss ⇒ bloom false positive,
+   write as new.
+
+The throughput decay of Fig. 2 is emergent: as stored placement
+de-linearizes across generations, each prefetched container covers fewer
+upcoming duplicates, so rung 4 — the expensive one — fires more often
+per MB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro._util import check_positive
+from repro.dedup.base import CostModel, DedupEngine, EngineResources, SegmentOutcome
+from repro.index.bloom import BloomFilter
+from repro.index.cache import FingerprintPrefetchCache
+from repro.index.full_index import ChunkLocation
+from repro.segmenting.segmenter import Segment
+
+
+class DDFSEngine(DedupEngine):
+    """Exact deduplication with bloom + locality-preserved caching.
+
+    Args:
+        resources: shared disk/store/index substrate.
+        cost: CPU cost model.
+        bloom_capacity: summary-vector sizing (total unique chunks
+            expected over the experiment's lifetime).
+        bloom_fp_rate: summary-vector false-positive rate.
+        cache_containers: prefetch-cache capacity, in container metadata
+            sections (DDFS-scale default: 256 sections ≈ 1 GiB of
+            payload coverage).
+        prefetch_ahead: container metadata sections fetched per index hit.
+            The container log is physically sequential ("stream-informed
+            segment layout"), so one positioning streams the hit
+            container's metadata plus the next ``prefetch_ahead - 1``
+            sections — the read-ahead real DDFS relies on. 1 disables it.
+    """
+
+    def __init__(
+        self,
+        resources: EngineResources,
+        cost: Optional[CostModel] = None,
+        *,
+        bloom_capacity: int = 4_000_000,
+        bloom_fp_rate: float = 0.01,
+        cache_containers: int = 256,
+        prefetch_ahead: int = 4,
+    ) -> None:
+        super().__init__(resources, cost)
+        check_positive("cache_containers", cache_containers)
+        check_positive("prefetch_ahead", prefetch_ahead)
+        self.prefetch_ahead = int(prefetch_ahead)
+        self.bloom = BloomFilter(bloom_capacity, bloom_fp_rate)
+        self.cache = FingerprintPrefetchCache(cache_containers)
+        # fingerprints written during the current backup, buffered in RAM
+        # ahead of the batched index merge: fp -> (cid, sid)
+        self._stream_new: Dict[int, ChunkLocation] = {}
+        self._next_sid = 0
+        self._cache_t0 = (0, 0)
+        self._index_t0 = (0, 0)
+
+    # ------------------------------------------------------------------
+
+    def _on_begin_backup(self) -> None:
+        self._stream_new = {}
+        self._cache_t0 = (self.cache.stats.hits, self.cache.stats.units_inserted)
+        self._index_t0 = (self.res.index.stats.lookups, self.res.index.stats.page_faults)
+
+    def _collect_extras(self) -> dict:
+        hits0, units0 = self._cache_t0
+        lookups0, faults0 = self._index_t0
+        hits = self.cache.stats.hits - hits0
+        units = self.cache.stats.units_inserted - units0
+        return {
+            "cache_hits": float(hits),
+            "prefetches": float(units),
+            # the direct duplicate-locality observable: RAM hits bought
+            # per container-metadata prefetch (decays as placement
+            # de-linearizes — the paper's Fig. 2 mechanism)
+            "hits_per_prefetch": hits / units if units else float(hits),
+            "index_lookups": float(self.res.index.stats.lookups - lookups0),
+            "index_faults": float(self.res.index.stats.page_faults - faults0),
+        }
+
+    def _allocate_sid(self) -> int:
+        sid = self._next_sid
+        self._next_sid += 1
+        return sid
+
+    def _write_new_chunk(self, fp: int, size: int, sid: int) -> int:
+        """Append a new unique chunk; returns its container id."""
+        cid = self.res.store.append(fp, size)
+        loc = ChunkLocation(cid, sid)
+        self.res.index.insert(fp, loc)
+        self._stream_new[fp] = loc
+        self.bloom.add(fp)
+        return cid
+
+    def _resolve_duplicate(self, fp: int) -> Optional[ChunkLocation]:
+        """The decision ladder for a possibly-duplicate chunk. Returns the
+        stored location, or None if the chunk is new. Charges all disk
+        costs (index fault, metadata prefetch) as they occur."""
+        # rung 1: prefetch cache
+        cached_cid = self.cache.lookup(fp)
+        if cached_cid is not None:
+            loc = self.res.index.peek(fp)
+            # container metadata also records the segment id; peek is the
+            # bookkeeping equivalent and charges nothing
+            return loc if loc is not None else ChunkLocation(cached_cid, -1)
+        # rung 2: current-stream buffer
+        loc = self._stream_new.get(fp)
+        if loc is not None:
+            return loc
+        # rung 3: summary vector
+        if fp not in self.bloom:
+            return None
+        # rung 4: on-disk index (+ locality prefetch on a hit)
+        loc = self.res.index.lookup(fp)
+        if loc is None:
+            return None  # bloom false positive
+        self._prefetch_containers(loc.cid)
+        return loc
+
+    def _prefetch_containers(self, cid: int) -> None:
+        """Locality prefetch with sequential read-ahead: one positioning,
+        then the metadata sections of ``cid`` and its physical successors
+        stream in order."""
+        store = self.res.store
+        run = [c for c in range(cid, cid + self.prefetch_ahead) if store.has(c)]
+        if not run:
+            return
+        # one seek for the run, sequential transfer for every section
+        first = True
+        for c in run:
+            sealed = store.get(c)
+            self.res.disk.read(sealed.metadata_bytes, seeks=1 if first else 0)
+            store.stats.meta_prefetches += 1
+            first = False
+            self.cache.insert_unit(c, sealed.fingerprints)
+
+    def _process_segment(self, segment: Segment) -> SegmentOutcome:
+        outcome = SegmentOutcome(
+            index=segment.index, n_chunks=segment.n_chunks, nbytes=segment.nbytes
+        )
+        assert self._recipe is not None
+        sid = self._allocate_sid()
+        recipe = self._recipe
+        for fp, size in zip(segment.fps, segment.sizes):
+            fp = int(fp)
+            size = int(size)
+            loc = self._resolve_duplicate(fp)
+            if loc is None:
+                cid = self._write_new_chunk(fp, size, sid)
+                outcome.written_new += size
+                recipe.add(fp, size, cid)
+            else:
+                outcome.removed_dup += size
+                recipe.add(fp, size, loc.cid)
+        return outcome

@@ -1,0 +1,56 @@
+"""The naive full-index baseline.
+
+Every chunk consults the on-disk chunk index — no summary vector, no
+locality prefetching. Deduplication is exact, but almost every lookup is
+a random bucket-page read: the undiluted "disk bottleneck" of the
+paper's introduction and of DDFS's motivation. Useful as the lower bound
+in throughput comparisons and as the correctness oracle for dedup ratios
+(it removes every detectable duplicate, like DDFS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dedup.base import CostModel, DedupEngine, EngineResources, SegmentOutcome
+from repro.index.full_index import ChunkLocation
+from repro.segmenting.segmenter import Segment
+
+
+class ExactEngine(DedupEngine):
+    """Exact dedup via the on-disk index alone."""
+
+    def __init__(self, resources: EngineResources, cost: Optional[CostModel] = None) -> None:
+        super().__init__(resources, cost)
+        # current-stream buffer (pre-merge), as in DDFSEngine
+        self._stream_new: Dict[int, ChunkLocation] = {}
+        self._next_sid = 0
+
+    def _on_begin_backup(self) -> None:
+        self._stream_new = {}
+
+    def _process_segment(self, segment: Segment) -> SegmentOutcome:
+        outcome = SegmentOutcome(
+            index=segment.index, n_chunks=segment.n_chunks, nbytes=segment.nbytes
+        )
+        assert self._recipe is not None
+        recipe = self._recipe
+        sid = self._next_sid
+        self._next_sid += 1
+        for fp, size in zip(segment.fps, segment.sizes):
+            fp = int(fp)
+            size = int(size)
+            loc = self._stream_new.get(fp)
+            if loc is None:
+                loc = self.res.index.lookup(fp)
+            if loc is None:
+                cid = self.res.store.append(fp, size)
+                new_loc = ChunkLocation(cid, sid)
+                self.res.index.insert(fp, new_loc)
+                self._stream_new[fp] = new_loc
+                outcome.written_new += size
+                recipe.add(fp, size, cid)
+            else:
+                outcome.removed_dup += size
+                recipe.add(fp, size, loc.cid)
+        return outcome

@@ -1,0 +1,134 @@
+"""Workload driver + ground-truth redundancy oracle.
+
+The oracle tracks every fingerprint ever observed (across all streams fed
+to it) and computes, per backup and per segment, how many bytes were
+*actually* redundant — the denominator of the paper's deduplication-
+efficiency metric. Engines never see the oracle; it only annotates their
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.chunking.base import ChunkStream
+from repro.dedup.base import BackupReport, DedupEngine
+from repro.segmenting.segmenter import Segmenter
+from repro.workloads.generators import BackupJob
+
+
+class GroundTruth:
+    """Exact redundancy oracle over a sequence of streams.
+
+    Feeding order must match the engine's ingest order; the oracle treats
+    the second and later occurrences of a fingerprint (anywhere, including
+    earlier in the same stream) as redundant, exactly like a perfect
+    deduplicator with unbounded RAM.
+    """
+
+    def __init__(self) -> None:
+        self._seen = np.zeros(0, dtype=np.uint64)
+
+    @property
+    def unique_fingerprints(self) -> int:
+        return int(self._seen.size)
+
+    def observe(self, stream: ChunkStream, seg_boundaries: np.ndarray):
+        """Account one stream (segment-aligned) and absorb it.
+
+        Args:
+            stream: the logical backup stream.
+            seg_boundaries: chunk-index cuts (as from
+                :meth:`Segmenter.boundaries`) so per-segment truths align
+                with the engine's segments.
+
+        Returns:
+            ``(total_true_dup_bytes, per_segment_true_dup_bytes,
+            per_segment_fully_dup)``.
+        """
+        n = len(stream)
+        if n == 0:
+            return 0, [], []
+        fps = stream.fps
+        sizes = stream.sizes.astype(np.int64)
+        in_prev = np.isin(fps, self._seen)
+        uniq, first_idx = np.unique(fps, return_index=True)
+        is_first = np.zeros(n, dtype=bool)
+        is_first[first_idx] = True
+        dup_mask = in_prev | ~is_first
+
+        starts = np.asarray(seg_boundaries[:-1], dtype=np.int64)
+        dup_bytes = dup_mask * sizes
+        seg_dup = np.add.reduceat(dup_bytes, starts) if starts.size else np.zeros(0)
+        seg_all_dup = (
+            np.logical_and.reduceat(dup_mask, starts) if starts.size else np.zeros(0, bool)
+        )
+        self._seen = np.union1d(self._seen, uniq)
+        return (
+            int(dup_bytes.sum()),
+            [int(x) for x in seg_dup],
+            [bool(x) for x in seg_all_dup],
+        )
+
+
+def run_backup(
+    engine: DedupEngine,
+    job: BackupJob,
+    segmenter: Segmenter,
+    ground_truth: Optional[GroundTruth] = None,
+) -> BackupReport:
+    """Ingest one backup through ``engine`` and annotate ground truth."""
+    boundaries = segmenter.boundaries(job.stream)
+    segments = segmenter.split(job.stream)
+    engine.begin_backup(job.generation, job.label)
+    for segment in segments:
+        engine.process_segment(segment)
+    report = engine.end_backup()
+    if ground_truth is not None:
+        total, per_seg, fully = ground_truth.observe(job.stream, boundaries)
+        report.true_dup_bytes = total
+        report.seg_true_dup_bytes = per_seg
+        report.seg_fully_dup = fully
+    return report
+
+
+def ingest_bytes(
+    engine: DedupEngine,
+    data: bytes,
+    chunker,
+    segmenter: Segmenter,
+    *,
+    generation: int = 0,
+    label: str = "bytes",
+    ground_truth: Optional[GroundTruth] = None,
+) -> BackupReport:
+    """Convenience: chunk raw bytes and ingest them as one backup.
+
+    The full byte-level path (CDC -> fingerprints -> segments -> engine);
+    equivalent to ``run_backup(engine, BackupJob(gen, label,
+    chunker.chunk(data)), segmenter)``.
+    """
+    stream = chunker.chunk(data)
+    job = BackupJob(generation=generation, label=label, stream=stream)
+    return run_backup(engine, job, segmenter, ground_truth)
+
+
+def run_workload(
+    engine: DedupEngine,
+    jobs: Iterable[BackupJob],
+    segmenter: Segmenter,
+    *,
+    with_ground_truth: bool = True,
+    progress: Optional[Callable[[BackupReport], None]] = None,
+) -> List[BackupReport]:
+    """Ingest a whole workload; returns one report per backup."""
+    gt = GroundTruth() if with_ground_truth else None
+    reports: List[BackupReport] = []
+    for job in jobs:
+        report = run_backup(engine, job, segmenter, gt)
+        reports.append(report)
+        if progress is not None:
+            progress(report)
+    return reports

@@ -1,0 +1,42 @@
+"""Experiment harnesses: one runner per paper figure, plus ablations.
+
+Every figure in the paper's evaluation has a module here that regenerates
+its series on the simulated substrate:
+
+* :mod:`~repro.experiments.fig2` — DDFS-like throughput decay, 20 full
+  generations.
+* :mod:`~repro.experiments.fig3` — SiLo-like efficiency decay, 20
+  incremental generations.
+* :mod:`~repro.experiments.fig4` — throughput: DeFrag vs DDFS-like vs
+  SiLo-like, 66 generations.
+* :mod:`~repro.experiments.fig5` — efficiency: DeFrag vs SiLo-like
+  (partial-sharing-segment accounting), 66 generations.
+* :mod:`~repro.experiments.fig6` — restore read performance: DeFrag vs
+  DDFS-like, generations 1–20.
+* :mod:`~repro.experiments.ablations` — α sweep, segmenter, and cache
+  sizing studies.
+
+All runners take an :class:`~repro.experiments.config.ExperimentConfig`
+(scales: ``small`` for tests, ``default`` for the recorded results,
+``large`` for patient runs) and return a
+:class:`~repro.experiments.common.FigureResult` with the same series the
+paper plots.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.common import FigureResult, build_engine, build_resources
+from repro.experiments import fig2, fig3, fig4, fig5, fig6, ablations, extensions
+
+__all__ = [
+    "ExperimentConfig",
+    "FigureResult",
+    "build_engine",
+    "build_resources",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ablations",
+    "extensions",
+]

@@ -1,0 +1,182 @@
+"""Shared experiment plumbing: engine builders, result container, memo.
+
+Figures 4/5/6 consume the same three engine runs over the 66-generation
+group workload; :func:`run_group_workload` memoizes those runs per
+config so the figure harnesses stay independent without triplicating
+minutes of simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.defrag import DeFragEngine
+from repro.core.policy import SPLThresholdPolicy
+from repro.dedup.base import BackupReport, DedupEngine, EngineResources
+from repro.dedup.ddfs import DDFSEngine
+from repro.dedup.exact import ExactEngine
+from repro.dedup.idedup import IDedupEngine
+from repro.dedup.pipeline import run_workload
+from repro.dedup.silo import SiLoEngine
+from repro.dedup.sparse import SparseIndexEngine
+from repro.experiments.config import ExperimentConfig
+from repro.segmenting.segmenter import ContentDefinedSegmenter
+from repro.workloads.generators import group_fs_66
+
+
+#: Engine display names used across all figures (matching the paper's
+#: legends: "DDFS-Like", "SiLo-Like", and the DeFrag contribution), plus
+#: the extended related-work baselines ("iDedup", "SparseIndex").
+ENGINE_NAMES = ("DeFrag", "DDFS-Like", "SiLo-Like", "Exact", "iDedup", "SparseIndex")
+
+
+def build_resources(config: ExperimentConfig) -> EngineResources:
+    """A fresh disk/store/index wired per the config."""
+    res = EngineResources.create(
+        profile=config.disk,
+        container_bytes=config.container_bytes,
+        expected_entries=config.bloom_capacity,
+        index_page_cache_pages=config.index_page_cache_pages,
+    )
+    # the container log is append-only: seals are pure sequential transfer
+    res.store.seal_seeks = 0
+    return res
+
+
+def build_engine(
+    name: str, config: ExperimentConfig, resources: Optional[EngineResources] = None
+) -> DedupEngine:
+    """Construct an engine by display name with the config's calibrated
+    parameters (a fresh resource set is created unless one is passed)."""
+    res = resources if resources is not None else build_resources(config)
+    if name == "DDFS-Like":
+        return DDFSEngine(
+            res,
+            bloom_capacity=config.bloom_capacity,
+            bloom_fp_rate=config.bloom_fp_rate,
+            cache_containers=config.cache_containers,
+            prefetch_ahead=config.prefetch_ahead,
+        )
+    if name == "SiLo-Like":
+        return SiLoEngine(
+            res,
+            block_bytes=config.silo_block_bytes,
+            cache_blocks=config.silo_cache_blocks,
+            similarity_capacity=config.silo_similarity_capacity,
+        )
+    if name == "DeFrag":
+        return DeFragEngine(
+            res,
+            policy=SPLThresholdPolicy(alpha=config.alpha),
+            bloom_capacity=config.bloom_capacity,
+            bloom_fp_rate=config.bloom_fp_rate,
+            cache_containers=config.cache_containers,
+            prefetch_ahead=config.prefetch_ahead,
+        )
+    if name == "Exact":
+        return ExactEngine(res)
+    if name == "iDedup":
+        return IDedupEngine(
+            res,
+            min_sequence=8,
+            bloom_capacity=config.bloom_capacity,
+            bloom_fp_rate=config.bloom_fp_rate,
+            cache_containers=config.cache_containers,
+            prefetch_ahead=config.prefetch_ahead,
+        )
+    if name == "SparseIndex":
+        return SparseIndexEngine(res, cache_manifests=config.silo_cache_blocks * 4)
+    raise ValueError(f"unknown engine {name!r}; pick one of {ENGINE_NAMES}")
+
+
+def paper_segmenter() -> ContentDefinedSegmenter:
+    """The paper's segment configuration: 0.5–2 MB content-defined."""
+    return ContentDefinedSegmenter()
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: x axis, named series, and provenance notes.
+
+    ``table()`` renders the same rows the paper's figure plots, ready for
+    EXPERIMENTS.md.
+    """
+
+    figure: str
+    title: str
+    x_label: str
+    x: List[int]
+    series: Dict[str, List[float]]
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def table(self, fmt: str = "{:.1f}") -> str:
+        """Aligned text table: one row per x value, one column per series."""
+        names = list(self.series)
+        widths = [max(len(n), 10) for n in names]
+        header = f"{self.x_label:>12} " + " ".join(
+            f"{n:>{w}}" for n, w in zip(names, widths)
+        )
+        lines = [f"== {self.figure}: {self.title} ==", header]
+        for i, xv in enumerate(self.x):
+            row = f"{xv:>12} " + " ".join(
+                f"{fmt.format(self.series[n][i]):>{w}}" for n, w in zip(names, widths)
+            )
+            lines.append(row)
+        for key, val in self.notes.items():
+            lines.append(f"# {key}: {val}")
+        return "\n".join(lines)
+
+    def endpoint(self, name: str) -> float:
+        """Last value of a series (the figures' headline comparisons)."""
+        return self.series[name][-1]
+
+
+# ----------------------------------------------------------------------
+# shared group-workload runs (figs 4/5/6)
+# ----------------------------------------------------------------------
+
+_GROUP_MEMO: Dict[Tuple, Dict[str, Tuple[EngineResources, List[BackupReport]]]] = {}
+
+
+def _config_key(config: ExperimentConfig) -> Tuple:
+    c = config
+    return (
+        c.seed, c.per_user_bytes, c.n_users, c.n_backups, c.alpha,
+        c.disk.name, c.container_bytes, c.cache_containers, c.prefetch_ahead,
+        c.silo_block_bytes, c.silo_cache_blocks, c.silo_similarity_capacity,
+        c.index_page_cache_pages,
+        c.bloom_capacity, c.bloom_fp_rate, c.churn_full,
+    )
+
+
+def run_group_workload(
+    config: ExperimentConfig, engines: Sequence[str] = ("DeFrag", "DDFS-Like", "SiLo-Like")
+) -> Dict[str, Tuple[EngineResources, List[BackupReport]]]:
+    """Run the 66-generation group workload through the named engines.
+
+    Results (resources + reports, keeping the stores alive for restores)
+    are memoized per config so figs 4/5/6 share one set of runs.
+    """
+    key = _config_key(config)
+    cached = _GROUP_MEMO.setdefault(key, {})
+    for name in engines:
+        if name in cached:
+            continue
+        res = build_resources(config)
+        engine = build_engine(name, config, res)
+        jobs = group_fs_66(
+            per_user_bytes=config.per_user_bytes,
+            seed=config.seed,
+            n_users=config.n_users,
+            n_backups=config.n_backups,
+            churn=config.churn_full,
+        )
+        reports = run_workload(engine, jobs, paper_segmenter())
+        cached[name] = (res, reports)
+    return {name: cached[name] for name in engines}
+
+
+def clear_memo() -> None:
+    """Drop memoized group runs (tests use this to bound memory)."""
+    _GROUP_MEMO.clear()

@@ -1,0 +1,144 @@
+"""Experiment configuration: scaling knobs and calibrated defaults.
+
+The paper's datasets are hundreds of GB; the simulation reproduces their
+*redundancy structure* at adjustable scale. Cache capacities are the one
+thing that must scale with the data (a cache that covers the whole store
+hides every locality effect), so the config owns them alongside the
+workload sizes.
+
+Calibration notes (see EXPERIMENTS.md for measured outcomes):
+
+* disk: 8 ms positioning / 300 MB/s streaming — a circa-2012 backup
+  appliance's RAID; makes generation-1 ingest land near the paper's
+  ~200 MB/s scale.
+* DDFS prefetch cache: 12 container sections against a ≥16-container
+  working set per generation — same "cache ≪ store" regime as the real
+  647 GB vs ~1 GiB cache setup.
+* churn: ~5% of files edited per full-backup generation inside a stable
+  30% hot set; incremental runs use heavier churn so incrementals have
+  realistic volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro._util import MIB
+from repro.storage.disk import DiskProfile
+from repro.workloads.fs_model import ChurnProfile
+
+#: The simulated backup appliance disk used by all recorded experiments.
+APPLIANCE_2012 = DiskProfile(name="appliance-2012", seek_time_s=8e-3, seq_bandwidth=300e6)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of a figure run.
+
+    Attributes:
+        seed: workload determinism seed.
+        fs_bytes: single-user FS size (Fig. 2/3 workloads).
+        n_generations: generations for the 20-generation figures.
+        per_user_bytes: per-student FS size (Fig. 4/5/6 workload).
+        n_users / n_backups: group workload shape (5 users, 66 backups).
+        alpha: DeFrag's SPL threshold (paper: 0.1).
+        disk: disk profile.
+        container_bytes: container payload capacity (DDFS-style 4 MiB).
+        cache_containers: DDFS/DeFrag prefetch-cache capacity.
+        silo_block_bytes / silo_cache_blocks: SiLo block sizing.
+        silo_similarity_capacity: SiLo's bounded RAM similarity-index
+            size in representatives (its fixed RAM budget, scaled to the
+            simulated data size the way SiLo's RAM scales to real TBs).
+        prefetch_ahead: container metadata sections streamed per index
+            hit (DDFS read-ahead on the sequential container log).
+        index_page_cache_pages: RAM page cache of the on-disk index.
+        bloom_capacity / bloom_fp_rate: summary-vector sizing.
+        restore_cache_containers: restore reader's container cache.
+        churn_full / churn_incremental: churn profiles per workload kind.
+        incremental_file_bytes: avg file size for the incremental
+            workload (larger files keep segment reps stable, as real
+            mailbox/log-style data does).
+    """
+
+    seed: int = 2012
+    fs_bytes: int = 128 * MIB
+    n_generations: int = 20
+    per_user_bytes: int = 96 * MIB
+    n_users: int = 5
+    n_backups: int = 66
+    alpha: float = 0.1
+    disk: DiskProfile = APPLIANCE_2012
+    container_bytes: int = 4 * MIB
+    cache_containers: int = 24
+    prefetch_ahead: int = 4
+    silo_block_bytes: int = 8 * MIB
+    silo_cache_blocks: int = 8
+    silo_similarity_capacity: int = 448
+    index_page_cache_pages: int = 16
+    bloom_capacity: int = 4_000_000
+    bloom_fp_rate: float = 0.01
+    restore_cache_containers: int = 8
+    churn_full: ChurnProfile = field(
+        default_factory=lambda: ChurnProfile(
+            modify_frac=0.06,
+            edits_per_file_mean=6.0,
+            edit_run_mean=1.3,
+            hot_fraction=0.3,
+            file_move_frac=0.04,
+        )
+    )
+    churn_incremental: ChurnProfile = field(
+        default_factory=lambda: ChurnProfile(
+            modify_frac=0.10,
+            edits_per_file_mean=4.0,
+            hot_fraction=0.3,
+            file_move_frac=0.04,
+        )
+    )
+    incremental_file_bytes: int = 2 * MIB
+
+    # -- scale presets --------------------------------------------------
+
+    @classmethod
+    def small(cls) -> "ExperimentConfig":
+        """Seconds-fast scale for tests and CI (cache ratios preserved)."""
+        return cls(
+            fs_bytes=16 * MIB,
+            n_generations=8,
+            per_user_bytes=12 * MIB,
+            n_backups=15,
+            cache_containers=4,
+            prefetch_ahead=2,
+            silo_cache_blocks=3,
+            silo_similarity_capacity=56,
+            restore_cache_containers=4,
+        )
+
+    @classmethod
+    def default(cls) -> "ExperimentConfig":
+        """The recorded scale (EXPERIMENTS.md numbers)."""
+        return cls()
+
+    @classmethod
+    def large(cls) -> "ExperimentConfig":
+        """Patient scale: ~3x data per user, same cache *ratios*."""
+        return cls(
+            fs_bytes=384 * MIB,
+            per_user_bytes=256 * MIB,
+            cache_containers=64,
+            silo_cache_blocks=24,
+            silo_similarity_capacity=1200,
+            restore_cache_containers=24,
+        )
+
+    @classmethod
+    def by_name(cls, name: str) -> "ExperimentConfig":
+        """Resolve a preset by name ('small' | 'default' | 'large')."""
+        presets = {"small": cls.small, "default": cls.default, "large": cls.large}
+        if name not in presets:
+            raise ValueError(f"unknown scale {name!r}; pick one of {sorted(presets)}")
+        return presets[name]()
+
+    def with_(self, **changes) -> "ExperimentConfig":
+        """Dataclass replace, fluently."""
+        return replace(self, **changes)

@@ -1,0 +1,64 @@
+"""Fig. 3 — degradation of SiLo-like deduplication efficiency.
+
+Paper: over ~20 incremental backup generations, SiLo's deduplication
+efficiency (redundant data removed / redundant data existing) declines
+toward ~0.88 because duplicate locality weakens: more of a segment's
+duplicates live outside the similar blocks SiLo fetches.
+
+The harness ingests the scaled ``author_fs_20_incremental`` workload
+through the SiLo-like engine and reports per-generation efficiency, the
+cumulative efficiency, and the mechanism observable (cache hits per
+fetched block).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dedup.pipeline import run_workload
+from repro.experiments.common import FigureResult, build_engine, build_resources, paper_segmenter
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.efficiency import cumulative_efficiency, efficiency_series
+from repro.metrics.fragmentation import locality_series
+from repro.workloads.generators import author_fs_20_incremental
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Fig. 3's series."""
+    config = config if config is not None else ExperimentConfig.default()
+    res = build_resources(config)
+    engine = build_engine("SiLo-Like", config, res)
+    jobs = author_fs_20_incremental(
+        fs_bytes=config.fs_bytes,
+        seed=config.seed,
+        n_generations=config.n_generations,
+        churn=config.churn_incremental,
+        avg_file_bytes=config.incremental_file_bytes,
+    )
+    reports = run_workload(engine, jobs, paper_segmenter())
+    eff = efficiency_series(reports)
+    cum = cumulative_efficiency(reports)
+    return FigureResult(
+        figure="Fig3",
+        title="Degradation of deduplication efficiency (SiLo-Like)",
+        x_label="generation",
+        x=[r.generation + 1 for r in reports],
+        series={
+            "efficiency": eff,
+            "cumulative": cum,
+            "hits/fetch": locality_series(reports),
+        },
+        notes={
+            "paper": "efficiency decays toward ~0.88 by generation 20",
+            "claim": "SiLo misses grow as duplicates scatter outside similar blocks",
+            "endpoint_cumulative": f"{cum[-1]:.3f}",
+        },
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().table(fmt="{:.3f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

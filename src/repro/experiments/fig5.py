@@ -1,0 +1,59 @@
+"""Fig. 5 — deduplication efficiency: DeFrag vs SiLo-Like.
+
+Paper: both keep some redundancy (DeFrag by α-rewrites, SiLo by missed
+detections). Counting only segments that share *part* of their redundant
+chunks (fully duplicate segments removed by both are excluded), SiLo has
+~12% of the redundant data not removed by generation 66 while DeFrag has
+only ~4% — DeFrag buys its locality much more cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import FigureResult, run_group_workload
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.efficiency import partial_segment_efficiency
+
+
+def _kept_series(reports) -> list:
+    """Cumulative kept-redundancy fraction under Fig. 5 accounting.
+
+    For DeFrag "kept" counts rewritten bytes (intentional); for SiLo it
+    counts missed bytes — both are redundancy left on disk.
+    """
+    eff = partial_segment_efficiency(reports, cumulative=True)
+    return [1.0 - e for e in eff]
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Fig. 5's series."""
+    config = config if config is not None else ExperimentConfig.default()
+    runs = run_group_workload(config, ("DeFrag", "SiLo-Like"))
+    defrag_reports = runs["DeFrag"][1]
+    silo_reports = runs["SiLo-Like"][1]
+    defrag_eff = partial_segment_efficiency(defrag_reports, cumulative=True)
+    silo_eff = partial_segment_efficiency(silo_reports, cumulative=True)
+    return FigureResult(
+        figure="Fig5",
+        title="Deduplication efficiency comparison (partial-sharing segments)",
+        x_label="generation",
+        x=[r.generation + 1 for r in defrag_reports],
+        series={
+            "DeFrag": defrag_eff,
+            "SiLo-Like": silo_eff,
+        },
+        notes={
+            "paper": "at gen 66: SiLo keeps ~12% of redundancy, DeFrag only ~4%",
+            "kept_at_end": "DeFrag=%.1f%% SiLo=%.1f%%"
+            % (100 * (1 - defrag_eff[-1]), 100 * (1 - silo_eff[-1])),
+        },
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().table(fmt="{:.3f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

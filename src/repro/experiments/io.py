@@ -1,0 +1,57 @@
+"""Persisting figure results: JSON and CSV writers + loader.
+
+Lets experiment runs be archived and diffed across code versions
+(EXPERIMENTS.md's tables are regenerated from these files), and feeds
+external plotting tools without adding a plotting dependency here.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.common import FigureResult
+
+PathLike = Union[str, Path]
+
+
+def save_json(result: FigureResult, path: PathLike) -> Path:
+    """Write a figure result as a self-describing JSON document."""
+    path = Path(path)
+    payload = {
+        "figure": result.figure,
+        "title": result.title,
+        "x_label": result.x_label,
+        "x": list(result.x),
+        "series": {name: list(values) for name, values in result.series.items()},
+        "notes": dict(result.notes),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: PathLike) -> FigureResult:
+    """Read a figure result written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text())
+    return FigureResult(
+        figure=payload["figure"],
+        title=payload["title"],
+        x_label=payload["x_label"],
+        x=[int(v) for v in payload["x"]],
+        series={k: [float(v) for v in vals] for k, vals in payload["series"].items()},
+        notes={str(k): str(v) for k, v in payload["notes"].items()},
+    )
+
+
+def save_csv(result: FigureResult, path: PathLike) -> Path:
+    """Write the series as a CSV table (one row per x value)."""
+    path = Path(path)
+    names = list(result.series)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([result.x_label] + names)
+        for i, xv in enumerate(result.x):
+            writer.writerow([xv] + [result.series[n][i] for n in names])
+    return path

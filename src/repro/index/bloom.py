@@ -1,0 +1,112 @@
+"""Bloom filter ("summary vector" in DDFS).
+
+A RAM bit array that answers "definitely new" / "possibly seen" for chunk
+fingerprints, letting the engine skip the on-disk index for the common
+new-chunk case. Implemented over a numpy uint64 word array with
+double-hashing (Kirsch–Mitzenmacher): k probe positions derived from two
+independent 64-bit mixes of the fingerprint. All operations come in
+scalar and vectorized (array) forms.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import check_fraction, check_positive
+from repro.chunking.fingerprint import splitmix64_array
+
+_U64 = np.uint64
+
+
+class BloomFilter:
+    """Bloom filter sized for ``capacity`` entries at ``fp_rate``.
+
+    Attributes:
+        n_bits: bit-array width.
+        n_hashes: probes per key.
+        n_added: keys inserted so far.
+    """
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01) -> None:
+        check_positive("capacity", capacity)
+        check_fraction("fp_rate", fp_rate)
+        if fp_rate in (0.0, 1.0):
+            raise ValueError("fp_rate must be strictly inside (0, 1)")
+        self.capacity = int(capacity)
+        self.fp_rate = float(fp_rate)
+        ln2 = math.log(2.0)
+        n_bits = max(64, int(math.ceil(-capacity * math.log(fp_rate) / (ln2 * ln2))))
+        self.n_bits = n_bits
+        self.n_hashes = max(1, int(round((n_bits / capacity) * ln2)))
+        self._words = np.zeros((n_bits + 63) // 64, dtype=np.uint64)
+        self.n_added = 0
+
+    # -- hashing --------------------------------------------------------
+
+    def _positions(self, fps: np.ndarray) -> np.ndarray:
+        """(n, k) array of bit positions for each fingerprint."""
+        fps = np.asarray(fps, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            h1 = splitmix64_array(fps ^ _U64(0xA5A5A5A5A5A5A5A5))
+            h2 = splitmix64_array(fps ^ _U64(0x5EED5EED5EED5EED)) | _U64(1)
+            ks = np.arange(self.n_hashes, dtype=np.uint64)
+            probes = h1[:, None] + ks[None, :] * h2[:, None]
+        return (probes % _U64(self.n_bits)).astype(np.uint64)
+
+    # -- scalar API -----------------------------------------------------
+
+    def add(self, fp: int) -> None:
+        """Insert one fingerprint."""
+        self.add_many(np.asarray([fp], dtype=np.uint64))
+
+    def __contains__(self, fp: int) -> bool:
+        return bool(self.contains_many(np.asarray([fp], dtype=np.uint64))[0])
+
+    # -- vectorized API ---------------------------------------------------
+
+    def add_many(self, fps: np.ndarray) -> None:
+        """Insert an array of fingerprints."""
+        fps = np.asarray(fps, dtype=np.uint64)
+        if fps.size == 0:
+            return
+        pos = self._positions(fps).ravel()
+        words = (pos >> _U64(6)).astype(np.int64)
+        bits = _U64(1) << (pos & _U64(63))
+        np.bitwise_or.at(self._words, words, bits)
+        self.n_added += int(fps.size)
+
+    def contains_many(self, fps: np.ndarray) -> np.ndarray:
+        """Boolean membership array for ``fps``."""
+        fps = np.asarray(fps, dtype=np.uint64)
+        if fps.size == 0:
+            return np.zeros(0, dtype=bool)
+        pos = self._positions(fps)
+        words = (pos >> _U64(6)).astype(np.int64)
+        bits = _U64(1) << (pos & _U64(63))
+        hit = (self._words[words] & bits) != 0
+        return hit.all(axis=1)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set."""
+        set_bits = int(np.unpackbits(self._words.view(np.uint8)).sum())
+        return set_bits / self.n_bits
+
+    def expected_fp_rate(self) -> float:
+        """Theoretical false-positive rate at the current load."""
+        return (1.0 - math.exp(-self.n_hashes * self.n_added / self.n_bits)) ** self.n_hashes
+
+    @property
+    def ram_bytes(self) -> int:
+        """RAM footprint of the bit array."""
+        return int(self._words.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BloomFilter(capacity={self.capacity}, bits={self.n_bits}, "
+            f"k={self.n_hashes}, added={self.n_added})"
+        )

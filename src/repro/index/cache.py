@@ -1,0 +1,147 @@
+"""RAM caches: a generic LRU and the locality-preserving prefetch cache.
+
+``FingerprintPrefetchCache`` is the mechanism the paper's throughput
+argument revolves around: on an on-disk index hit, DDFS prefetches the
+*whole metadata section* of the container holding the duplicate, betting
+that the following stream chunks are duplicates stored nearby. When
+placement de-linearizes, that bet pays off less and less — each prefetch
+serves fewer subsequent chunks, page faults multiply, throughput falls
+(Fig. 2). The cache makes that effect measurable: it reports hits per
+inserted unit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, Optional
+
+import numpy as np
+
+from repro._util import check_positive
+
+
+class LRUCache:
+    """Minimal LRU map with a fixed entry capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (refreshing recency) or None."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite, evicting the least recently used entry."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass
+class PrefetchCacheStats:
+    """Hit/miss accounting for the prefetch cache."""
+
+    lookups: int = 0
+    hits: int = 0
+    units_inserted: int = 0
+    units_evicted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def hits_per_unit(self) -> float:
+        """Average RAM hits bought by one prefetched unit — the direct
+        measure of duplicate locality the paper discusses."""
+        return self.hits / self.units_inserted if self.units_inserted else 0.0
+
+
+class FingerprintPrefetchCache:
+    """LRU cache of prefetched metadata *units* (containers or blocks).
+
+    A unit is an id plus the array of fingerprints it holds. Lookups map a
+    fingerprint to the unit that supplied it (refreshing that unit's
+    recency); inserting past capacity evicts whole units and their
+    fingerprints.
+
+    Args:
+        capacity_units: number of units held (DDFS caches on the order of
+            hundreds of container metadata sections).
+    """
+
+    def __init__(self, capacity_units: int) -> None:
+        check_positive("capacity_units", capacity_units)
+        self.capacity_units = int(capacity_units)
+        self._units: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._fp_to_unit: Dict[int, int] = {}
+        self.stats = PrefetchCacheStats()
+
+    def __contains__(self, fp: int) -> bool:
+        return int(fp) in self._fp_to_unit
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def lookup(self, fp: int) -> Optional[int]:
+        """Return the unit id whose prefetch covers ``fp``, or None."""
+        self.stats.lookups += 1
+        uid = self._fp_to_unit.get(int(fp))
+        if uid is None:
+            return None
+        self._units.move_to_end(uid)
+        self.stats.hits += 1
+        return uid
+
+    def has_unit(self, uid: int) -> bool:
+        """True if unit ``uid`` is currently cached (no recency change)."""
+        return uid in self._units
+
+    def insert_unit(self, uid: int, fps: "np.ndarray | Iterable[int]") -> None:
+        """Cache a prefetched unit, evicting LRU units past capacity."""
+        fps = np.asarray(fps, dtype=np.uint64)
+        uid = int(uid)
+        if uid in self._units:
+            # Re-prefetch of a cached unit: refresh recency AND re-register
+            # its fingerprints. A fingerprint can appear in several units'
+            # metadata (e.g. a rewritten duplicate); if a newer unit stole
+            # the mapping and was then evicted, the fingerprint would
+            # otherwise stay unreachable while this unit is still cached.
+            self._units.move_to_end(uid)
+            for fp in self._units[uid]:
+                self._fp_to_unit[int(fp)] = uid
+            return
+        self._units[uid] = fps
+        for fp in fps:
+            self._fp_to_unit[int(fp)] = uid
+        self.stats.units_inserted += 1
+        while len(self._units) > self.capacity_units:
+            old_uid, old_fps = self._units.popitem(last=False)
+            self.stats.units_evicted += 1
+            for fp in old_fps:
+                # only unmap fingerprints still attributed to the evictee
+                if self._fp_to_unit.get(int(fp)) == old_uid:
+                    del self._fp_to_unit[int(fp)]
+
+    def clear(self) -> None:
+        """Drop all cached units (e.g. between independent streams)."""
+        self._units.clear()
+        self._fp_to_unit.clear()

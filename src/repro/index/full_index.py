@@ -1,0 +1,138 @@
+"""The on-disk full chunk index.
+
+The authoritative fingerprint → location map. It is hash-bucketed on
+disk; a lookup that misses the small RAM page cache costs one random
+read (seek + bucket page transfer) — the paper's "fetch the chunk index
+from disk to RAM page by page" bottleneck.
+
+Inserts are buffered and merged in batch (as DDFS does), so they carry no
+per-chunk disk charge here; their amortized cost is folded into the
+engine's per-chunk CPU constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, NamedTuple, Optional
+
+from repro._util import KIB, check_positive
+from repro.index.cache import LRUCache
+from repro.storage.disk import DiskModel
+
+
+class ChunkLocation(NamedTuple):
+    """Where a stored chunk lives.
+
+    Attributes:
+        cid: container id holding the physical copy.
+        sid: stored-segment id the copy was written under (the identity of
+            ``Seg_k`` in the paper's SPL definition).
+    """
+
+    cid: int
+    sid: int
+
+
+@dataclass
+class IndexStats:
+    """Cumulative index-access accounting."""
+
+    lookups: int = 0
+    page_faults: int = 0
+    page_hits: int = 0
+    inserts: int = 0
+    updates: int = 0
+
+    @property
+    def fault_rate(self) -> float:
+        """Fraction of lookups that went to disk."""
+        return self.page_faults / self.lookups if self.lookups else 0.0
+
+
+class DiskChunkIndex:
+    """Hash-bucketed on-disk chunk index with a RAM page cache.
+
+    Args:
+        disk: disk model charged for bucket page faults.
+        expected_entries: sizing hint; fixes the bucket count so page ids
+            are stable for the life of the index.
+        page_bytes: bucket page size transferred per fault (default 4 KiB).
+        entry_bytes: on-disk bytes per index entry (fingerprint + location).
+        page_cache_pages: RAM page-cache capacity, in pages (0 disables).
+    """
+
+    def __init__(
+        self,
+        disk: DiskModel,
+        expected_entries: int = 1_000_000,
+        page_bytes: int = 4 * KIB,
+        entry_bytes: int = 40,
+        page_cache_pages: int = 256,
+    ) -> None:
+        check_positive("expected_entries", expected_entries)
+        check_positive("page_bytes", page_bytes)
+        check_positive("entry_bytes", entry_bytes)
+        self.disk = disk
+        self.page_bytes = int(page_bytes)
+        self.entry_bytes = int(entry_bytes)
+        entries_per_page = max(1, self.page_bytes // self.entry_bytes)
+        self.n_pages = max(1, -(-int(expected_entries) // entries_per_page))
+        self._map: Dict[int, ChunkLocation] = {}
+        self._page_cache: Optional[LRUCache] = (
+            LRUCache(page_cache_pages) if page_cache_pages > 0 else None
+        )
+        self.stats = IndexStats()
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, fp: int) -> bool:
+        """RAM-model membership check (no disk charge) — for tests and
+        oracles only; engines must use :meth:`lookup`."""
+        return int(fp) in self._map
+
+    def page_of(self, fp: int) -> int:
+        """Stable bucket page id for a fingerprint."""
+        return int(fp) % self.n_pages
+
+    def lookup(self, fp: int) -> Optional[ChunkLocation]:
+        """Authoritative lookup, charging a disk page fault unless the
+        bucket page is cached in RAM.
+
+        Note the asymmetry with a dict: a *negative* lookup (fingerprint
+        absent — e.g. a bloom false positive) costs the same page fault,
+        because absence is only proven by reading the bucket.
+        """
+        fp = int(fp)
+        self.stats.lookups += 1
+        page = self.page_of(fp)
+        if self._page_cache is not None and self._page_cache.get(page) is not None:
+            self.stats.page_hits += 1
+        else:
+            self.stats.page_faults += 1
+            self.disk.read(self.page_bytes, seeks=1)
+            if self._page_cache is not None:
+                self._page_cache.put(page, True)
+        return self._map.get(fp)
+
+    def insert(self, fp: int, location: ChunkLocation) -> None:
+        """Record a newly written chunk (batched write; no disk charge)."""
+        self._map[int(fp)] = location
+        self.stats.inserts += 1
+
+    def update(self, fp: int, location: ChunkLocation) -> None:
+        """Re-point an existing fingerprint at a fresher physical copy
+        (DeFrag's rewrite path). Batched like :meth:`insert`."""
+        self._map[int(fp)] = location
+        self.stats.updates += 1
+
+    def peek(self, fp: int) -> Optional[ChunkLocation]:
+        """Location without any disk charge (oracle/bookkeeping use)."""
+        return self._map.get(int(fp))
+
+    @property
+    def disk_bytes(self) -> int:
+        """On-disk footprint of the index."""
+        return len(self._map) * self.entry_bytes

@@ -1,0 +1,103 @@
+"""SiLo's RAM-resident similarity index.
+
+Maps a segment's representative fingerprint to the block that most
+recently stored a similar segment. SiLo's premise is a *fixed RAM
+budget*: only one representative per segment is kept, and the table has
+bounded capacity. When the stored-segment population outgrows the table,
+entries are replaced (hash-table style, i.e. effectively random victims)
+and similarity detection starts missing — the paper's "spatial locality
+gets weaker with the increasing amount of deduplicated data" applied to
+the detection path itself.
+
+An unbounded index (``capacity=None``) is supported for oracle-style
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro._util import rng_from
+
+
+@dataclass
+class SimilarityStats:
+    """Hit/miss accounting for the similarity index."""
+
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SimilarityIndex:
+    """rep-fingerprint → block id map with bounded capacity.
+
+    Newer inserts overwrite older entries with the same representative
+    (pointing at the freshest similar block); past ``capacity`` distinct
+    representatives, a random victim is replaced, modeling a fixed-size
+    hash table.
+
+    Args:
+        capacity: maximum distinct representatives held (None = unbounded).
+        seed: victim-selection determinism.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, seed: int = 2012) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be > 0 or None, got {capacity}")
+        self.capacity = capacity
+        self._map: Dict[int, int] = {}
+        self._keys: List[int] = []  # insertion-ordered keys for O(1) random eviction
+        self._key_pos: Dict[int, int] = {}
+        self._rng = rng_from(seed, "similarity-evict")
+        self.stats = SimilarityStats()
+
+    def lookup(self, rep_fp: int) -> Optional[int]:
+        """Block id of the most recent similar segment, or None."""
+        self.stats.lookups += 1
+        bid = self._map.get(int(rep_fp))
+        if bid is not None:
+            self.stats.hits += 1
+        return bid
+
+    def insert(self, rep_fp: int, bid: int) -> None:
+        """Register a stored segment's representative, evicting a random
+        victim when at capacity."""
+        rep_fp = int(rep_fp)
+        if rep_fp not in self._map and self.capacity is not None:
+            while len(self._map) >= self.capacity:
+                self._evict_random()
+        if rep_fp not in self._map:
+            self._key_pos[rep_fp] = len(self._keys)
+            self._keys.append(rep_fp)
+        self._map[rep_fp] = int(bid)
+        self.stats.inserts += 1
+
+    def _evict_random(self) -> None:
+        victim_idx = int(self._rng.integers(0, len(self._keys)))
+        victim = self._keys[victim_idx]
+        # O(1) removal: swap with last
+        last = self._keys[-1]
+        self._keys[victim_idx] = last
+        self._key_pos[last] = victim_idx
+        self._keys.pop()
+        del self._key_pos[victim]
+        del self._map[victim]
+        self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, rep_fp: int) -> bool:
+        return int(rep_fp) in self._map
+
+    @property
+    def ram_bytes(self) -> int:
+        """Approximate RAM footprint (16 B per entry: key + value)."""
+        return 16 * len(self._map)

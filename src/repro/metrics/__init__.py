@@ -1,0 +1,47 @@
+"""Evaluation metrics over backup/restore reports.
+
+These are the paper's observables, computed from engine reports:
+
+* throughput series (Fig. 2 / Fig. 4),
+* deduplication efficiency — per generation, cumulative, and with the
+  paper's Fig. 5 partial-sharing-segments accounting,
+* compression/storage accounting,
+* placement fragmentation and duplicate-locality series.
+"""
+
+from repro.metrics.efficiency import (
+    cumulative_efficiency,
+    efficiency_series,
+    kept_redundancy_fraction,
+    partial_segment_efficiency,
+)
+from repro.metrics.throughput import throughput_series, mean_throughput
+from repro.metrics.storage import compression_ratio, storage_summary, StorageSummary
+from repro.metrics.fragmentation import (
+    fragmentation_series,
+    locality_series,
+)
+from repro.metrics.spl_analysis import (
+    SegmentShareProfile,
+    max_share_histogram,
+    mean_containers_per_segment,
+    segment_share_profiles,
+)
+
+__all__ = [
+    "cumulative_efficiency",
+    "efficiency_series",
+    "kept_redundancy_fraction",
+    "partial_segment_efficiency",
+    "throughput_series",
+    "mean_throughput",
+    "compression_ratio",
+    "storage_summary",
+    "StorageSummary",
+    "fragmentation_series",
+    "locality_series",
+    "SegmentShareProfile",
+    "max_share_histogram",
+    "mean_containers_per_segment",
+    "segment_share_profiles",
+]

@@ -1,0 +1,34 @@
+"""Placement fragmentation and duplicate-locality series.
+
+Two complementary observables of the paper's "de-linearization":
+
+* the **layout** view — fragments per MiB of each backup's recipe (what
+  the restore path suffers), and
+* the **cache** view — RAM hits bought per prefetched unit during
+  ingest (what the dedup throughput suffers), taken from engine extras.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dedup.base import BackupReport
+from repro.storage.layout import analyze_recipe
+
+
+def fragmentation_series(reports: Sequence[BackupReport]) -> List[float]:
+    """Per-generation fragments per MiB (higher == more de-linearized)."""
+    return [analyze_recipe(r.recipe).fragments_per_mib for r in reports]
+
+
+def locality_series(reports: Sequence[BackupReport]) -> List[float]:
+    """Per-generation duplicate locality: cache hits per prefetch, from
+    engine extras (requires a DDFS- or SiLo-family engine)."""
+    out: List[float] = []
+    for r in reports:
+        if "hits_per_prefetch" not in r.extras:
+            raise ValueError(
+                f"report gen {r.generation} has no hits_per_prefetch extra"
+            )
+        out.append(r.extras["hits_per_prefetch"])
+    return out

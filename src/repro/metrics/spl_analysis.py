@@ -1,0 +1,91 @@
+"""SPL distribution analysis over recipes.
+
+The engine computes SPL online against stored *segments*; after the fact,
+the same structure can be read off a recipe at container granularity:
+for each segment of a backup, the share of its chunks resolved to each
+distinct container is the container-level SPL profile. Its distribution
+across segments is the fingerprint of de-linearization: healthy layouts
+are dominated by segments with one near-1.0 share; decayed layouts show
+many small shares per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.storage.recipe import BackupRecipe
+
+
+@dataclass(frozen=True)
+class SegmentShareProfile:
+    """Container-share profile of one segment of a recipe.
+
+    Attributes:
+        segment_index: ordinal within the recipe.
+        n_chunks: chunks in the segment.
+        shares: per-distinct-container share of the segment's chunks,
+            descending (sums to 1.0).
+    """
+
+    segment_index: int
+    n_chunks: int
+    shares: np.ndarray
+
+    @property
+    def max_share(self) -> float:
+        """The strongest locality any single container offers — the
+        container-granular analog of the paper's max SPL."""
+        return float(self.shares[0]) if self.shares.size else 0.0
+
+    @property
+    def n_containers(self) -> int:
+        return int(self.shares.size)
+
+
+def segment_share_profiles(
+    recipe: BackupRecipe, boundaries: Sequence[int]
+) -> List[SegmentShareProfile]:
+    """Container-share profiles for each segment of a recipe.
+
+    Args:
+        recipe: the backup's chunk map.
+        boundaries: chunk-index segment cuts (as produced by a
+            :class:`~repro.segmenting.segmenter.Segmenter` on the same
+            stream).
+    """
+    profiles: List[SegmentShareProfile] = []
+    bounds = list(boundaries)
+    for i in range(len(bounds) - 1):
+        a, b = int(bounds[i]), int(bounds[i + 1])
+        cids = recipe.containers[a:b]
+        n = b - a
+        if n <= 0:
+            continue
+        _, counts = np.unique(cids, return_counts=True)
+        shares = np.sort(counts / n)[::-1]
+        profiles.append(
+            SegmentShareProfile(segment_index=i, n_chunks=n, shares=shares)
+        )
+    return profiles
+
+
+def max_share_histogram(
+    profiles: Sequence[SegmentShareProfile], bins: int = 10
+) -> np.ndarray:
+    """Histogram of per-segment max shares over [0, 1] — shifts left as
+    placement de-linearizes."""
+    if not profiles:
+        return np.zeros(bins, dtype=np.int64)
+    values = [p.max_share for p in profiles]
+    hist, _ = np.histogram(values, bins=bins, range=(0.0, 1.0))
+    return hist.astype(np.int64)
+
+
+def mean_containers_per_segment(profiles: Sequence[SegmentShareProfile]) -> float:
+    """Average distinct containers per segment (1.0 == perfectly linear)."""
+    if not profiles:
+        return 0.0
+    return float(np.mean([p.n_containers for p in profiles]))

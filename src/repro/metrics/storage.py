@@ -1,0 +1,52 @@
+"""Storage/compression accounting across a whole workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dedup.base import BackupReport
+
+
+@dataclass(frozen=True)
+class StorageSummary:
+    """Cumulative storage accounting over a run.
+
+    Attributes:
+        logical_bytes: all bytes presented to the engine.
+        stored_bytes: bytes physically written (new + rewritten).
+        removed_bytes: duplicate bytes eliminated by reference.
+        rewritten_bytes: duplicates intentionally stored again (DeFrag).
+    """
+
+    logical_bytes: int
+    stored_bytes: int
+    removed_bytes: int
+    rewritten_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """logical / stored — the paper's "compression ratio" that DeFrag
+        sacrifices "a little" of."""
+        return self.logical_bytes / self.stored_bytes if self.stored_bytes else float("inf")
+
+    @property
+    def rewrite_overhead(self) -> float:
+        """Extra storage relative to exact dedup of the same detections:
+        rewritten / stored."""
+        return self.rewritten_bytes / self.stored_bytes if self.stored_bytes else 0.0
+
+
+def storage_summary(reports: Sequence[BackupReport]) -> StorageSummary:
+    """Aggregate a report sequence into a :class:`StorageSummary`."""
+    return StorageSummary(
+        logical_bytes=sum(r.logical_bytes for r in reports),
+        stored_bytes=sum(r.stored_bytes for r in reports),
+        removed_bytes=sum(r.removed_dup_bytes for r in reports),
+        rewritten_bytes=sum(r.rewritten_dup_bytes for r in reports),
+    )
+
+
+def compression_ratio(reports: Sequence[BackupReport]) -> float:
+    """Cumulative logical/stored ratio over the run."""
+    return storage_summary(reports).compression_ratio

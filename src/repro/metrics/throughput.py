@@ -1,0 +1,21 @@
+"""Throughput series extraction."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dedup.base import BackupReport
+
+
+def throughput_series(reports: Sequence[BackupReport]) -> List[float]:
+    """Per-generation simulated ingest throughput, bytes/second."""
+    return [r.throughput for r in reports]
+
+
+def mean_throughput(reports: Sequence[BackupReport]) -> float:
+    """Aggregate throughput: total logical bytes over total simulated
+    time (not the mean of per-generation rates, which over-weights small
+    backups)."""
+    total_bytes = sum(r.logical_bytes for r in reports)
+    total_time = sum(r.elapsed_seconds for r in reports)
+    return total_bytes / total_time if total_time else 0.0

@@ -1,0 +1,16 @@
+"""Restore substrate: recipe-driven reads and the Eq. 1 read model.
+
+Restoring a backup walks its recipe in logical order and pulls whole
+containers from the store through an LRU container cache. Every switch
+to a non-cached container is one positioning — the N of the paper's
+
+    F(read) = N * T_seek + f_size / W_seq          (Eq. 1)
+
+which :func:`read_time_eq1` evaluates directly and
+:class:`RestoreReader` realizes operationally on the simulated disk.
+"""
+
+from repro.restore.reader import RestoreReader, RestoreReport
+from repro.restore.model import read_time_eq1, read_rate_eq1
+
+__all__ = ["RestoreReader", "RestoreReport", "read_time_eq1", "read_rate_eq1"]

@@ -1,0 +1,37 @@
+"""The paper's analytic read model (Eq. 1).
+
+A file whose chunks lie in N physically separate parts costs N
+positionings plus one streaming pass over its bytes:
+
+    F(read) = N * T_seek + f_size / W_seq
+
+The paper's observation follows immediately: against a linear layout
+(N == 1) the slowdown is ~N× in the seek-dominated regime.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_nonnegative, check_positive
+from repro.storage.disk import DiskProfile, HDD_2012
+
+
+def read_time_eq1(
+    n_fragments: int,
+    file_bytes: int,
+    profile: DiskProfile = HDD_2012,
+) -> float:
+    """Eq. 1: seconds to read ``file_bytes`` split into ``n_fragments``
+    physically separate parts."""
+    check_nonnegative("n_fragments", n_fragments)
+    check_nonnegative("file_bytes", file_bytes)
+    return n_fragments * profile.seek_time_s + file_bytes / profile.seq_bandwidth
+
+
+def read_rate_eq1(
+    n_fragments: int,
+    file_bytes: int,
+    profile: DiskProfile = HDD_2012,
+) -> float:
+    """Effective read bandwidth (bytes/s) implied by Eq. 1."""
+    check_positive("file_bytes", file_bytes)
+    return file_bytes / read_time_eq1(n_fragments, file_bytes, profile)

@@ -1,0 +1,29 @@
+"""Segmenting substrate.
+
+The paper's processing unit (§III-B): contiguous chunks are grouped into
+*segments* of 0.5–2 MB, cut at content-defined positions so that the same
+data produces the same segments across backups. Segments are:
+
+* the unit DeFrag evaluates SPL over (incoming ``Seg_m`` vs stored
+  ``Seg_k``), and
+* the unit SiLo computes similarity over (representative fingerprint),
+  with segments further grouped into *blocks* (SiLo's read/write unit).
+"""
+
+from repro.segmenting.segmenter import (
+    ContentDefinedSegmenter,
+    FixedSegmenter,
+    Segment,
+    Segmenter,
+)
+from repro.segmenting.blocks import Block, BlockBuilder, representative_fingerprint
+
+__all__ = [
+    "ContentDefinedSegmenter",
+    "FixedSegmenter",
+    "Segment",
+    "Segmenter",
+    "Block",
+    "BlockBuilder",
+    "representative_fingerprint",
+]

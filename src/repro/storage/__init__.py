@@ -1,0 +1,45 @@
+"""Storage substrate: the simulated disk, container log, and backup recipes.
+
+This package models the on-disk side of a deduplication storage system the
+way DDFS (Zhu et al., FAST'08) organizes it:
+
+* :class:`~repro.storage.disk.DiskModel` — an analytic disk (seek time +
+  sequential bandwidth) advancing a :class:`~repro._util.SimClock`. Every
+  performance number in the reproduction is derived from this model.
+* :class:`~repro.storage.container.Container` /
+  :class:`~repro.storage.store.ContainerStore` — the append-only container
+  log that receives new unique chunks in stream order ("stream-informed
+  segment layout").
+* :class:`~repro.storage.recipe.BackupRecipe` — the per-backup chunk map
+  (fingerprint, size, container) used by the restore path and by the
+  layout analyzer.
+* :mod:`~repro.storage.layout` — placement-linearity measurements used to
+  quantify the paper's "de-linearization of data placement".
+"""
+
+from repro.storage.disk import DiskModel, DiskProfile, DiskStats, HDD_2012, NEARLINE_HDD, SSD_SATA
+from repro.storage.container import Container, SealedContainer
+from repro.storage.store import ContainerStore, StoreStats
+from repro.storage.recipe import BackupRecipe, RecipeBuilder
+from repro.storage.layout import LayoutReport, analyze_recipe, container_run_lengths
+from repro.storage.gc import GarbageCollector, GCReport
+
+__all__ = [
+    "DiskModel",
+    "DiskProfile",
+    "DiskStats",
+    "HDD_2012",
+    "NEARLINE_HDD",
+    "SSD_SATA",
+    "Container",
+    "SealedContainer",
+    "ContainerStore",
+    "StoreStats",
+    "BackupRecipe",
+    "RecipeBuilder",
+    "LayoutReport",
+    "analyze_recipe",
+    "container_run_lengths",
+    "GarbageCollector",
+    "GCReport",
+]

@@ -1,0 +1,134 @@
+"""Containers: the unit of locality on disk.
+
+DDFS-style systems append new unique chunks, in stream order, into large
+fixed-capacity *containers* (the paper's data layout of Fig. 1 is a
+sequence of container-resident parts). A container is also the prefetch
+unit: on an index hit the engine loads the container's *metadata section*
+(all its fingerprints) into RAM so that subsequent nearby duplicates are
+resolved without disk I/O, and the restore path reads whole containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro._util import MIB, check_positive
+
+#: Default container payload capacity (DDFS uses ~4 MB containers).
+DEFAULT_CONTAINER_BYTES = 4 * MIB
+
+#: Bytes of metadata stored per chunk in a container's metadata section
+#: (fingerprint + size + offset, roughly what DDFS keeps).
+CHUNK_METADATA_BYTES = 32
+
+
+@dataclass(frozen=True)
+class SealedContainer:
+    """An immutable, fully written container.
+
+    Attributes:
+        cid: container id (monotonically increasing log position).
+        fingerprints: uint64 array of chunk fingerprints, in write order.
+        sizes: uint32 array of chunk sizes, parallel to ``fingerprints``.
+        data_bytes: total payload bytes.
+    """
+
+    cid: int
+    fingerprints: np.ndarray
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.fingerprints) != len(self.sizes):
+            raise ValueError("fingerprints and sizes must be parallel arrays")
+
+    @property
+    def n_chunks(self) -> int:
+        return int(len(self.fingerprints))
+
+    @property
+    def data_bytes(self) -> int:
+        return int(self.sizes.sum()) if len(self.sizes) else 0
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Size of the metadata section prefetched on an index hit."""
+        return self.n_chunks * CHUNK_METADATA_BYTES
+
+    def __len__(self) -> int:
+        return self.n_chunks
+
+
+class Container:
+    """A mutable, in-progress container accumulating chunks until full.
+
+    The container is *full* when adding the next chunk would exceed its
+    byte capacity (a chunk never spans two containers). Sealing converts
+    it into a :class:`SealedContainer`.
+    """
+
+    __slots__ = ("cid", "capacity", "_fps", "_sizes", "_bytes")
+
+    def __init__(self, cid: int, capacity: int = DEFAULT_CONTAINER_BYTES) -> None:
+        check_positive("capacity", capacity)
+        self.cid = int(cid)
+        self.capacity = int(capacity)
+        self._fps: List[int] = []
+        self._sizes: List[int] = []
+        self._bytes = 0
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._fps)
+
+    @property
+    def data_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self._bytes
+
+    def fits(self, size: int) -> bool:
+        """True if a chunk of ``size`` bytes fits without overflow.
+
+        An empty container accepts any chunk (even one larger than the
+        capacity) so oversized chunks are representable.
+        """
+        return self._bytes == 0 or size <= self.remaining
+
+    def add(self, fp: int, size: int) -> None:
+        """Append one chunk. Caller must have checked :meth:`fits`."""
+        if size <= 0:
+            raise ValueError(f"chunk size must be > 0, got {size}")
+        if not self.fits(size):
+            raise ValueError(
+                f"chunk of {size} B does not fit in container {self.cid} "
+                f"({self.remaining} B remaining)"
+            )
+        self._fps.append(int(fp))
+        self._sizes.append(int(size))
+        self._bytes += int(size)
+
+    def iter_chunks(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(fingerprint, size)`` in write order."""
+        return zip(self._fps, self._sizes)
+
+    def seal(self) -> SealedContainer:
+        """Freeze into a :class:`SealedContainer`."""
+        return SealedContainer(
+            cid=self.cid,
+            fingerprints=np.asarray(self._fps, dtype=np.uint64),
+            sizes=np.asarray(self._sizes, dtype=np.uint32),
+        )
+
+    def __len__(self) -> int:
+        return self.n_chunks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Container(cid={self.cid}, chunks={self.n_chunks}, "
+            f"bytes={self._bytes}/{self.capacity})"
+        )

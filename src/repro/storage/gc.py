@@ -1,0 +1,208 @@
+"""Garbage collection: reclaiming the space selective rewriting leaks.
+
+DeFrag (and iDedup) intentionally store duplicates again; the index then
+points at the fresh copy and the old one becomes *garbage* — unless an
+older retained backup's recipe still references it. This module closes
+that loop the way container-log systems do:
+
+1. **Liveness**: a stored chunk copy is live iff some retained recipe
+   references its container (per-container live-byte accounting).
+2. **Victim selection**: sealed containers whose live fraction falls
+   below a utilization threshold.
+3. **Compaction**: read each victim (charged), append its live chunks to
+   the open end of the log (charged via the normal seal path), drop the
+   victim, and re-point both the chunk index and the retained recipes at
+   the moved copies.
+
+The report quantifies the trade the paper leaves implicit: how much of
+DeFrag's compression sacrifice is *transient* (reclaimable once old
+generations expire) versus permanent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro._util import check_fraction
+from repro.storage.recipe import BackupRecipe
+from repro.storage.store import ContainerStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle:
+    # repro.storage -> gc -> repro.index -> repro.storage)
+    from repro.index.full_index import DiskChunkIndex
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """Outcome of one collection pass.
+
+    Attributes:
+        containers_examined: sealed containers considered.
+        containers_collected: victims compacted and freed.
+        bytes_reclaimed: payload bytes freed (dead copies).
+        bytes_moved: live payload bytes rewritten during compaction.
+        remapped_recipes: retained recipes rewritten to the new layout.
+        utilization_before / utilization_after: live fraction of the log.
+    """
+
+    containers_examined: int
+    containers_collected: int
+    bytes_reclaimed: int
+    bytes_moved: int
+    remapped_recipes: int
+    utilization_before: float
+    utilization_after: float
+
+
+class GarbageCollector:
+    """Mark-and-compact collector over a :class:`ContainerStore`.
+
+    Args:
+        store: the container log (costs charged to its disk).
+        index: the chunk index to re-point at moved copies (optional —
+            pass the engine's index so future dedup finds the new
+            locations).
+    """
+
+    def __init__(self, store: ContainerStore, index: "Optional[DiskChunkIndex]" = None) -> None:
+        self.store = store
+        self.index = index
+
+    # ------------------------------------------------------------------
+
+    def live_bytes_per_container(
+        self, retained: Sequence[BackupRecipe]
+    ) -> Dict[int, int]:
+        """Mark phase: payload bytes of each container referenced by any
+        retained recipe (each distinct fingerprint counted once)."""
+        live: Dict[int, Set[int]] = {}
+        sizes: Dict[int, int] = {}
+        for recipe in retained:
+            for fp, size, cid in zip(
+                recipe.fingerprints, recipe.sizes, recipe.containers
+            ):
+                fp, cid = int(fp), int(cid)
+                if self.store.has(cid):
+                    live.setdefault(cid, set()).add(fp)
+                    sizes[fp] = int(size)
+        return {
+            cid: sum(sizes[fp] for fp in fps) for cid, fps in live.items()
+        }
+
+    def log_utilization(self, retained: Sequence[BackupRecipe]) -> float:
+        """Live fraction of the sealed log."""
+        live = self.live_bytes_per_container(retained)
+        total = sum(
+            self.store.get(cid).data_bytes
+            for cid in list(self._sealed_cids())
+        )
+        return sum(live.values()) / total if total else 1.0
+
+    def _sealed_cids(self) -> List[int]:
+        return sorted(self.store._sealed.keys())  # noqa: SLF001 - same package
+
+    # ------------------------------------------------------------------
+
+    def collect(
+        self,
+        retained: Sequence[BackupRecipe],
+        min_utilization: float = 0.5,
+    ) -> Tuple[GCReport, List[BackupRecipe]]:
+        """Run one mark-and-compact pass.
+
+        Args:
+            retained: the recipes that must stay restorable (the
+                retention window); everything else is expendable.
+            min_utilization: containers with a live fraction strictly
+                below this are compacted.
+
+        Returns:
+            ``(report, remapped_recipes)`` — the retained recipes
+            rewritten to reference the post-compaction layout, in the
+            same order.
+        """
+        check_fraction("min_utilization", min_utilization)
+        live_by_cid = self.live_bytes_per_container(retained)
+        sealed = self._sealed_cids()
+        util_before = self.log_utilization(retained)
+
+        # which fingerprints are live (referenced by any retained recipe)
+        live_fps: Set[int] = set()
+        for recipe in retained:
+            live_fps.update(int(fp) for fp in recipe.fingerprints)
+
+        victims: List[int] = []
+        for cid in sealed:
+            data = self.store.get(cid).data_bytes
+            if data == 0:
+                continue
+            if live_by_cid.get(cid, 0) / data < min_utilization:
+                victims.append(cid)
+
+        moved: Dict[Tuple[int, int], int] = {}  # (fp, old_cid) -> new_cid
+        moved_fp: Dict[int, int] = {}  # fp -> new_cid (move each copy once)
+        bytes_reclaimed = 0
+        bytes_moved = 0
+        for cid in victims:
+            sealed_container = self.store.read_container(cid)  # charged read
+            for fp, size in zip(
+                sealed_container.fingerprints, sealed_container.sizes
+            ):
+                fp, size = int(fp), int(size)
+                if fp in live_fps:
+                    new_cid = moved_fp.get(fp)
+                    if new_cid is None:
+                        new_cid = self.store.append(fp, size)  # charged on seal
+                        moved_fp[fp] = new_cid
+                        bytes_moved += size
+                        if self.index is not None:
+                            from repro.index.full_index import ChunkLocation
+
+                            old = self.index.peek(fp)
+                            sid = old.sid if old is not None else -1
+                            self.index.update(fp, ChunkLocation(new_cid, sid))
+                    else:
+                        # a second dead-duplicate copy of a live chunk:
+                        # the already-moved copy serves it
+                        bytes_reclaimed += size
+                    moved[(fp, cid)] = new_cid
+                else:
+                    bytes_reclaimed += size
+            self.store.remove(cid)
+        self.store.flush()
+
+        remapped = [self._remap(recipe, moved) for recipe in retained]
+        util_after = self.log_utilization(remapped)
+        report = GCReport(
+            containers_examined=len(sealed),
+            containers_collected=len(victims),
+            bytes_reclaimed=bytes_reclaimed,
+            bytes_moved=bytes_moved,
+            remapped_recipes=len(remapped),
+            utilization_before=util_before,
+            utilization_after=util_after,
+        )
+        return report, remapped
+
+    def _remap(
+        self, recipe: BackupRecipe, moved: Dict[Tuple[int, int], int]
+    ) -> BackupRecipe:
+        if not moved:
+            return recipe
+        cids = recipe.containers.copy()
+        for i, (fp, cid) in enumerate(zip(recipe.fingerprints, recipe.containers)):
+            new_cid = moved.get((int(fp), int(cid)))
+            if new_cid is not None:
+                cids[i] = new_cid
+        return BackupRecipe(
+            generation=recipe.generation,
+            fingerprints=recipe.fingerprints,
+            sizes=recipe.sizes,
+            containers=cids,
+            label=recipe.label,
+        )

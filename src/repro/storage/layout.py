@@ -1,0 +1,87 @@
+"""Placement-linearity analysis.
+
+The paper's central observable is the *de-linearization of data
+placement*: how far a backup's physical layout departs from its logical
+stream order. This module quantifies that from a
+:class:`~repro.storage.recipe.BackupRecipe`:
+
+* **container run lengths** — lengths of maximal runs of consecutive
+  logical chunks resolved to the same container; long runs == linear
+  placement, unit runs == one seek per chunk (the paper's worst case).
+* **fragments per MB** — container switches normalized by logical size,
+  the N of Eq. 1 per unit of data.
+* **linearity** — mean logical bytes retrievable per positioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import MIB
+from repro.storage.recipe import BackupRecipe
+
+
+def container_run_lengths(containers: np.ndarray) -> np.ndarray:
+    """Lengths of maximal constant runs in a container-id sequence.
+
+    ``container_run_lengths([5,5,5,7,7,5])`` -> ``[3, 2, 1]``.
+    """
+    containers = np.asarray(containers)
+    if containers.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    change = np.flatnonzero(containers[1:] != containers[:-1])
+    boundaries = np.concatenate(([0], change + 1, [containers.size]))
+    return np.diff(boundaries).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class LayoutReport:
+    """Summary of one backup's placement linearity.
+
+    Attributes:
+        generation: backup generation the report describes.
+        n_chunks: logical chunk count.
+        logical_bytes: pre-dedup bytes.
+        n_fragments: number of physically contiguous pieces (container
+            runs); the N of Eq. 1.
+        n_distinct_containers: distinct containers referenced.
+        mean_run_chunks: average chunks per contiguous run.
+        fragments_per_mib: fragments normalized per MiB of logical data.
+        bytes_per_seek: mean logical bytes retrieved per positioning.
+    """
+
+    generation: int
+    n_chunks: int
+    logical_bytes: int
+    n_fragments: int
+    n_distinct_containers: int
+    mean_run_chunks: float
+    fragments_per_mib: float
+    bytes_per_seek: float
+
+    @property
+    def delinearization(self) -> float:
+        """Fraction of adjacent chunk pairs that break physical
+        contiguity, in [0, 1]; 0 == perfectly linear placement."""
+        if self.n_chunks <= 1:
+            return 0.0
+        return (self.n_fragments - 1) / (self.n_chunks - 1)
+
+
+def analyze_recipe(recipe: BackupRecipe) -> LayoutReport:
+    """Compute a :class:`LayoutReport` for one backup recipe."""
+    runs = container_run_lengths(recipe.containers)
+    n_fragments = int(runs.size)
+    logical = recipe.total_bytes
+    return LayoutReport(
+        generation=recipe.generation,
+        n_chunks=recipe.n_chunks,
+        logical_bytes=logical,
+        n_fragments=n_fragments,
+        n_distinct_containers=int(recipe.unique_containers().size),
+        mean_run_chunks=float(runs.mean()) if n_fragments else 0.0,
+        fragments_per_mib=(n_fragments / (logical / MIB)) if logical else 0.0,
+        bytes_per_seek=(logical / n_fragments) if n_fragments else 0.0,
+    )

@@ -1,0 +1,114 @@
+"""Backup recipes: the chunk map a restore needs.
+
+A recipe records, for every logical chunk of one backup stream in stream
+order, its fingerprint, size, and the container holding its physical copy.
+It is the object the paper's Fig. 1 sketches (chunk metadata in front of
+scattered data parts), and the input to both the restore reader and the
+placement-linearity analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BackupRecipe:
+    """Immutable chunk map of one completed backup.
+
+    Attributes:
+        generation: backup generation number (0-based stream index).
+        fingerprints: uint64, one per logical chunk, stream order.
+        sizes: uint32 chunk sizes.
+        containers: int64 container id holding each chunk's physical copy.
+        label: optional human-readable tag (e.g. the user the FS belongs to).
+    """
+
+    generation: int
+    fingerprints: np.ndarray
+    sizes: np.ndarray
+    containers: np.ndarray
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        n = len(self.fingerprints)
+        if len(self.sizes) != n or len(self.containers) != n:
+            raise ValueError("recipe arrays must be parallel")
+
+    @property
+    def n_chunks(self) -> int:
+        return int(len(self.fingerprints))
+
+    @property
+    def total_bytes(self) -> int:
+        """Logical (pre-dedup) bytes of the backup."""
+        return int(self.sizes.sum()) if self.n_chunks else 0
+
+    def unique_containers(self) -> np.ndarray:
+        """Sorted unique container ids referenced by this backup."""
+        return np.unique(self.containers)
+
+    def container_switches(self) -> int:
+        """Number of adjacent chunk pairs whose physical copies live in
+        different containers — a direct count of the read path's required
+        repositionings (the N of Eq. 1, at container granularity)."""
+        if self.n_chunks < 2:
+            return 0
+        return int(np.count_nonzero(self.containers[1:] != self.containers[:-1]))
+
+    def slice(self, start: int, stop: int) -> "BackupRecipe":
+        """Sub-recipe over the chunk range [start, stop) (e.g. one file)."""
+        return BackupRecipe(
+            generation=self.generation,
+            fingerprints=self.fingerprints[start:stop],
+            sizes=self.sizes[start:stop],
+            containers=self.containers[start:stop],
+            label=self.label,
+        )
+
+
+class RecipeBuilder:
+    """Incremental recipe construction during deduplication.
+
+    Engines append one entry per logical chunk as they classify it; the
+    builder keeps Python lists (cheap appends) and converts to numpy on
+    :meth:`finalize`.
+    """
+
+    __slots__ = ("generation", "label", "_fps", "_sizes", "_cids")
+
+    def __init__(self, generation: int, label: Optional[str] = None) -> None:
+        self.generation = int(generation)
+        self.label = label
+        self._fps: List[int] = []
+        self._sizes: List[int] = []
+        self._cids: List[int] = []
+
+    def add(self, fp: int, size: int, cid: int) -> None:
+        """Record one logical chunk resolved to container ``cid``."""
+        self._fps.append(int(fp))
+        self._sizes.append(int(size))
+        self._cids.append(int(cid))
+
+    def add_many(self, fps, sizes, cids) -> None:
+        """Record a run of chunks (parallel iterables)."""
+        self._fps.extend(int(f) for f in fps)
+        self._sizes.extend(int(s) for s in sizes)
+        self._cids.extend(int(c) for c in cids)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._fps)
+
+    def finalize(self) -> BackupRecipe:
+        """Freeze into a :class:`BackupRecipe`."""
+        return BackupRecipe(
+            generation=self.generation,
+            fingerprints=np.asarray(self._fps, dtype=np.uint64),
+            sizes=np.asarray(self._sizes, dtype=np.uint32),
+            containers=np.asarray(self._cids, dtype=np.int64),
+            label=self.label,
+        )

@@ -1,0 +1,178 @@
+"""The append-only container store (the on-disk chunk log).
+
+New unique chunks are appended in stream order; when the open container
+fills it is *sealed*: its payload and metadata section are written to the
+log (sequential transfer, plus one positioning to return the head to the
+log from any intervening random reads).
+
+The store is shared by the dedup engine (writes + metadata prefetches) and
+the restore reader (container reads), all priced on one
+:class:`~repro.storage.disk.DiskModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.storage.container import (
+    CHUNK_METADATA_BYTES,
+    DEFAULT_CONTAINER_BYTES,
+    Container,
+    SealedContainer,
+)
+from repro.storage.disk import DiskModel
+
+
+@dataclass
+class StoreStats:
+    """Cumulative container-store accounting."""
+
+    containers_sealed: int = 0
+    containers_removed: int = 0
+    chunks_written: int = 0
+    payload_bytes: int = 0
+    metadata_bytes: int = 0
+    meta_prefetches: int = 0
+    container_reads: int = 0
+
+    @property
+    def physical_bytes(self) -> int:
+        """Total bytes occupying the log (payload + metadata)."""
+        return self.payload_bytes + self.metadata_bytes
+
+
+class ContainerStore:
+    """Append-only log of containers over a simulated disk.
+
+    Args:
+        disk: the disk model charged for seals, prefetches and reads.
+        container_bytes: payload capacity per container.
+        seal_seeks: positionings charged when sealing (returning the head
+            to the log after random index/metadata reads). Default 1.
+    """
+
+    def __init__(
+        self,
+        disk: DiskModel,
+        container_bytes: int = DEFAULT_CONTAINER_BYTES,
+        seal_seeks: int = 1,
+    ) -> None:
+        self.disk = disk
+        self.container_bytes = int(container_bytes)
+        self.seal_seeks = int(seal_seeks)
+        self.stats = StoreStats()
+        self._sealed: Dict[int, SealedContainer] = {}
+        self._open: Optional[Container] = None
+        self._next_cid = 0
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    @property
+    def open_container(self) -> Optional[Container]:
+        """The in-progress container, if any."""
+        return self._open
+
+    @property
+    def n_containers(self) -> int:
+        """Number of sealed containers."""
+        return len(self._sealed)
+
+    def current_cid(self, size: int) -> int:
+        """The container id the *next* chunk of ``size`` bytes will land in
+        (sealing the open container first if it would not fit)."""
+        if self._open is not None and not self._open.fits(size):
+            self._seal_open()
+        if self._open is None:
+            self._open = Container(self._next_cid, self.container_bytes)
+            self._next_cid += 1
+        return self._open.cid
+
+    def append(self, fp: int, size: int) -> int:
+        """Append one chunk to the log; returns the container id it landed
+        in. Seals and charges the previous container when it fills."""
+        cid = self.current_cid(size)
+        assert self._open is not None
+        self._open.add(fp, size)
+        self.stats.chunks_written += 1
+        return cid
+
+    def flush(self) -> Optional[int]:
+        """Seal the open container (end of a backup stream). Returns the
+        sealed cid, or None if nothing was open."""
+        if self._open is None or self._open.n_chunks == 0:
+            self._open = None
+            return None
+        cid = self._open.cid
+        self._seal_open()
+        return cid
+
+    def _seal_open(self) -> None:
+        assert self._open is not None
+        sealed = self._open.seal()
+        self._sealed[sealed.cid] = sealed
+        nbytes = sealed.data_bytes + sealed.metadata_bytes
+        self.disk.write(nbytes, seeks=self.seal_seeks)
+        self.stats.containers_sealed += 1
+        self.stats.payload_bytes += sealed.data_bytes
+        self.stats.metadata_bytes += sealed.metadata_bytes
+        self._open = None
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def get(self, cid: int) -> SealedContainer:
+        """Look up a sealed container by id (no disk charge; bookkeeping
+        only). Raises KeyError for unknown or still-open containers."""
+        return self._sealed[cid]
+
+    def has(self, cid: int) -> bool:
+        """True if ``cid`` refers to a sealed container."""
+        return cid in self._sealed
+
+    def prefetch_meta(self, cid: int) -> np.ndarray:
+        """Read a container's metadata section (its fingerprints) from
+        disk — the DDFS locality prefetch. Charges one seek plus the
+        metadata transfer; returns the fingerprint array."""
+        sealed = self._sealed[cid]
+        self.disk.read(sealed.metadata_bytes, seeks=1)
+        self.stats.meta_prefetches += 1
+        return sealed.fingerprints
+
+    def read_container(self, cid: int) -> SealedContainer:
+        """Read a whole container (restore path): one seek + full payload
+        and metadata transfer."""
+        sealed = self._sealed[cid]
+        self.disk.read(sealed.data_bytes + sealed.metadata_bytes, seeks=1)
+        self.stats.container_reads += 1
+        return sealed
+
+    def remove(self, cid: int) -> int:
+        """Drop a sealed container from the log (garbage collection).
+        Returns the payload bytes freed. Bookkeeping only — the space is
+        reclaimed in place; no disk charge beyond the reads/writes the
+        collector already performed."""
+        sealed = self._sealed.pop(cid)
+        freed = sealed.data_bytes
+        self.stats.payload_bytes -= freed
+        self.stats.metadata_bytes -= sealed.metadata_bytes
+        self.stats.containers_removed += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def container_of_chunk_count(self) -> Dict[int, int]:
+        """Map cid -> number of chunks, for layout analysis."""
+        return {cid: c.n_chunks for cid, c in self._sealed.items()}
+
+    def logical_metadata_bytes(self, n_chunks: int) -> int:
+        """Metadata footprint of ``n_chunks`` chunks (helper for cost
+        estimation)."""
+        return n_chunks * CHUNK_METADATA_BYTES

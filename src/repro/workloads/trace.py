@@ -1,0 +1,60 @@
+"""Backup-trace persistence.
+
+Traces (sequences of :class:`~repro.workloads.generators.BackupJob`) can
+be materialized to a single ``.npz`` file and replayed later, so that an
+expensive workload generation is paid once per parameter set and every
+engine sees byte-identical input.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+from repro.chunking.base import ChunkStream
+from repro.workloads.generators import BackupJob
+
+
+def save_trace(jobs: Iterable[BackupJob], path: "str | Path") -> int:
+    """Write a trace to ``path`` (npz). Returns the number of backups."""
+    path = Path(path)
+    fps_parts: List[np.ndarray] = []
+    sizes_parts: List[np.ndarray] = []
+    boundaries = [0]
+    meta = []
+    total = 0
+    for job in jobs:
+        fps_parts.append(job.stream.fps)
+        sizes_parts.append(job.stream.sizes)
+        total += len(job.stream)
+        boundaries.append(total)
+        meta.append({"generation": job.generation, "label": job.label})
+    fps = np.concatenate(fps_parts) if fps_parts else np.zeros(0, dtype=np.uint64)
+    sizes = np.concatenate(sizes_parts) if sizes_parts else np.zeros(0, dtype=np.uint32)
+    np.savez_compressed(
+        path,
+        fps=fps,
+        sizes=sizes,
+        boundaries=np.asarray(boundaries, dtype=np.int64),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return len(meta)
+
+
+def load_trace(path: "str | Path") -> Iterator[BackupJob]:
+    """Replay a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        fps = data["fps"]
+        sizes = data["sizes"]
+        boundaries = data["boundaries"]
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+    for i, m in enumerate(meta):
+        a, b = int(boundaries[i]), int(boundaries[i + 1])
+        yield BackupJob(
+            generation=int(m["generation"]),
+            label=str(m["label"]),
+            stream=ChunkStream(fps[a:b], sizes[a:b]),
+        )

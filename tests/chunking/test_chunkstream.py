@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.chunking.base import Chunk, ChunkStream
+
+from tests.conftest import make_stream
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = ChunkStream.empty()
+        assert len(s) == 0
+        assert s.total_bytes == 0
+
+    def test_from_pairs(self):
+        s = ChunkStream.from_pairs([(1, 100), (2, 200)])
+        assert len(s) == 2
+        assert s.total_bytes == 300
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            ChunkStream(np.zeros(3, dtype=np.uint64), np.ones(2, dtype=np.uint32))
+
+    def test_rejects_zero_sizes(self):
+        with pytest.raises(ValueError):
+            ChunkStream(np.zeros(1, dtype=np.uint64), np.zeros(1, dtype=np.uint32))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ChunkStream(np.zeros((2, 2), dtype=np.uint64), np.ones((2, 2), dtype=np.uint32))
+
+
+class TestAccess:
+    def test_iteration_yields_chunks(self):
+        s = ChunkStream.from_pairs([(1, 100), (2, 200)])
+        chunks = list(s)
+        assert chunks == [Chunk(1, 100), Chunk(2, 200)]
+
+    def test_index_scalar(self):
+        s = ChunkStream.from_pairs([(1, 100), (2, 200)])
+        assert s[1] == Chunk(2, 200)
+
+    def test_slice_returns_stream(self):
+        s = make_stream(10)
+        sub = s[2:5]
+        assert isinstance(sub, ChunkStream)
+        assert len(sub) == 3
+        assert sub[0] == s[2]
+
+    def test_equality(self):
+        a = ChunkStream.from_pairs([(1, 10)])
+        b = ChunkStream.from_pairs([(1, 10)])
+        c = ChunkStream.from_pairs([(2, 10)])
+        assert a == b
+        assert a != c
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(ChunkStream.empty())
+
+
+class TestOps:
+    def test_concat_order(self):
+        a = ChunkStream.from_pairs([(1, 10)])
+        b = ChunkStream.from_pairs([(2, 20)])
+        c = ChunkStream.concat([a, b])
+        assert list(c) == [Chunk(1, 10), Chunk(2, 20)]
+
+    def test_concat_empty_list(self):
+        assert len(ChunkStream.concat([])) == 0
+
+    def test_unique_fingerprints_sorted(self):
+        s = ChunkStream.from_pairs([(5, 10), (1, 10), (5, 10)])
+        assert s.unique_fingerprints().tolist() == [1, 5]
+
+    def test_duplicate_bytes_within(self):
+        s = ChunkStream.from_pairs([(1, 100), (2, 50), (1, 100), (1, 100)])
+        assert s.duplicate_bytes_within() == 200
+
+    def test_duplicate_bytes_empty(self):
+        assert ChunkStream.empty().duplicate_bytes_within() == 0
+
+    def test_total_bytes_large_sum_no_overflow(self):
+        # many large chunks: ensure int64 accumulation
+        s = ChunkStream(
+            np.arange(100000, dtype=np.uint64),
+            np.full(100000, 65535, dtype=np.uint32),
+        )
+        assert s.total_bytes == 100000 * 65535

@@ -1,0 +1,66 @@
+import numpy as np
+
+from repro.chunking.fingerprint import (
+    fingerprint64,
+    fingerprint_segments,
+    splitmix64,
+    splitmix64_array,
+)
+
+
+class TestFingerprint64:
+    def test_deterministic(self):
+        assert fingerprint64(b"hello") == fingerprint64(b"hello")
+
+    def test_content_sensitive(self):
+        assert fingerprint64(b"hello") != fingerprint64(b"hellp")
+
+    def test_64bit_range(self):
+        v = fingerprint64(b"x" * 1000)
+        assert 0 <= v < 2**64
+
+    def test_empty_input_ok(self):
+        assert isinstance(fingerprint64(b""), int)
+
+
+class TestFingerprintSegments:
+    def test_matches_scalar(self):
+        data = b"abcdefghij"
+        fps = fingerprint_segments(data, [0, 3, 7, 10])
+        assert fps[0] == fingerprint64(b"abc")
+        assert fps[1] == fingerprint64(b"defg")
+        assert fps[2] == fingerprint64(b"hij")
+
+    def test_count(self):
+        data = bytes(100)
+        fps = fingerprint_segments(data, [0, 50, 100])
+        assert fps.shape == (2,)
+        assert fps.dtype == np.uint64
+
+    def test_identical_content_identical_fp(self):
+        data = b"samesame"
+        fps = fingerprint_segments(data, [0, 4, 8])
+        assert fps[0] == fps[1]
+
+
+class TestSplitmix64:
+    def test_bijective_no_collisions_in_range(self):
+        xs = list(range(10000))
+        ys = {splitmix64(x) for x in xs}
+        assert len(ys) == len(xs)
+
+    def test_array_matches_scalar(self):
+        xs = np.arange(1000, dtype=np.uint64)
+        arr = splitmix64_array(xs)
+        for i in (0, 1, 42, 999):
+            assert int(arr[i]) == splitmix64(i)
+
+    def test_uniform_high_bits(self):
+        # top bit should be ~50% set over sequential inputs
+        arr = splitmix64_array(np.arange(4096, dtype=np.uint64))
+        frac = float((arr >> np.uint64(63)).mean())
+        assert 0.45 < frac < 0.55
+
+    def test_large_input_wraps(self):
+        big = (1 << 64) - 1
+        assert 0 <= splitmix64(big) < 2**64

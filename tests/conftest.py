@@ -1,0 +1,67 @@
+"""Shared fixtures: small, fast engine/workload setups."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import MIB
+from repro.chunking.base import ChunkStream
+from repro.chunking.fingerprint import splitmix64_array
+from repro.dedup.base import CostModel, EngineResources
+from repro.segmenting.segmenter import ContentDefinedSegmenter
+from repro.storage.disk import DiskModel, DiskProfile
+from repro.workloads.fs_model import ChurnProfile
+from repro.workloads.generators import author_fs_20_full
+
+
+TEST_PROFILE = DiskProfile(name="test-disk", seek_time_s=5e-3, seq_bandwidth=200e6)
+
+
+@pytest.fixture
+def disk() -> DiskModel:
+    return DiskModel(profile=TEST_PROFILE)
+
+
+@pytest.fixture
+def resources() -> EngineResources:
+    """Small resources: 256 KiB containers so tests exercise sealing."""
+    res = EngineResources.create(
+        profile=TEST_PROFILE,
+        container_bytes=256 * 1024,
+        expected_entries=100_000,
+        index_page_cache_pages=8,
+    )
+    res.store.seal_seeks = 0
+    return res
+
+
+@pytest.fixture
+def segmenter() -> ContentDefinedSegmenter:
+    """Segments scaled to the small test streams (16-64 KiB)."""
+    return ContentDefinedSegmenter(
+        min_bytes=16 * 1024,
+        avg_bytes=32 * 1024,
+        max_bytes=64 * 1024,
+        avg_chunk_bytes=1024,
+    )
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+def make_stream(n: int, seed: int = 7, size: int = 1024) -> ChunkStream:
+    """A stream of n distinct chunks (deterministic per seed)."""
+    base = np.arange(n, dtype=np.uint64) + np.uint64(seed * 1_000_003)
+    return ChunkStream(splitmix64_array(base), np.full(n, size, dtype=np.uint32))
+
+
+@pytest.fixture
+def small_jobs():
+    """A tiny 5-generation full-backup workload."""
+    churn = ChurnProfile(modify_frac=0.2, edits_per_file_mean=3.0)
+    return list(
+        author_fs_20_full(fs_bytes=2 * MIB, seed=42, n_generations=5, churn=churn)
+    )

@@ -1,0 +1,177 @@
+import numpy as np
+import pytest
+
+from repro.core.defrag import DeFragEngine
+from repro.core.policy import (
+    AlwaysRewritePolicy,
+    NeverRewritePolicy,
+    SPLThresholdPolicy,
+)
+from repro.dedup.base import EngineResources
+from repro.dedup.ddfs import DDFSEngine
+from repro.dedup.pipeline import run_backup, run_workload
+from repro.storage.layout import analyze_recipe
+from repro.workloads.generators import BackupJob
+
+from tests.conftest import TEST_PROFILE, make_stream
+
+
+def fresh_resources():
+    res = EngineResources.create(
+        profile=TEST_PROFILE, container_bytes=256 * 1024, expected_entries=100_000
+    )
+    res.store.seal_seeks = 0
+    return res
+
+
+def defrag(policy=None, **kw):
+    return DeFragEngine(
+        fresh_resources(),
+        policy=policy if policy is not None else SPLThresholdPolicy(0.1),
+        bloom_capacity=100_000,
+        cache_containers=8,
+        **kw,
+    )
+
+
+def run_stream(engine, stream, segmenter, gen=0):
+    return run_backup(engine, BackupJob(gen, "t", stream), segmenter)
+
+
+class TestDeFragMechanics:
+    def test_never_policy_matches_ddfs_exactly(self, segmenter, small_jobs):
+        """With NeverRewritePolicy, DeFrag degrades to byte-identical DDFS."""
+        defr = DeFragEngine(
+            fresh_resources(), policy=NeverRewritePolicy(),
+            bloom_capacity=100_000, cache_containers=8,
+        )
+        ddfs = DDFSEngine(fresh_resources(), bloom_capacity=100_000, cache_containers=8)
+        ra = run_workload(defr, small_jobs, segmenter)
+        rb = run_workload(ddfs, small_jobs, segmenter)
+        for a, b in zip(ra, rb):
+            assert a.written_new_bytes == b.written_new_bytes
+            assert a.removed_dup_bytes == b.removed_dup_bytes
+            assert a.rewritten_dup_bytes == 0
+            assert np.array_equal(a.recipe.containers, b.recipe.containers)
+
+    def test_alpha_zero_matches_ddfs(self, segmenter, small_jobs):
+        defr = DeFragEngine(
+            fresh_resources(), policy=SPLThresholdPolicy(0.0),
+            bloom_capacity=100_000, cache_containers=8,
+        )
+        reports = run_workload(defr, small_jobs, segmenter)
+        assert all(r.rewritten_dup_bytes == 0 for r in reports)
+
+    def test_always_policy_rewrites_every_cross_segment_dup(self, segmenter):
+        eng = DeFragEngine(
+            fresh_resources(), policy=AlwaysRewritePolicy(),
+            bloom_capacity=100_000, cache_containers=8,
+        )
+        s = make_stream(300, seed=1)
+        run_stream(eng, s, segmenter, 0)
+        report = run_stream(eng, s, segmenter, 1)
+        # the repeat stream's duplicates live in other (gen-0) segments:
+        # everything cross-segment is rewritten
+        assert report.removed_dup_bytes == 0
+        assert report.rewritten_dup_bytes == s.total_bytes
+
+    def test_low_spl_sliver_rewritten(self, segmenter):
+        """A stream whose second generation shares only a tiny sliver per
+        segment rewrites that sliver under the paper's policy."""
+        eng = defrag(SPLThresholdPolicy(0.3))
+        gen0 = make_stream(400, seed=2)
+        run_stream(eng, gen0, segmenter, 0)
+        # gen1: mostly new chunks, with every 20th chunk reused from gen0
+        fps = make_stream(400, seed=3).fps.copy()
+        fps[::20] = gen0.fps[::20]
+        from repro.chunking.base import ChunkStream
+
+        gen1 = ChunkStream(fps, gen0.sizes)
+        report = run_stream(eng, gen1, segmenter, 1)
+        assert report.rewritten_dup_bytes > 0
+        assert report.removed_dup_bytes < report.rewritten_dup_bytes
+
+    def test_high_spl_kept(self, segmenter):
+        """A fully repeated stream has SPL ~1 per segment: no rewrites."""
+        eng = defrag(SPLThresholdPolicy(0.1))
+        s = make_stream(400, seed=4)
+        run_stream(eng, s, segmenter, 0)
+        report = run_stream(eng, s, segmenter, 1)
+        assert report.rewritten_dup_bytes <= 0.1 * s.total_bytes
+        assert report.removed_dup_bytes >= 0.9 * s.total_bytes
+
+    def test_rewrite_repoints_index(self, segmenter):
+        eng = DeFragEngine(
+            fresh_resources(), policy=AlwaysRewritePolicy(),
+            bloom_capacity=100_000, cache_containers=8,
+        )
+        s = make_stream(100, seed=5)
+        run_stream(eng, s, segmenter, 0)
+        loc_before = {int(fp): eng.res.index.peek(int(fp)) for fp in s.fps[:10]}
+        run_stream(eng, s, segmenter, 1)
+        moved = sum(
+            1 for fp, loc in loc_before.items() if eng.res.index.peek(fp) != loc
+        )
+        assert moved == len(loc_before)
+
+    def test_rewrite_counters(self, segmenter):
+        eng = DeFragEngine(
+            fresh_resources(), policy=AlwaysRewritePolicy(),
+            bloom_capacity=100_000, cache_containers=8,
+        )
+        s = make_stream(100, seed=6)
+        run_stream(eng, s, segmenter, 0)
+        run_stream(eng, s, segmenter, 1)
+        assert eng.total_rewritten_chunks == 100
+        assert eng.total_rewritten_bytes == s.total_bytes
+
+    def test_byte_weighted_mode(self, segmenter):
+        eng = defrag(SPLThresholdPolicy(0.1), byte_weighted_spl=True)
+        s = make_stream(200, seed=7)
+        run_stream(eng, s, segmenter, 0)
+        report = run_stream(eng, s, segmenter, 1)
+        assert (
+            report.written_new_bytes
+            + report.removed_dup_bytes
+            + report.rewritten_dup_bytes
+            == report.logical_bytes
+        )
+
+
+class TestDeFragOutcomes:
+    def test_layout_no_worse_than_ddfs(self, segmenter, small_jobs):
+        """DeFrag's recipes must be at most as fragmented as DDFS's."""
+        defr = defrag()
+        ddfs = DDFSEngine(fresh_resources(), bloom_capacity=100_000, cache_containers=8)
+        ra = run_workload(defr, small_jobs, segmenter)
+        rb = run_workload(ddfs, small_jobs, segmenter)
+        frag_defrag = analyze_recipe(ra[-1].recipe).n_fragments
+        frag_ddfs = analyze_recipe(rb[-1].recipe).n_fragments
+        assert frag_defrag <= frag_ddfs
+
+    def test_storage_overhead_bounded(self, segmenter, small_jobs):
+        """Rewrites cost storage, but far less than disabling dedup."""
+        defr = defrag()
+        reports = run_workload(defr, small_jobs, segmenter)
+        stored = sum(r.stored_bytes for r in reports)
+        logical = sum(r.logical_bytes for r in reports)
+        unique_floor = sum(r.written_new_bytes for r in reports)
+        assert stored < logical  # still deduplicates
+        assert stored >= unique_floor
+
+    def test_efficiency_below_one_when_rewriting(self, segmenter):
+        eng = defrag(SPLThresholdPolicy(0.5))
+        from repro.dedup.pipeline import GroundTruth
+
+        gt = GroundTruth()
+        gen0 = make_stream(400, seed=8)
+        run_backup(eng, BackupJob(0, "t", gen0), segmenter, gt)
+        fps = make_stream(400, seed=9).fps.copy()
+        fps[::4] = gen0.fps[::4]
+        from repro.chunking.base import ChunkStream
+
+        gen1 = ChunkStream(fps, gen0.sizes)
+        r = run_backup(eng, BackupJob(1, "t", gen1), segmenter, gt)
+        assert r.efficiency is not None and r.efficiency < 1.0
+        # but nothing is *missed*: removed + rewritten == true duplicates
+        assert r.missed_dup_bytes == 0

@@ -1,0 +1,86 @@
+import pytest
+
+from repro.core.policy import (
+    AlwaysRewritePolicy,
+    CappingPolicy,
+    NeverRewritePolicy,
+    SPLThresholdPolicy,
+)
+from repro.core.spl import spl_profile
+
+
+def profile(shares, total=100):
+    sids = []
+    for sid, count in shares.items():
+        sids.extend([sid] * count)
+    return spl_profile(sids, segment_n_chunks=total)
+
+
+class TestSPLThresholdPolicy:
+    def test_paper_semantics(self):
+        """Groups strictly below alpha*|Seg_m| are rewritten."""
+        pol = SPLThresholdPolicy(alpha=0.1)
+        d = pol.decide(profile({1: 50, 2: 9, 3: 10}, total=100))
+        assert d.should_rewrite(2)  # 9 < 10
+        assert not d.should_rewrite(3)  # 10 == alpha boundary: kept
+        assert not d.should_rewrite(1)
+        assert d.n_rewritten_segments == 1
+
+    def test_alpha_zero_is_ddfs(self):
+        pol = SPLThresholdPolicy(alpha=0.0)
+        d = pol.decide(profile({1: 1, 2: 99}, total=100))
+        assert d.rewrite_sids == frozenset()
+
+    def test_alpha_one_rewrites_everything_partial(self):
+        pol = SPLThresholdPolicy(alpha=1.0)
+        d = pol.decide(profile({1: 50, 2: 50}, total=100))
+        assert d.rewrite_sids == frozenset({1, 2})
+
+    def test_full_cover_never_rewritten_at_alpha_below_one(self):
+        pol = SPLThresholdPolicy(alpha=0.5)
+        d = pol.decide(profile({1: 100}, total=100))
+        assert not d.should_rewrite(1)
+
+    def test_empty_profile(self):
+        d = SPLThresholdPolicy(0.1).decide(profile({}))
+        assert d.rewrite_sids == frozenset()
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            SPLThresholdPolicy(alpha=1.5)
+
+
+class TestCappingPolicy:
+    def test_keeps_top_k(self):
+        pol = CappingPolicy(cap=2)
+        d = pol.decide(profile({1: 40, 2: 30, 3: 20, 4: 5}, total=100))
+        assert d.rewrite_sids == frozenset({3, 4})
+
+    def test_under_cap_untouched(self):
+        pol = CappingPolicy(cap=4)
+        d = pol.decide(profile({1: 10, 2: 10}))
+        assert d.rewrite_sids == frozenset()
+
+    def test_tie_break_deterministic(self):
+        pol = CappingPolicy(cap=1)
+        d1 = pol.decide(profile({1: 10, 2: 10}))
+        d2 = pol.decide(profile({1: 10, 2: 10}))
+        assert d1.rewrite_sids == d2.rewrite_sids == frozenset({2})
+
+    def test_cap_zero_rewrites_all(self):
+        d = CappingPolicy(cap=0).decide(profile({1: 10, 2: 5}))
+        assert d.rewrite_sids == frozenset({1, 2})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CappingPolicy(cap=-1)
+
+
+class TestBoundPolicies:
+    def test_never(self):
+        d = NeverRewritePolicy().decide(profile({1: 1, 2: 1}))
+        assert d.rewrite_sids == frozenset()
+
+    def test_always(self):
+        d = AlwaysRewritePolicy().decide(profile({1: 1, 2: 1}))
+        assert d.rewrite_sids == frozenset({1, 2})

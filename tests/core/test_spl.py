@@ -1,0 +1,61 @@
+import pytest
+
+from repro.core.spl import SPLProfile, spl_profile
+
+
+class TestSPLProfile:
+    def test_full_cover_spl_one(self):
+        p = spl_profile([7] * 10, segment_n_chunks=10)
+        assert p.spl(7) == 1.0
+        assert p.max_spl == 1.0
+        assert p.duplicate_fraction == 1.0
+
+    def test_partial_shares(self):
+        p = spl_profile([1, 1, 2], segment_n_chunks=10)
+        assert p.spl(1) == pytest.approx(0.2)
+        assert p.spl(2) == pytest.approx(0.1)
+        assert p.spl(99) == 0.0
+        assert p.max_spl == pytest.approx(0.2)
+        assert p.duplicate_fraction == pytest.approx(0.3)
+        assert p.n_referenced_segments == 2
+
+    def test_no_duplicates(self):
+        p = spl_profile([], segment_n_chunks=10)
+        assert p.max_spl == 0.0
+        assert p.duplicate_fraction == 0.0
+        assert p.n_referenced_segments == 0
+
+    def test_items_pairs(self):
+        p = spl_profile([1, 2, 2], segment_n_chunks=4)
+        assert dict(p.items()) == {1: 0.25, 2: 0.5}
+
+    def test_spl_bounds(self):
+        p = spl_profile([3] * 5 + [4] * 5, segment_n_chunks=10)
+        for _, v in p.items():
+            assert 0.0 <= v <= 1.0
+
+    def test_byte_weighted(self):
+        p = spl_profile(
+            [1, 2], segment_n_chunks=2, dup_weights=[900, 100], segment_nbytes=1000
+        )
+        assert p.spl(1) == pytest.approx(0.9)
+        assert p.spl(2) == pytest.approx(0.1)
+
+    def test_weights_require_nbytes(self):
+        with pytest.raises(ValueError):
+            spl_profile([1], 1, dup_weights=[10])
+        with pytest.raises(ValueError):
+            spl_profile([1], 1, segment_nbytes=100)
+
+    def test_weights_length_check(self):
+        with pytest.raises(ValueError):
+            spl_profile([1, 2], 2, dup_weights=[10], segment_nbytes=100)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            spl_profile([1] * 11, segment_n_chunks=10)
+
+    def test_zero_total_degenerate(self):
+        p = SPLProfile(segment_total=0, shares={})
+        assert p.spl(1) == 0.0
+        assert p.max_spl == 0.0

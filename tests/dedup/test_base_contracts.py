@@ -1,0 +1,98 @@
+"""Contract tests for the engine base layer: cost model, outcomes,
+reports, resources."""
+
+import pytest
+
+from repro._util import MIB
+from repro.dedup.base import (
+    BackupReport,
+    CostModel,
+    EngineResources,
+    SegmentOutcome,
+)
+from repro.storage.disk import DiskStats, SSD_SATA
+from repro.storage.recipe import RecipeBuilder
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        c = CostModel()
+        assert c.segment_cpu_seconds(MIB, 128) > 0
+
+    def test_linear_in_bytes_and_chunks(self):
+        c = CostModel(cpu_seconds_per_byte=1e-9, cpu_seconds_per_chunk=1e-6)
+        assert c.segment_cpu_seconds(1000, 10) == pytest.approx(1e-6 + 1e-5)
+
+    def test_zero_cost_model_allowed(self):
+        c = CostModel(cpu_seconds_per_byte=0.0, cpu_seconds_per_chunk=0.0)
+        assert c.segment_cpu_seconds(MIB, 100) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel(cpu_seconds_per_byte=-1e-9)
+
+
+class TestSegmentOutcome:
+    def test_partition_check_passes(self):
+        o = SegmentOutcome(index=0, n_chunks=3, nbytes=300, written_new=100,
+                           removed_dup=150, rewritten_dup=50)
+        o.check_partition()
+        assert o.stored_bytes == 150
+
+    def test_partition_check_fails(self):
+        o = SegmentOutcome(index=0, n_chunks=3, nbytes=300, written_new=100)
+        with pytest.raises(AssertionError):
+            o.check_partition()
+
+    def test_rejects_negative_accounting(self):
+        with pytest.raises(ValueError):
+            SegmentOutcome(index=0, n_chunks=-1, nbytes=0)
+
+
+class TestBackupReport:
+    def make(self, **kw):
+        defaults = dict(
+            generation=3,
+            label="x",
+            n_chunks=10,
+            logical_bytes=1000,
+            written_new_bytes=400,
+            removed_dup_bytes=600,
+            rewritten_dup_bytes=0,
+            elapsed_seconds=2.0,
+            recipe=RecipeBuilder(3).finalize(),
+            disk_delta=DiskStats(),
+        )
+        defaults.update(kw)
+        return BackupReport(**defaults)
+
+    def test_throughput(self):
+        assert self.make().throughput == 500.0
+
+    def test_throughput_zero_elapsed(self):
+        assert self.make(elapsed_seconds=0.0).throughput == 0.0
+
+    def test_dedup_ratio_infinite_when_nothing_stored(self):
+        r = self.make(written_new_bytes=0, removed_dup_bytes=1000)
+        assert r.dedup_ratio == float("inf")
+
+    def test_efficiency_with_rewrites_excluded(self):
+        r = self.make(rewritten_dup_bytes=100, removed_dup_bytes=500)
+        r.true_dup_bytes = 600
+        assert r.efficiency == pytest.approx(500 / 600)
+        assert r.missed_dup_bytes == 0
+
+
+class TestEngineResources:
+    def test_create_wires_shared_disk(self):
+        res = EngineResources.create()
+        assert res.store.disk is res.disk
+        assert res.index.disk is res.disk
+
+    def test_create_with_profile(self):
+        res = EngineResources.create(profile=SSD_SATA)
+        assert res.disk.profile is SSD_SATA
+
+    def test_container_bytes_respected(self):
+        res = EngineResources.create(container_bytes=MIB)
+        assert res.store.container_bytes == MIB

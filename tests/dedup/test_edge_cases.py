@@ -1,0 +1,118 @@
+"""Engine edge cases: oversized chunks, degenerate streams, bloom false
+positives, tiny caches."""
+
+import numpy as np
+import pytest
+
+from repro.chunking.base import ChunkStream
+from repro.dedup.base import CostModel, EngineResources
+from repro.dedup.ddfs import DDFSEngine
+from repro.dedup.exact import ExactEngine
+from repro.dedup.pipeline import run_backup
+from repro.index.bloom import BloomFilter
+from repro.segmenting.segmenter import ContentDefinedSegmenter
+from repro.workloads.generators import BackupJob
+
+from tests.conftest import TEST_PROFILE, make_stream
+
+
+def fresh_resources(container_bytes=256 * 1024):
+    res = EngineResources.create(
+        profile=TEST_PROFILE, container_bytes=container_bytes,
+        expected_entries=100_000,
+    )
+    res.store.seal_seeks = 0
+    return res
+
+
+class TestDegenerateStreams:
+    def test_single_chunk_stream(self, segmenter):
+        eng = ExactEngine(fresh_resources())
+        s = ChunkStream.from_pairs([(42, 1234)])
+        r = run_backup(eng, BackupJob(0, "t", s), segmenter)
+        assert r.n_chunks == 1
+        assert r.written_new_bytes == 1234
+
+    def test_chunk_larger_than_container(self, segmenter):
+        """An oversized chunk must land in a container of its own."""
+        eng = ExactEngine(fresh_resources(container_bytes=1024))
+        s = ChunkStream.from_pairs([(1, 5000), (2, 5000)])
+        r = run_backup(eng, BackupJob(0, "t", s), segmenter)
+        assert r.written_new_bytes == 10000
+        assert eng.res.store.n_containers + (
+            1 if eng.res.store.open_container else 0
+        ) >= 2
+
+    def test_all_identical_chunks(self, segmenter):
+        eng = ExactEngine(fresh_resources())
+        s = ChunkStream(
+            np.full(100, 7, dtype=np.uint64), np.full(100, 1000, dtype=np.uint32)
+        )
+        r = run_backup(eng, BackupJob(0, "t", s), segmenter)
+        assert r.written_new_bytes == 1000
+        assert r.removed_dup_bytes == 99_000
+
+    def test_zero_cost_model(self, segmenter):
+        """With zero CPU cost and a fresh stream, time is pure disk."""
+        res = fresh_resources()
+        eng = ExactEngine(res, cost=CostModel(0.0, 0.0))
+        s = make_stream(50, seed=20)
+        r = run_backup(eng, BackupJob(0, "t", s), segmenter)
+        assert r.elapsed_seconds == pytest.approx(
+            r.disk_delta.total_time_s, rel=1e-9
+        )
+
+
+class TestBloomFalsePositives:
+    def test_false_positive_charges_negative_lookup(self, segmenter):
+        """An undersized bloom produces false positives; each one costs a
+        (fruitless) on-disk index lookup but never corrupts dedup."""
+        res = fresh_resources()
+        eng = DDFSEngine(res, bloom_capacity=16, bloom_fp_rate=0.5, cache_containers=4)
+        s = make_stream(300, seed=21)
+        r = run_backup(eng, BackupJob(0, "t", s), segmenter)
+        # all chunks are genuinely new; any index lookups were FPs
+        assert r.written_new_bytes == s.total_bytes
+        assert res.index.stats.lookups > 0  # saturated bloom lies a lot
+        assert r.removed_dup_bytes == 0
+
+    def test_dedup_correct_despite_fp_storm(self, segmenter):
+        res = fresh_resources()
+        eng = DDFSEngine(res, bloom_capacity=16, bloom_fp_rate=0.5, cache_containers=4)
+        s = make_stream(200, seed=22)
+        run_backup(eng, BackupJob(0, "t", s), segmenter)
+        r = run_backup(eng, BackupJob(1, "t", s), segmenter)
+        assert r.removed_dup_bytes == s.total_bytes
+
+
+class TestTinyCache:
+    def test_cache_of_one_container_still_correct(self, segmenter):
+        res = fresh_resources()
+        eng = DDFSEngine(res, bloom_capacity=100_000, cache_containers=1,
+                         prefetch_ahead=1)
+        s = make_stream(400, seed=23)
+        run_backup(eng, BackupJob(0, "t", s), segmenter)
+        r = run_backup(eng, BackupJob(1, "t", s), segmenter)
+        assert r.removed_dup_bytes == s.total_bytes
+
+    def test_smaller_cache_never_faster(self, segmenter):
+        def elapsed(cache):
+            res = fresh_resources()
+            eng = DDFSEngine(res, bloom_capacity=100_000,
+                             cache_containers=cache, prefetch_ahead=1)
+            s = make_stream(600, seed=24)
+            run_backup(eng, BackupJob(0, "t", s), segmenter)
+            return run_backup(eng, BackupJob(1, "t", s), segmenter).elapsed_seconds
+
+        assert elapsed(16) <= elapsed(1) + 1e-9
+
+
+class TestSegmenterInteraction:
+    def test_segment_bigger_than_stream(self):
+        """A stream smaller than min segment size becomes one segment."""
+        seg = ContentDefinedSegmenter()  # 0.5-2 MB segments
+        eng = ExactEngine(fresh_resources())
+        s = make_stream(5, size=1000)  # 5 KB total
+        r = run_backup(eng, BackupJob(0, "t", s), seg)
+        assert len(r.segments) == 1
+        assert r.segments[0].n_chunks == 5

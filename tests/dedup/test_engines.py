@@ -1,0 +1,227 @@
+"""Engine behaviour tests shared across all four implementations, plus
+engine-specific mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.chunking.base import ChunkStream
+from repro.core.defrag import DeFragEngine
+from repro.core.policy import NeverRewritePolicy, SPLThresholdPolicy
+from repro.dedup.base import CostModel, EngineResources
+from repro.dedup.ddfs import DDFSEngine
+from repro.dedup.exact import ExactEngine
+from repro.dedup.pipeline import GroundTruth, run_backup, run_workload
+from repro.dedup.silo import SiLoEngine
+from repro.workloads.generators import BackupJob
+
+from tests.conftest import TEST_PROFILE, make_stream
+
+
+def fresh_resources():
+    res = EngineResources.create(
+        profile=TEST_PROFILE,
+        container_bytes=256 * 1024,
+        expected_entries=100_000,
+        index_page_cache_pages=8,
+    )
+    res.store.seal_seeks = 0
+    return res
+
+
+ENGINE_FACTORIES = {
+    "exact": lambda res: ExactEngine(res),
+    "ddfs": lambda res: DDFSEngine(res, bloom_capacity=100_000, cache_containers=8),
+    "silo": lambda res: SiLoEngine(res, block_bytes=128 * 1024, cache_blocks=8),
+    "defrag": lambda res: DeFragEngine(
+        res, policy=SPLThresholdPolicy(0.1), bloom_capacity=100_000, cache_containers=8
+    ),
+}
+
+
+def run_stream(engine, stream, segmenter, gen=0, gt=None):
+    return run_backup(engine, BackupJob(gen, "t", stream), segmenter, gt)
+
+
+@pytest.fixture(params=list(ENGINE_FACTORIES))
+def engine_name(request):
+    return request.param
+
+
+@pytest.fixture
+def engine(engine_name):
+    return ENGINE_FACTORIES[engine_name](fresh_resources())
+
+
+class TestEngineContract:
+    def test_unique_stream_all_written(self, engine, segmenter):
+        s = make_stream(100)
+        report = run_stream(engine, s, segmenter)
+        assert report.written_new_bytes == s.total_bytes
+        assert report.removed_dup_bytes == 0
+        assert report.logical_bytes == s.total_bytes
+        assert report.n_chunks == 100
+
+    def test_identical_second_stream_mostly_removed(self, engine, segmenter):
+        s = make_stream(300, seed=1)
+        run_stream(engine, s, segmenter, gen=0)
+        report = run_stream(engine, s, segmenter, gen=1)
+        handled = report.removed_dup_bytes + report.rewritten_dup_bytes
+        assert handled / s.total_bytes > 0.7
+
+    def test_partition_identity(self, engine, segmenter):
+        s = make_stream(200, seed=2)
+        run_stream(engine, s, segmenter, 0)
+        report = run_stream(engine, s, segmenter, 1)
+        assert (
+            report.written_new_bytes
+            + report.removed_dup_bytes
+            + report.rewritten_dup_bytes
+            == report.logical_bytes
+        )
+
+    def test_recipe_covers_stream(self, engine, segmenter):
+        s = make_stream(150, seed=3)
+        report = run_stream(engine, s, segmenter)
+        assert np.array_equal(report.recipe.fingerprints, s.fps)
+        assert np.array_equal(report.recipe.sizes, s.sizes)
+
+    def test_recipe_containers_sealed(self, engine, segmenter):
+        """Every container referenced by a recipe must exist after flush."""
+        s = make_stream(150, seed=4)
+        run_stream(engine, s, segmenter, 0)
+        report = run_stream(engine, s, segmenter, 1)
+        for cid in report.recipe.unique_containers():
+            assert engine.res.store.has(int(cid)), f"container {cid} missing"
+
+    def test_elapsed_positive_and_throughput(self, engine, segmenter):
+        s = make_stream(100, seed=5)
+        report = run_stream(engine, s, segmenter)
+        assert report.elapsed_seconds > 0
+        assert report.throughput > 0
+
+    def test_empty_stream(self, engine, segmenter):
+        report = run_stream(engine, ChunkStream.empty(), segmenter)
+        assert report.n_chunks == 0
+        assert report.logical_bytes == 0
+
+    def test_lifecycle_enforced(self, engine, segmenter):
+        with pytest.raises(RuntimeError):
+            engine.end_backup()
+        engine.begin_backup(0, "x")
+        with pytest.raises(RuntimeError):
+            engine.begin_backup(1, "y")
+        engine.end_backup()
+
+    def test_intra_stream_duplicates_detected(self, engine, segmenter):
+        base = make_stream(100, seed=6)
+        doubled = ChunkStream.concat([base, base])
+        report = run_stream(engine, doubled, segmenter)
+        assert report.removed_dup_bytes + report.rewritten_dup_bytes >= 0.6 * base.total_bytes
+
+
+class TestExactSpecifics:
+    def test_every_chunk_consults_index(self, segmenter):
+        res = fresh_resources()
+        eng = ExactEngine(res)
+        s = make_stream(50)
+        run_stream(eng, s, segmenter)
+        assert res.index.stats.lookups == 50
+
+    def test_exact_removes_all_duplicates(self, segmenter):
+        res = fresh_resources()
+        eng = ExactEngine(res)
+        s = make_stream(200, seed=7)
+        run_stream(eng, s, segmenter, 0)
+        report = run_stream(eng, s, segmenter, 1)
+        assert report.removed_dup_bytes == s.total_bytes
+
+
+class TestDDFSSpecifics:
+    def test_bloom_screens_new_chunks(self, segmenter):
+        res = fresh_resources()
+        eng = DDFSEngine(res, bloom_capacity=100_000, cache_containers=8)
+        s = make_stream(100, seed=8)
+        run_stream(eng, s, segmenter)
+        # new chunks should rarely reach the on-disk index (bloom FP only)
+        assert res.index.stats.lookups <= 5
+
+    def test_dedup_exactness(self, segmenter):
+        res = fresh_resources()
+        eng = DDFSEngine(res, bloom_capacity=100_000, cache_containers=8)
+        s = make_stream(300, seed=9)
+        run_stream(eng, s, segmenter, 0)
+        report = run_stream(eng, s, segmenter, 1)
+        assert report.removed_dup_bytes == s.total_bytes
+
+    def test_prefetch_amortizes_index_lookups(self, segmenter):
+        res = fresh_resources()
+        eng = DDFSEngine(res, bloom_capacity=100_000, cache_containers=8)
+        s = make_stream(400, seed=10)
+        run_stream(eng, s, segmenter, 0)
+        run_stream(eng, s, segmenter, 1)
+        # far fewer index lookups than duplicate chunks
+        assert res.index.stats.lookups < 100
+
+    def test_prefetch_ahead_reduces_seeks(self, segmenter):
+        def seeks_with(ahead):
+            res = fresh_resources()
+            eng = DDFSEngine(
+                res, bloom_capacity=100_000, cache_containers=16, prefetch_ahead=ahead
+            )
+            s = make_stream(800, seed=11)
+            run_stream(eng, s, segmenter, 0)
+            r = run_stream(eng, s, segmenter, 1)
+            return r.disk_delta.seeks
+
+        assert seeks_with(4) < seeks_with(1)
+
+    def test_extras_present(self, segmenter):
+        res = fresh_resources()
+        eng = DDFSEngine(res, bloom_capacity=100_000, cache_containers=8)
+        s = make_stream(100, seed=12)
+        r = run_stream(eng, s, segmenter)
+        for key in ("cache_hits", "prefetches", "hits_per_prefetch", "index_faults"):
+            assert key in r.extras
+
+
+class TestSiLoSpecifics:
+    def test_similarity_detects_repeat_stream(self, segmenter):
+        res = fresh_resources()
+        eng = SiLoEngine(res, block_bytes=128 * 1024, cache_blocks=8)
+        s = make_stream(400, seed=13)
+        run_stream(eng, s, segmenter, 0)
+        report = run_stream(eng, s, segmenter, 1)
+        assert report.removed_dup_bytes / s.total_bytes > 0.9
+
+    def test_never_touches_disk_index(self, segmenter):
+        res = fresh_resources()
+        eng = SiLoEngine(res, block_bytes=128 * 1024, cache_blocks=8)
+        s = make_stream(200, seed=14)
+        run_stream(eng, s, segmenter, 0)
+        run_stream(eng, s, segmenter, 1)
+        assert res.index.stats.lookups == 0
+
+    def test_bounded_similarity_misses(self, segmenter):
+        """With a tiny similarity budget, repeats are partially missed."""
+        res = fresh_resources()
+        eng = SiLoEngine(
+            res, block_bytes=128 * 1024, cache_blocks=8, similarity_capacity=2
+        )
+        s = make_stream(600, seed=15)
+        run_stream(eng, s, segmenter, 0)
+        report = run_stream(eng, s, segmenter, 1)
+        assert report.removed_dup_bytes < s.total_bytes
+
+    def test_blocks_sealed_at_backup_end(self, segmenter):
+        res = fresh_resources()
+        eng = SiLoEngine(res, block_bytes=10**9, cache_blocks=8)
+        s = make_stream(100, seed=16)
+        run_stream(eng, s, segmenter, 0)
+        assert len(eng._blocks) == 1  # sealed despite not reaching capacity
+
+    def test_extras_present(self, segmenter):
+        res = fresh_resources()
+        eng = SiLoEngine(res, block_bytes=128 * 1024, cache_blocks=8)
+        r = run_stream(eng, make_stream(100, seed=17), segmenter)
+        for key in ("block_fetches", "similarity_hit_rate", "hits_per_prefetch"):
+            assert key in r.extras

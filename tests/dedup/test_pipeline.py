@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.chunking.base import ChunkStream
+from repro.dedup.base import EngineResources
+from repro.dedup.ddfs import DDFSEngine
+from repro.dedup.exact import ExactEngine
+from repro.dedup.pipeline import GroundTruth, run_backup, run_workload
+from repro.workloads.generators import BackupJob
+
+from tests.conftest import TEST_PROFILE, make_stream
+
+
+def fresh_engine():
+    res = EngineResources.create(
+        profile=TEST_PROFILE, container_bytes=256 * 1024, expected_entries=100_000
+    )
+    res.store.seal_seeks = 0
+    return ExactEngine(res)
+
+
+class TestGroundTruth:
+    def seg_cuts(self, stream, step=50):
+        n = len(stream)
+        cuts = list(range(0, n, step))
+        if cuts[-1] != n:
+            cuts.append(n)
+        return np.asarray(cuts)
+
+    def test_fresh_stream_no_dups(self):
+        gt = GroundTruth()
+        s = make_stream(100)
+        total, per_seg, fully = gt.observe(s, self.seg_cuts(s))
+        assert total == 0
+        assert sum(per_seg) == 0
+        assert not any(fully)
+
+    def test_repeat_stream_fully_dup(self):
+        gt = GroundTruth()
+        s = make_stream(100)
+        gt.observe(s, self.seg_cuts(s))
+        total, per_seg, fully = gt.observe(s, self.seg_cuts(s))
+        assert total == s.total_bytes
+        assert all(fully)
+
+    def test_intra_stream_dups_counted(self):
+        gt = GroundTruth()
+        base = make_stream(50)
+        doubled = ChunkStream.concat([base, base])
+        total, _, _ = gt.observe(doubled, self.seg_cuts(doubled))
+        assert total == base.total_bytes
+
+    def test_partial_segment_flags(self):
+        gt = GroundTruth()
+        a = make_stream(50, seed=1)
+        gt.observe(a, self.seg_cuts(a))
+        b = make_stream(50, seed=2)
+        mixed = ChunkStream.concat([a, b])
+        total, per_seg, fully = gt.observe(mixed, np.asarray([0, 50, 100]))
+        assert total == a.total_bytes
+        assert fully == [True, False]
+        assert per_seg == [a.total_bytes, 0]
+
+    def test_empty_stream(self):
+        gt = GroundTruth()
+        total, per_seg, fully = gt.observe(ChunkStream.empty(), np.asarray([0]))
+        assert total == 0
+        assert per_seg == []
+
+    def test_seen_population_grows(self):
+        gt = GroundTruth()
+        s1, s2 = make_stream(50, seed=1), make_stream(50, seed=2)
+        gt.observe(s1, self.seg_cuts(s1))
+        assert gt.unique_fingerprints == 50
+        gt.observe(s2, self.seg_cuts(s2))
+        assert gt.unique_fingerprints == 100
+
+
+class TestRunHelpers:
+    def test_run_backup_annotates_truth(self, segmenter):
+        eng = fresh_engine()
+        gt = GroundTruth()
+        s = make_stream(100)
+        r0 = run_backup(eng, BackupJob(0, "a", s), segmenter, gt)
+        r1 = run_backup(eng, BackupJob(1, "a", s), segmenter, gt)
+        assert r0.true_dup_bytes == 0
+        assert r1.true_dup_bytes == s.total_bytes
+        assert r1.efficiency == pytest.approx(1.0)
+        assert r1.missed_dup_bytes == 0
+
+    def test_run_workload_report_per_job(self, segmenter, small_jobs):
+        eng = fresh_engine()
+        reports = run_workload(eng, small_jobs, segmenter)
+        assert len(reports) == len(small_jobs)
+        assert [r.generation for r in reports] == [j.generation for j in small_jobs]
+
+    def test_run_workload_progress_callback(self, segmenter, small_jobs):
+        eng = fresh_engine()
+        seen = []
+        run_workload(eng, small_jobs, segmenter, progress=lambda r: seen.append(r.generation))
+        assert seen == [j.generation for j in small_jobs]
+
+    def test_run_workload_without_truth(self, segmenter, small_jobs):
+        eng = fresh_engine()
+        reports = run_workload(eng, small_jobs, segmenter, with_ground_truth=False)
+        assert all(r.true_dup_bytes is None for r in reports)
+        assert all(r.efficiency is None for r in reports)
+
+    def test_exact_engine_efficiency_one(self, segmenter, small_jobs):
+        """ExactEngine removes every detectable duplicate."""
+        eng = fresh_engine()
+        reports = run_workload(eng, small_jobs, segmenter)
+        for r in reports[1:]:
+            assert r.efficiency == pytest.approx(1.0)
+
+    def test_segment_truth_aligned(self, segmenter, small_jobs):
+        eng = fresh_engine()
+        reports = run_workload(eng, small_jobs, segmenter)
+        for r in reports:
+            assert len(r.seg_true_dup_bytes) == len(r.segments)
+            assert len(r.seg_fully_dup) == len(r.segments)
+            # per-segment truth sums to the stream truth
+            assert sum(r.seg_true_dup_bytes) == r.true_dup_bytes

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.common import clear_memo
+
+
+@pytest.fixture(autouse=True)
+def _clear():
+    yield
+    clear_memo()
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.experiment == "fig2"
+        assert args.scale == "default"
+        assert args.seed is None
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig4", "--scale", "small", "--seed", "9", "--alpha", "0.3"]
+        )
+        assert args.scale == "small"
+        assert args.seed == 9
+        assert args.alpha == 0.3
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig2" in out
+        assert "MB/s" in out
+
+    def test_alpha_sweep_small(self, capsys):
+        assert main(["alpha-sweep", "--scale", "small"]) == 0
+        assert "AblationAlpha" in capsys.readouterr().out
+
+    def test_seed_changes_output(self, capsys):
+        main(["fig2", "--scale", "small", "--seed", "1"])
+        a = capsys.readouterr().out
+        main(["fig2", "--scale", "small", "--seed", "2"])
+        b = capsys.readouterr().out
+        assert a != b

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.experiments.config import APPLIANCE_2012, ExperimentConfig
+
+
+class TestPresets:
+    def test_default(self):
+        c = ExperimentConfig.default()
+        assert c.alpha == 0.1
+        assert c.disk is APPLIANCE_2012
+        assert c.n_backups == 66
+        assert c.n_users == 5
+
+    def test_small_is_smaller(self):
+        small, default = ExperimentConfig.small(), ExperimentConfig.default()
+        assert small.fs_bytes < default.fs_bytes
+        assert small.cache_containers < default.cache_containers
+
+    def test_large_is_larger(self):
+        large, default = ExperimentConfig.large(), ExperimentConfig.default()
+        assert large.fs_bytes > default.fs_bytes
+
+    def test_by_name(self):
+        assert ExperimentConfig.by_name("small") == ExperimentConfig.small()
+        with pytest.raises(ValueError):
+            ExperimentConfig.by_name("huge")
+
+    def test_with_override(self):
+        c = ExperimentConfig.default().with_(alpha=0.25, seed=7)
+        assert c.alpha == 0.25
+        assert c.seed == 7
+        assert c.fs_bytes == ExperimentConfig.default().fs_bytes
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExperimentConfig.default().alpha = 0.5  # type: ignore[misc]
+
+
+class TestBuilders:
+    def test_build_resources(self):
+        from repro.experiments.common import build_resources
+
+        res = build_resources(ExperimentConfig.small())
+        assert res.store.seal_seeks == 0
+        assert res.disk.profile is APPLIANCE_2012
+
+    def test_build_engine_names(self):
+        from repro.core.defrag import DeFragEngine
+        from repro.dedup.ddfs import DDFSEngine
+        from repro.dedup.exact import ExactEngine
+        from repro.dedup.silo import SiLoEngine
+        from repro.experiments.common import build_engine
+
+        cfg = ExperimentConfig.small()
+        assert isinstance(build_engine("DDFS-Like", cfg), DDFSEngine)
+        assert isinstance(build_engine("SiLo-Like", cfg), SiLoEngine)
+        assert isinstance(build_engine("DeFrag", cfg), DeFragEngine)
+        assert isinstance(build_engine("Exact", cfg), ExactEngine)
+        with pytest.raises(ValueError):
+            build_engine("nope", cfg)
+
+    def test_defrag_alpha_wired(self):
+        from repro.experiments.common import build_engine
+
+        eng = build_engine("DeFrag", ExperimentConfig.small().with_(alpha=0.33))
+        assert eng.policy.alpha == 0.33

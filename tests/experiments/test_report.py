@@ -1,0 +1,74 @@
+"""Markdown report generator tests + DeFrag telemetry extras."""
+
+import pytest
+
+from repro.experiments.common import clear_memo
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import generate_markdown, write_report
+
+
+@pytest.fixture(autouse=True)
+def _clear():
+    yield
+    clear_memo()
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    text = generate_markdown(ExperimentConfig.small())
+    clear_memo()
+    return text
+
+
+class TestReport:
+    def test_contains_every_figure(self, report_text):
+        for fig in ("Fig2", "Fig3", "Fig4", "Fig5", "Fig6"):
+            assert fig in report_text
+
+    def test_contains_config(self, report_text):
+        assert "## Configuration" in report_text
+        assert "alpha: 0.1" in report_text
+
+    def test_markdown_tables_wellformed(self, report_text):
+        lines = report_text.splitlines()
+        header_rows = [i for i, l in enumerate(lines) if l.startswith("| generation")]
+        assert header_rows
+        for i in header_rows:
+            assert lines[i + 1].startswith("|---")
+            assert lines[i + 2].startswith("| 1 ")
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "r.md", ExperimentConfig.small())
+        assert path.read_text().startswith("# DeFrag reproduction report")
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--scale", "small", "--save", str(tmp_path)]) == 0
+        assert (tmp_path / "report.md").exists()
+        assert "Fig4" in capsys.readouterr().out
+
+
+class TestDeFragTelemetry:
+    def test_extras_present_and_consistent(self, segmenter, small_jobs):
+        from repro.core.defrag import DeFragEngine
+        from repro.core.policy import SPLThresholdPolicy
+        from repro.dedup.base import EngineResources
+        from repro.dedup.pipeline import run_workload
+        from tests.conftest import TEST_PROFILE
+
+        res = EngineResources.create(
+            profile=TEST_PROFILE, container_bytes=256 * 1024, expected_entries=100_000
+        )
+        res.store.seal_seeks = 0
+        eng = DeFragEngine(
+            res, policy=SPLThresholdPolicy(0.3),
+            bloom_capacity=100_000, cache_containers=8,
+        )
+        reports = run_workload(eng, small_jobs, segmenter)
+        for r in reports:
+            assert "spl_groups_referenced" in r.extras
+            assert r.extras["spl_groups_rewritten"] <= r.extras["spl_groups_referenced"]
+            assert r.extras["segments_with_rewrites"] <= len(r.segments)
+            if r.rewritten_dup_bytes > 0:
+                assert r.extras["spl_groups_rewritten"] > 0

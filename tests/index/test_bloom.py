@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.index.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_sizing_grows_with_capacity(self):
+        a = BloomFilter(1000, 0.01)
+        b = BloomFilter(10000, 0.01)
+        assert b.n_bits > a.n_bits
+
+    def test_sizing_grows_with_precision(self):
+        a = BloomFilter(1000, 0.05)
+        b = BloomFilter(1000, 0.001)
+        assert b.n_bits > a.n_bits
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_degenerate_rates(self, bad):
+        with pytest.raises(ValueError):
+            BloomFilter(100, bad)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+
+
+class TestMembership:
+    def test_no_false_negatives_scalar(self):
+        b = BloomFilter(1000, 0.01)
+        for fp in range(200):
+            b.add(fp)
+        assert all(fp in b for fp in range(200))
+
+    def test_no_false_negatives_vectorized(self):
+        b = BloomFilter(10000, 0.01)
+        fps = np.arange(5000, dtype=np.uint64) * np.uint64(2654435761)
+        b.add_many(fps)
+        assert b.contains_many(fps).all()
+
+    def test_fresh_filter_rejects_everything(self):
+        b = BloomFilter(1000, 0.01)
+        assert not b.contains_many(np.arange(100, dtype=np.uint64)).any()
+
+    def test_false_positive_rate_near_target(self):
+        b = BloomFilter(20000, 0.01)
+        b.add_many(np.arange(20000, dtype=np.uint64))
+        fresh = np.arange(10**6, 10**6 + 50000, dtype=np.uint64)
+        rate = float(b.contains_many(fresh).mean())
+        assert rate < 0.03
+
+    def test_empty_array_ops(self):
+        b = BloomFilter(100)
+        b.add_many(np.zeros(0, dtype=np.uint64))
+        assert b.contains_many(np.zeros(0, dtype=np.uint64)).shape == (0,)
+
+    def test_duplicate_adds_counted(self):
+        b = BloomFilter(100)
+        b.add(5)
+        b.add(5)
+        assert b.n_added == 2
+        assert 5 in b
+
+
+class TestIntrospection:
+    def test_fill_ratio_increases(self):
+        b = BloomFilter(1000, 0.01)
+        assert b.fill_ratio == 0.0
+        b.add_many(np.arange(500, dtype=np.uint64))
+        assert 0.0 < b.fill_ratio < 1.0
+
+    def test_expected_fp_rate_monotone(self):
+        b = BloomFilter(1000, 0.01)
+        r0 = b.expected_fp_rate()
+        b.add_many(np.arange(1000, dtype=np.uint64))
+        assert b.expected_fp_rate() > r0
+
+    def test_ram_bytes_positive(self):
+        assert BloomFilter(1000).ram_bytes > 0

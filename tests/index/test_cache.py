@@ -1,0 +1,132 @@
+import numpy as np
+
+from repro.index.cache import FingerprintPrefetchCache, LRUCache
+
+
+class TestLRUCache:
+    def test_get_put(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.get("b") is None
+
+    def test_eviction_order(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh a
+        c.put("c", 3)  # evicts b
+        assert "b" not in c
+        assert "a" in c and "c" in c
+
+    def test_overwrite_refreshes(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)
+        c.put("c", 3)  # evicts b, not a
+        assert c.get("a") == 10
+        assert "b" not in c
+
+    def test_hit_miss_counters(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.get("a")
+        c.get("zz")
+        assert c.hits == 1
+        assert c.misses == 1
+
+    def test_len(self):
+        c = LRUCache(3)
+        for k in "abc":
+            c.put(k, 0)
+        c.put("d", 0)
+        assert len(c) == 3
+
+
+class TestPrefetchCache:
+    def unit(self, *fps):
+        return np.asarray(fps, dtype=np.uint64)
+
+    def test_lookup_after_insert(self):
+        c = FingerprintPrefetchCache(4)
+        c.insert_unit(10, self.unit(1, 2, 3))
+        assert c.lookup(2) == 10
+        assert c.lookup(9) is None
+        assert 1 in c
+
+    def test_eviction_removes_fps(self):
+        c = FingerprintPrefetchCache(2)
+        c.insert_unit(1, self.unit(10))
+        c.insert_unit(2, self.unit(20))
+        c.insert_unit(3, self.unit(30))  # evicts unit 1
+        assert c.lookup(10) is None
+        assert c.lookup(20) == 2
+        assert c.stats.units_evicted == 1
+
+    def test_lookup_refreshes_unit_recency(self):
+        c = FingerprintPrefetchCache(2)
+        c.insert_unit(1, self.unit(10))
+        c.insert_unit(2, self.unit(20))
+        c.lookup(10)  # refresh unit 1
+        c.insert_unit(3, self.unit(30))  # evicts unit 2
+        assert c.lookup(10) == 1
+        assert c.lookup(20) is None
+
+    def test_shared_fp_across_units_eviction_safe(self):
+        """A fingerprint present in two units must survive eviction of the
+        newer unit while the older one is still cached (the DeFrag rewrite
+        scenario) once the older unit is re-prefetched."""
+        c = FingerprintPrefetchCache(2)
+        c.insert_unit(1, self.unit(10, 11))
+        c.insert_unit(2, self.unit(11, 12))  # steals fp 11
+        c.insert_unit(3, self.unit(30))  # evicts unit 1
+        c.insert_unit(4, self.unit(40))  # evicts unit 2 -> fp 11 unmapped
+        assert c.lookup(11) is None
+        # re-prefetch of unit... none cached; insert unit 2 again
+        c.insert_unit(2, self.unit(11, 12))
+        assert c.lookup(11) == 2
+
+    def test_reinsert_cached_unit_restores_mappings(self):
+        """Re-prefetching a cached unit must re-register its fps (the bug
+        that produced repeated faults on one container): fp 11 lives in
+        units 1 and 2; unit 2 steals the mapping and is evicted, leaving
+        fp 11 unreachable although unit 1 is still cached."""
+        c = FingerprintPrefetchCache(2)
+        c.insert_unit(1, self.unit(10, 11))
+        c.insert_unit(2, self.unit(11))
+        c.lookup(10)  # refresh unit 1
+        c.insert_unit(3, self.unit(30))  # evicts unit 2 -> fp 11 unmapped
+        assert c.lookup(11) is None
+        c.insert_unit(1, self.unit(10, 11))  # re-prefetch cached unit 1
+        assert c.lookup(11) == 1
+
+    def test_has_unit_no_recency_change(self):
+        c = FingerprintPrefetchCache(2)
+        c.insert_unit(1, self.unit(10))
+        c.insert_unit(2, self.unit(20))
+        assert c.has_unit(1)
+        c.insert_unit(3, self.unit(30))  # evicts 1 despite has_unit call
+        assert not c.has_unit(1)
+
+    def test_stats_hit_rate(self):
+        c = FingerprintPrefetchCache(2)
+        c.insert_unit(1, self.unit(10))
+        c.lookup(10)
+        c.lookup(99)
+        assert c.stats.hits == 1
+        assert c.stats.lookups == 2
+        assert c.stats.hit_rate == 0.5
+        assert c.stats.hits_per_unit == 1.0
+
+    def test_clear(self):
+        c = FingerprintPrefetchCache(2)
+        c.insert_unit(1, self.unit(10))
+        c.clear()
+        assert len(c) == 0
+        assert c.lookup(10) is None
+
+    def test_empty_unit_insert(self):
+        c = FingerprintPrefetchCache(2)
+        c.insert_unit(1, self.unit())
+        assert c.has_unit(1)

@@ -1,0 +1,99 @@
+import pytest
+
+from repro.index.full_index import ChunkLocation, DiskChunkIndex
+from repro.storage.disk import DiskModel
+
+from tests.conftest import TEST_PROFILE
+
+
+def make_index(page_cache_pages=4, expected=1000):
+    disk = DiskModel(profile=TEST_PROFILE)
+    return DiskChunkIndex(
+        disk,
+        expected_entries=expected,
+        page_bytes=4096,
+        entry_bytes=40,
+        page_cache_pages=page_cache_pages,
+    )
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        idx = make_index()
+        idx.insert(42, ChunkLocation(1, 2))
+        assert idx.lookup(42) == ChunkLocation(1, 2)
+        assert len(idx) == 1
+
+    def test_lookup_missing_returns_none_but_charges(self):
+        idx = make_index(page_cache_pages=0)
+        before = idx.disk.stats.snapshot()
+        assert idx.lookup(99) is None
+        d = idx.disk.stats.delta_since(before)
+        assert d.seeks == 1
+        assert d.bytes_read == 4096
+
+    def test_update_repoints(self):
+        idx = make_index()
+        idx.insert(1, ChunkLocation(0, 0))
+        idx.update(1, ChunkLocation(5, 7))
+        assert idx.peek(1) == ChunkLocation(5, 7)
+        assert idx.stats.updates == 1
+
+    def test_peek_free(self):
+        idx = make_index()
+        idx.insert(1, ChunkLocation(0, 0))
+        before = idx.disk.stats.snapshot()
+        assert idx.peek(1) == ChunkLocation(0, 0)
+        assert idx.peek(2) is None
+        assert idx.disk.stats.delta_since(before).seeks == 0
+
+    def test_contains_is_ram_model(self):
+        idx = make_index()
+        idx.insert(1, ChunkLocation(0, 0))
+        assert 1 in idx
+        assert 2 not in idx
+
+    def test_inserts_uncharged(self):
+        idx = make_index()
+        before = idx.disk.stats.snapshot()
+        for i in range(100):
+            idx.insert(i, ChunkLocation(0, 0))
+        assert idx.disk.stats.delta_since(before).seeks == 0
+
+
+class TestPaging:
+    def test_page_of_stable(self):
+        idx = make_index()
+        assert idx.page_of(123) == idx.page_of(123)
+        assert 0 <= idx.page_of(123) < idx.n_pages
+
+    def test_page_cache_absorbs_repeat_lookups(self):
+        idx = make_index(page_cache_pages=4)
+        idx.insert(7, ChunkLocation(0, 0))
+        idx.lookup(7)
+        faults_after_first = idx.stats.page_faults
+        idx.lookup(7)
+        assert idx.stats.page_faults == faults_after_first
+        assert idx.stats.page_hits >= 1
+
+    def test_page_cache_evicts(self):
+        idx = make_index(page_cache_pages=1)
+        # two fps in different pages ping-pong the single cache slot
+        fp_a, fp_b = 0, 1
+        assert idx.page_of(fp_a) != idx.page_of(fp_b)
+        idx.lookup(fp_a)
+        idx.lookup(fp_b)
+        idx.lookup(fp_a)
+        assert idx.stats.page_faults == 3
+
+    def test_fault_rate(self):
+        idx = make_index(page_cache_pages=4)
+        idx.lookup(1)
+        idx.lookup(1)
+        assert idx.stats.fault_rate == pytest.approx(0.5)
+
+    def test_disk_bytes_tracks_entries(self):
+        idx = make_index()
+        for i in range(10):
+            idx.insert(i, ChunkLocation(0, 0))
+        assert idx.disk_bytes == 400

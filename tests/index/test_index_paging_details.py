@@ -1,0 +1,59 @@
+"""Finer-grained paging behaviour of the on-disk chunk index."""
+
+import pytest
+
+from repro.index.full_index import ChunkLocation, DiskChunkIndex
+from repro.storage.disk import DiskModel
+
+from tests.conftest import TEST_PROFILE
+
+
+class TestSizing:
+    def test_page_count_scales_with_expectation(self):
+        disk = DiskModel(profile=TEST_PROFILE)
+        small = DiskChunkIndex(disk, expected_entries=1_000)
+        big = DiskChunkIndex(disk, expected_entries=1_000_000)
+        assert big.n_pages > small.n_pages
+
+    def test_entries_per_page_respected(self):
+        disk = DiskModel(profile=TEST_PROFILE)
+        idx = DiskChunkIndex(disk, expected_entries=1000, page_bytes=400, entry_bytes=40)
+        # 10 entries per page -> 100 pages
+        assert idx.n_pages == 100
+
+    def test_rejects_bad_sizes(self):
+        disk = DiskModel(profile=TEST_PROFILE)
+        with pytest.raises(ValueError):
+            DiskChunkIndex(disk, expected_entries=0)
+        with pytest.raises(ValueError):
+            DiskChunkIndex(disk, page_bytes=0)
+
+
+class TestChargeModel:
+    def test_same_page_lookups_amortized(self):
+        """Fingerprints landing in one bucket page share its fault."""
+        disk = DiskModel(profile=TEST_PROFILE)
+        idx = DiskChunkIndex(disk, expected_entries=100, page_cache_pages=4)
+        same_page = [fp for fp in range(1000) if idx.page_of(fp) == idx.page_of(0)]
+        assert len(same_page) >= 2
+        for fp in same_page[:2]:
+            idx.insert(fp, ChunkLocation(0, 0))
+        idx.lookup(same_page[0])
+        faults_after_first = idx.stats.page_faults
+        idx.lookup(same_page[1])
+        assert idx.stats.page_faults == faults_after_first
+
+    def test_no_page_cache_every_lookup_faults(self):
+        disk = DiskModel(profile=TEST_PROFILE)
+        idx = DiskChunkIndex(disk, expected_entries=100, page_cache_pages=0)
+        idx.insert(1, ChunkLocation(0, 0))
+        idx.lookup(1)
+        idx.lookup(1)
+        assert idx.stats.page_faults == 2
+
+    def test_update_then_lookup_sees_new_location(self):
+        disk = DiskModel(profile=TEST_PROFILE)
+        idx = DiskChunkIndex(disk, expected_entries=100)
+        idx.insert(5, ChunkLocation(1, 1))
+        idx.update(5, ChunkLocation(9, 2))
+        assert idx.lookup(5) == ChunkLocation(9, 2)

@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+
+from repro.index.sampling import jaccard, minhash_signature, sample_fingerprints
+from repro.index.similarity import SimilarityIndex
+
+
+class TestSimilarityIndexUnbounded:
+    def test_lookup_insert(self):
+        idx = SimilarityIndex()
+        assert idx.lookup(5) is None
+        idx.insert(5, 100)
+        assert idx.lookup(5) == 100
+        assert 5 in idx
+
+    def test_newer_overwrites(self):
+        idx = SimilarityIndex()
+        idx.insert(5, 100)
+        idx.insert(5, 200)
+        assert idx.lookup(5) == 200
+        assert len(idx) == 1
+
+    def test_stats(self):
+        idx = SimilarityIndex()
+        idx.insert(1, 1)
+        idx.lookup(1)
+        idx.lookup(2)
+        assert idx.stats.hits == 1
+        assert idx.stats.lookups == 2
+        assert idx.stats.hit_rate == 0.5
+
+    def test_ram_bytes(self):
+        idx = SimilarityIndex()
+        for i in range(10):
+            idx.insert(i, i)
+        assert idx.ram_bytes == 160
+
+
+class TestSimilarityIndexBounded:
+    def test_capacity_enforced(self):
+        idx = SimilarityIndex(capacity=10)
+        for i in range(100):
+            idx.insert(i, i)
+        assert len(idx) == 10
+        assert idx.stats.evictions == 90
+
+    def test_overwrite_does_not_evict(self):
+        idx = SimilarityIndex(capacity=2)
+        idx.insert(1, 1)
+        idx.insert(2, 2)
+        idx.insert(1, 99)  # same key: overwrite, no eviction
+        assert idx.stats.evictions == 0
+        assert len(idx) == 2
+
+    def test_eviction_deterministic(self):
+        a = SimilarityIndex(capacity=5)
+        b = SimilarityIndex(capacity=5)
+        for i in range(50):
+            a.insert(i, i)
+            b.insert(i, i)
+        assert sorted(a._map) == sorted(b._map)
+
+    def test_survivors_resolvable(self):
+        idx = SimilarityIndex(capacity=5)
+        for i in range(20):
+            idx.insert(i, i * 10)
+        for key, bid in list(idx._map.items()):
+            assert idx.lookup(key) == bid
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SimilarityIndex(capacity=0)
+
+
+class TestSampling:
+    def test_sample_by_value(self):
+        fps = np.arange(1000, dtype=np.uint64)
+        s = sample_fingerprints(fps, rate=10)
+        assert (s % 10 == 0).all()
+        assert s.size == 100
+
+    def test_sample_deterministic_by_value(self):
+        fps = np.array([20, 21, 30], dtype=np.uint64)
+        assert sample_fingerprints(fps, 10).tolist() == [20, 30]
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            sample_fingerprints(np.zeros(1, dtype=np.uint64), 0)
+
+
+class TestMinhash:
+    def test_identical_sets_identical_sig(self):
+        fps = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(minhash_signature(fps, 4), minhash_signature(fps, 4))
+
+    def test_disjoint_sets_differ(self):
+        a = minhash_signature(np.arange(100, dtype=np.uint64))
+        b = minhash_signature(np.arange(1000, 1100, dtype=np.uint64))
+        assert not np.array_equal(a, b)
+
+    def test_empty_returns_max(self):
+        sig = minhash_signature(np.zeros(0, dtype=np.uint64), 3)
+        assert (sig == np.iinfo(np.uint64).max).all()
+
+    def test_similarity_estimation_tracks_jaccard(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 2**63, 2000).astype(np.uint64)
+        a = base[:1500]
+        b = base[500:]  # ~50% overlap
+        k = 64
+        sa = minhash_signature(a, k)
+        sb = minhash_signature(b, k)
+        est = float((sa == sb).mean())
+        true = jaccard(a, b)
+        assert abs(est - true) < 0.15
+
+
+class TestJaccard:
+    def test_identical(self):
+        a = np.arange(10, dtype=np.uint64)
+        assert jaccard(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(
+            np.arange(10, dtype=np.uint64), np.arange(20, 30, dtype=np.uint64)
+        ) == 0.0
+
+    def test_both_empty(self):
+        e = np.zeros(0, dtype=np.uint64)
+        assert jaccard(e, e) == 1.0
+
+    def test_half_overlap(self):
+        a = np.arange(0, 10, dtype=np.uint64)
+        b = np.arange(5, 15, dtype=np.uint64)
+        assert jaccard(a, b) == pytest.approx(5 / 15)

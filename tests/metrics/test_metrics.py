@@ -1,0 +1,156 @@
+import pytest
+
+from repro.dedup.base import BackupReport, SegmentOutcome
+from repro.metrics.efficiency import (
+    cumulative_efficiency,
+    efficiency_series,
+    kept_redundancy_fraction,
+    partial_segment_efficiency,
+)
+from repro.metrics.fragmentation import fragmentation_series, locality_series
+from repro.metrics.storage import compression_ratio, storage_summary
+from repro.metrics.throughput import mean_throughput, throughput_series
+from repro.storage.disk import DiskStats
+from repro.storage.recipe import RecipeBuilder
+
+
+def report(
+    gen=0,
+    logical=1000,
+    written=1000,
+    removed=0,
+    rewritten=0,
+    elapsed=1.0,
+    true_dup=None,
+    segments=None,
+    seg_true=None,
+    seg_fully=None,
+    extras=None,
+    cids=None,
+):
+    b = RecipeBuilder(gen)
+    n = max(logical // 100, 1)
+    cids = cids if cids is not None else [0] * n
+    for i in range(n):
+        b.add(i, logical // n, cids[i % len(cids)])
+    r = BackupReport(
+        generation=gen,
+        label="t",
+        n_chunks=n,
+        logical_bytes=logical,
+        written_new_bytes=written,
+        removed_dup_bytes=removed,
+        rewritten_dup_bytes=rewritten,
+        elapsed_seconds=elapsed,
+        recipe=b.finalize(),
+        disk_delta=DiskStats(),
+        segments=segments or [],
+    )
+    r.true_dup_bytes = true_dup
+    r.seg_true_dup_bytes = seg_true
+    r.seg_fully_dup = seg_fully
+    if extras:
+        r.extras.update(extras)
+    return r
+
+
+class TestThroughput:
+    def test_series(self):
+        rs = [report(logical=1000, elapsed=2.0), report(logical=3000, elapsed=1.0)]
+        assert throughput_series(rs) == [500.0, 3000.0]
+
+    def test_mean_weighted_by_bytes(self):
+        rs = [report(logical=1000, elapsed=1.0), report(logical=9000, elapsed=1.0)]
+        assert mean_throughput(rs) == pytest.approx(5000.0)
+
+    def test_mean_empty(self):
+        assert mean_throughput([]) == 0.0
+
+
+class TestEfficiency:
+    def test_series_requires_truth(self):
+        with pytest.raises(ValueError):
+            efficiency_series([report()])
+
+    def test_per_gen(self):
+        rs = [report(removed=80, true_dup=100), report(removed=100, true_dup=100)]
+        assert efficiency_series(rs) == [0.8, 1.0]
+
+    def test_no_redundancy_counts_as_perfect(self):
+        assert efficiency_series([report(removed=0, true_dup=0)]) == [1.0]
+
+    def test_cumulative(self):
+        rs = [report(removed=50, true_dup=100), report(removed=100, true_dup=100)]
+        assert cumulative_efficiency(rs) == [0.5, 0.75]
+
+    def test_kept_fraction_complements(self):
+        rs = [report(removed=50, true_dup=100)]
+        assert kept_redundancy_fraction(rs) == [0.5]
+
+    def test_partial_segment_accounting(self):
+        seg_full = SegmentOutcome(index=0, n_chunks=10, nbytes=100, removed_dup=100)
+        seg_part = SegmentOutcome(
+            index=1, n_chunks=10, nbytes=100, written_new=60, removed_dup=40
+        )
+        seg_new = SegmentOutcome(index=2, n_chunks=10, nbytes=100, written_new=100)
+        r = report(
+            removed=140,
+            true_dup=150,
+            segments=[seg_full, seg_part, seg_new],
+            seg_true=[100, 50, 0],
+            seg_fully=[True, False, False],
+        )
+        # only the partial segment counts: removed 40 of true 50
+        assert partial_segment_efficiency([r]) == [pytest.approx(0.8)]
+
+    def test_partial_requires_segment_truth(self):
+        with pytest.raises(ValueError):
+            partial_segment_efficiency([report(true_dup=10)])
+
+
+class TestStorage:
+    def test_summary(self):
+        rs = [
+            report(logical=1000, written=1000),
+            report(logical=1000, written=100, removed=800, rewritten=100),
+        ]
+        s = storage_summary(rs)
+        assert s.logical_bytes == 2000
+        assert s.stored_bytes == 1200
+        assert s.removed_bytes == 800
+        assert s.rewritten_bytes == 100
+        assert s.compression_ratio == pytest.approx(2000 / 1200)
+        assert s.rewrite_overhead == pytest.approx(100 / 1200)
+        assert compression_ratio(rs) == s.compression_ratio
+
+
+class TestFragmentationSeries:
+    def test_fragmentation(self):
+        r = report(cids=[0, 1, 2])
+        series = fragmentation_series([r])
+        assert series[0] > 0
+
+    def test_locality_requires_extras(self):
+        with pytest.raises(ValueError):
+            locality_series([report()])
+
+    def test_locality_reads_extras(self):
+        r = report(extras={"hits_per_prefetch": 42.0})
+        assert locality_series([r]) == [42.0]
+
+
+class TestReportProperties:
+    def test_dedup_ratio(self):
+        r = report(logical=1000, written=250)
+        assert r.dedup_ratio == 4.0
+
+    def test_missed_dup_bytes(self):
+        r = report(removed=70, rewritten=10, true_dup=100)
+        assert r.missed_dup_bytes == 20
+
+    def test_efficiency_none_without_truth(self):
+        assert report().efficiency is None
+
+    def test_summary_string(self):
+        s = report(true_dup=10, removed=10).summary()
+        assert "gen" in s and "MiB" in s

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.metrics.spl_analysis import (
+    max_share_histogram,
+    mean_containers_per_segment,
+    segment_share_profiles,
+)
+from repro.storage.recipe import RecipeBuilder
+
+
+def recipe_from_cids(cids):
+    b = RecipeBuilder(0)
+    for i, c in enumerate(cids):
+        b.add(i, 100, c)
+    return b.finalize()
+
+
+class TestShareProfiles:
+    def test_single_container_segment(self):
+        r = recipe_from_cids([5] * 10)
+        profiles = segment_share_profiles(r, [0, 10])
+        assert len(profiles) == 1
+        assert profiles[0].max_share == 1.0
+        assert profiles[0].n_containers == 1
+
+    def test_split_segment(self):
+        r = recipe_from_cids([1] * 6 + [2] * 4)
+        (p,) = segment_share_profiles(r, [0, 10])
+        assert p.max_share == pytest.approx(0.6)
+        assert p.shares.tolist() == pytest.approx([0.6, 0.4])
+
+    def test_shares_sum_to_one(self):
+        r = recipe_from_cids([1, 2, 3, 1, 2, 1])
+        (p,) = segment_share_profiles(r, [0, 6])
+        assert p.shares.sum() == pytest.approx(1.0)
+
+    def test_multiple_segments(self):
+        r = recipe_from_cids([1] * 5 + [2] * 5)
+        profiles = segment_share_profiles(r, [0, 5, 10])
+        assert len(profiles) == 2
+        assert all(p.max_share == 1.0 for p in profiles)
+
+    def test_empty_recipe(self):
+        r = RecipeBuilder(0).finalize()
+        assert segment_share_profiles(r, [0]) == []
+
+
+class TestAggregates:
+    def test_histogram_counts_segments(self):
+        r = recipe_from_cids([1] * 5 + [2] * 5)
+        profiles = segment_share_profiles(r, [0, 5, 10])
+        hist = max_share_histogram(profiles, bins=10)
+        assert hist.sum() == 2
+        assert hist[-1] == 2  # both segments perfectly linear
+
+    def test_histogram_shift_with_fragmentation(self):
+        linear = segment_share_profiles(recipe_from_cids([1] * 10), [0, 10])
+        scattered = segment_share_profiles(recipe_from_cids(list(range(10))), [0, 10])
+        h_lin = max_share_histogram(linear, bins=10)
+        h_sca = max_share_histogram(scattered, bins=10)
+        assert h_lin[-1] == 1
+        # max share 0.1 lands at the bottom of the histogram (bin edge
+        # semantics put the value 0.1 in the [0.1, 0.2) bin)
+        assert h_sca[:2].sum() == 1
+        assert h_sca[-1] == 0
+
+    def test_histogram_empty(self):
+        assert max_share_histogram([], bins=5).tolist() == [0] * 5
+
+    def test_mean_containers(self):
+        r = recipe_from_cids([1] * 5 + [2, 3, 4, 5, 6])
+        profiles = segment_share_profiles(r, [0, 5, 10])
+        assert mean_containers_per_segment(profiles) == pytest.approx(3.0)
+
+    def test_mean_containers_empty(self):
+        assert mean_containers_per_segment([]) == 0.0

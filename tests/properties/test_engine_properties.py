@@ -1,0 +1,103 @@
+"""Property-based tests over the dedup engines: random chunk streams in,
+invariants out."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.base import ChunkStream
+from repro.core.defrag import DeFragEngine
+from repro.core.policy import SPLThresholdPolicy
+from repro.dedup.base import EngineResources
+from repro.dedup.ddfs import DDFSEngine
+from repro.dedup.exact import ExactEngine
+from repro.dedup.pipeline import GroundTruth, run_backup
+from repro.dedup.silo import SiLoEngine
+from repro.restore.reader import RestoreReader
+from repro.segmenting.segmenter import ContentDefinedSegmenter
+from repro.workloads.generators import BackupJob
+
+from tests.conftest import TEST_PROFILE
+
+
+def small_segmenter():
+    return ContentDefinedSegmenter(
+        min_bytes=4096, avg_bytes=8192, max_bytes=16384, avg_chunk_bytes=1024
+    )
+
+
+def fresh(factory):
+    res = EngineResources.create(
+        profile=TEST_PROFILE, container_bytes=64 * 1024, expected_entries=50_000
+    )
+    res.store.seal_seeks = 0
+    return factory(res)
+
+
+FACTORIES = [
+    lambda r: ExactEngine(r),
+    lambda r: DDFSEngine(r, bloom_capacity=50_000, cache_containers=4),
+    lambda r: SiLoEngine(r, block_bytes=64 * 1024, cache_blocks=4, similarity_capacity=32),
+    lambda r: DeFragEngine(r, policy=SPLThresholdPolicy(0.1),
+                           bloom_capacity=50_000, cache_containers=4),
+]
+
+# streams: lists of (fp-class, size); small fp alphabet forces duplicates
+stream_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=60),
+              st.integers(min_value=256, max_value=4096)),
+    min_size=0, max_size=150,
+).map(
+    lambda pairs: ChunkStream.from_pairs(
+        # sizes must be consistent per fingerprint (same chunk == same bytes)
+        [(fp, 256 + (fp * 37) % 3840) for fp, _ in pairs]
+    )
+)
+
+
+@st.composite
+def two_streams(draw):
+    return draw(stream_strategy), draw(stream_strategy)
+
+
+class TestEngineInvariantProperties:
+    @given(stream_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_partition_and_recipe(self, stream):
+        for factory in FACTORIES:
+            eng = fresh(factory)
+            r = run_backup(eng, BackupJob(0, "p", stream), small_segmenter())
+            assert (
+                r.written_new_bytes + r.removed_dup_bytes + r.rewritten_dup_bytes
+                == r.logical_bytes
+            )
+            assert np.array_equal(r.recipe.fingerprints, stream.fps)
+
+    @given(two_streams())
+    @settings(max_examples=15, deadline=None)
+    def test_no_misses_for_exact_family(self, streams):
+        s1, s2 = streams
+        for factory in FACTORIES[:2] + FACTORIES[3:]:  # exact, ddfs, defrag
+            eng = fresh(factory)
+            gt = GroundTruth()
+            run_backup(eng, BackupJob(0, "p", s1), small_segmenter(), gt)
+            r = run_backup(eng, BackupJob(1, "p", s2), small_segmenter(), gt)
+            assert r.missed_dup_bytes == 0
+
+    @given(two_streams())
+    @settings(max_examples=15, deadline=None)
+    def test_restore_returns_all_bytes(self, streams):
+        s1, s2 = streams
+        for factory in FACTORIES:
+            eng = fresh(factory)
+            run_backup(eng, BackupJob(0, "p", s1), small_segmenter())
+            r = run_backup(eng, BackupJob(1, "p", s2), small_segmenter())
+            rr = RestoreReader(eng.res.store, cache_containers=4).restore(r.recipe)
+            assert rr.logical_bytes == s2.total_bytes
+
+    @given(stream_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_silo_never_removes_more_than_truth(self, stream):
+        eng = fresh(FACTORIES[2])
+        gt = GroundTruth()
+        r = run_backup(eng, BackupJob(0, "p", stream), small_segmenter(), gt)
+        assert r.removed_dup_bytes <= (r.true_dup_bytes or 0) or r.true_dup_bytes is None

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.base import ChunkStream
+from repro.chunking.fingerprint import splitmix64, splitmix64_array
+from repro.chunking.fixed import FixedChunker
+from repro.chunking.gear import GearChunker
+from repro.core.policy import CappingPolicy, SPLThresholdPolicy
+from repro.core.spl import spl_profile
+from repro.index.bloom import BloomFilter
+from repro.storage.layout import container_run_lengths
+
+
+fps_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=0, max_size=200
+).map(lambda xs: np.asarray(xs, dtype=np.uint64))
+
+
+class TestSplitmix:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_range(self, x):
+        assert 0 <= splitmix64(x) < 2**64
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                    min_size=1, max_size=100, unique=True))
+    def test_injective_on_sample(self, xs):
+        ys = [splitmix64(x) for x in xs]
+        assert len(set(ys)) == len(xs)
+
+    @given(fps_arrays)
+    def test_vectorized_matches_scalar(self, arr):
+        out = splitmix64_array(arr)
+        for i in range(min(len(arr), 10)):
+            assert int(out[i]) == splitmix64(int(arr[i]))
+
+
+class TestBloomProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**63), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives(self, keys):
+        b = BloomFilter(1000, 0.01)
+        arr = np.asarray(keys, dtype=np.uint64)
+        b.add_many(arr)
+        assert b.contains_many(arr).all()
+
+
+class TestChunkerProperties:
+    @given(st.binary(min_size=0, max_size=8000))
+    @settings(max_examples=30, deadline=None)
+    def test_gear_boundaries_partition(self, data):
+        cuts = GearChunker(avg_size=256).cut_boundaries(data)
+        assert cuts[0] == 0
+        assert cuts[-1] == len(data)
+        assert (np.diff(cuts) > 0).all() or len(data) == 0
+
+    @given(st.binary(min_size=1, max_size=8000))
+    @settings(max_examples=30, deadline=None)
+    def test_gear_sizes_bounded(self, data):
+        c = GearChunker(avg_size=256, min_size=64, max_size=1024)
+        sizes = np.diff(c.cut_boundaries(data))
+        assert (sizes <= 1024).all()
+        if len(sizes) > 1:
+            assert (sizes[:-1] >= 64).all()
+
+    @given(st.binary(min_size=0, max_size=5000),
+           st.integers(min_value=1, max_value=512))
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_chunker_reassembles(self, data, size):
+        cuts = FixedChunker(chunk_size=size).cut_boundaries(data)
+        assert int(np.diff(cuts).sum()) == len(data)
+
+    @given(st.binary(min_size=200, max_size=3000))
+    @settings(max_examples=20, deadline=None)
+    def test_gear_chunk_total_bytes(self, data):
+        cs = GearChunker(avg_size=256).chunk(data)
+        assert cs.total_bytes == len(data)
+
+
+class TestChunkStreamProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**64 - 1),
+                              st.integers(min_value=1, max_value=10**6)),
+                    max_size=100))
+    def test_concat_length_additive(self, pairs):
+        s = ChunkStream.from_pairs(pairs)
+        double = ChunkStream.concat([s, s])
+        assert len(double) == 2 * len(s)
+        assert double.total_bytes == 2 * s.total_bytes
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**64 - 1),
+                              st.integers(min_value=1, max_value=10**6)),
+                    max_size=100))
+    def test_duplicate_bytes_bounds(self, pairs):
+        s = ChunkStream.from_pairs(pairs)
+        d = s.duplicate_bytes_within()
+        assert 0 <= d <= s.total_bytes
+
+
+class TestSPLProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=50),
+           st.integers(min_value=50, max_value=200))
+    def test_spl_in_unit_interval(self, sids, total):
+        p = spl_profile(sids, segment_n_chunks=total)
+        for sid, v in p.items():
+            assert 0.0 <= v <= 1.0
+        assert 0.0 <= p.max_spl <= 1.0
+        assert 0.0 <= p.duplicate_fraction <= 1.0
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_exact_cover_spl_one(self, n):
+        p = spl_profile([1] * n, segment_n_chunks=n)
+        assert p.spl(1) == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), max_size=40),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_threshold_policy_consistent(self, sids, alpha):
+        total = max(len(sids), 1)
+        p = spl_profile(sids, segment_n_chunks=total)
+        d = SPLThresholdPolicy(alpha=alpha).decide(p)
+        for sid in d.rewrite_sids:
+            assert p.spl(sid) < alpha
+        for sid, _cnt in p.shares.items():
+            if p.spl(sid) >= alpha:
+                assert not d.should_rewrite(sid)
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=30),
+                           st.integers(min_value=1, max_value=5), max_size=10),
+           st.integers(min_value=0, max_value=8))
+    def test_capping_policy_bounds_references(self, shares, cap):
+        total = max(sum(shares.values()), 1)
+        sids = [s for s, c in shares.items() for _ in range(c)]
+        p = spl_profile(sids, segment_n_chunks=total)
+        d = CappingPolicy(cap=cap).decide(p)
+        kept = len(p.shares) - len(d.rewrite_sids)
+        assert kept <= max(cap, len(p.shares) if len(p.shares) <= cap else cap)
+
+
+class TestRunLengthProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=200))
+    def test_runs_partition_sequence(self, cids):
+        arr = np.asarray(cids, dtype=np.int64)
+        runs = container_run_lengths(arr)
+        assert int(runs.sum()) == arr.size
+        if arr.size:
+            assert (runs >= 1).all()

@@ -1,0 +1,125 @@
+import pytest
+
+from repro.dedup.base import EngineResources
+from repro.dedup.exact import ExactEngine
+from repro.dedup.pipeline import run_backup, run_workload
+from repro.restore.model import read_rate_eq1, read_time_eq1
+from repro.restore.reader import RestoreReader
+from repro.storage.disk import DiskProfile, HDD_2012
+from repro.workloads.generators import BackupJob
+
+from tests.conftest import TEST_PROFILE, make_stream
+
+
+def ingest(stream, segmenter, gen=0, res=None):
+    if res is None:
+        res = EngineResources.create(
+            profile=TEST_PROFILE, container_bytes=64 * 1024, expected_entries=100_000
+        )
+        res.store.seal_seeks = 0
+    eng = ExactEngine(res)
+    report = run_backup(eng, BackupJob(gen, "t", stream), segmenter)
+    return res, report
+
+
+class TestEq1Model:
+    def test_formula(self):
+        p = DiskProfile("p", 0.01, 100e6)
+        assert read_time_eq1(10, 100e6, p) == pytest.approx(1.1)
+
+    def test_single_fragment_floor(self):
+        p = HDD_2012
+        t1 = read_time_eq1(1, 10**9, p)
+        tN = read_time_eq1(1000, 10**9, p)
+        assert tN > t1
+
+    def test_n_times_slowdown_seek_dominated(self):
+        """The paper's claim: an N-fragment small file reads ~N x slower."""
+        p = HDD_2012
+        small = 64 * 1024  # transfer time negligible vs seeks
+        ratio = read_time_eq1(20, small, p) / read_time_eq1(1, small, p)
+        assert 15 < ratio <= 20.5
+
+    def test_rate_inverse(self):
+        p = HDD_2012
+        assert read_rate_eq1(1, 10**8, p) == pytest.approx(
+            10**8 / read_time_eq1(1, 10**8, p)
+        )
+
+    def test_zero_fragments_pure_streaming(self):
+        p = DiskProfile("p", 0.01, 100e6)
+        assert read_time_eq1(0, 100e6, p) == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            read_time_eq1(-1, 100)
+
+
+class TestRestoreReader:
+    def test_restores_full_byte_count(self, segmenter):
+        s = make_stream(200, seed=1)
+        res, report = ingest(s, segmenter)
+        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        assert rr.logical_bytes == s.total_bytes
+        assert rr.n_chunks == 200
+
+    def test_linear_recipe_one_read_per_container(self, segmenter):
+        s = make_stream(200, seed=2)
+        res, report = ingest(s, segmenter)
+        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        assert rr.container_reads == report.recipe.unique_containers().size
+        assert rr.cache_hits == rr.n_runs - rr.container_reads
+
+    def test_dedup_recipe_needs_scattered_reads(self, segmenter):
+        """Second-generation recipe references gen-0 containers."""
+        s = make_stream(300, seed=3)
+        res, r0 = ingest(s, segmenter)
+        eng = ExactEngine(res)
+        r1 = run_backup(eng, BackupJob(1, "t", s), segmenter)
+        rr = RestoreReader(res.store, cache_containers=4).restore(r1.recipe)
+        assert rr.read_rate > 0
+        assert set(r1.recipe.unique_containers()) == set(r0.recipe.unique_containers())
+
+    def test_elapsed_matches_disk_charges(self, segmenter):
+        s = make_stream(100, seed=4)
+        res, report = ingest(s, segmenter)
+        t0 = res.disk.clock.now
+        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        assert res.disk.clock.now - t0 == pytest.approx(rr.elapsed_seconds)
+        assert rr.elapsed_seconds > 0
+
+    def test_cache_prevents_rereads(self, segmenter):
+        """A recipe alternating between two containers within cache reach
+        reads each container once."""
+        s = make_stream(100, seed=5)
+        res, report = ingest(s, segmenter)
+        big_cache = RestoreReader(res.store, cache_containers=64).restore(report.recipe)
+        assert big_cache.container_reads == report.recipe.unique_containers().size
+
+    def test_eq1_estimate_close_to_operational(self, segmenter):
+        s = make_stream(300, seed=6)
+        res, report = ingest(s, segmenter)
+        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        # Eq.1 with N = container reads should be within 2x (payload
+        # transfer includes metadata + full containers vs logical bytes)
+        assert rr.eq1_seconds <= rr.elapsed_seconds * 1.5
+        assert rr.elapsed_seconds <= rr.eq1_seconds * 3.0
+
+    def test_empty_recipe(self, segmenter):
+        from repro.storage.recipe import RecipeBuilder
+
+        res, _ = ingest(make_stream(10), segmenter)
+        rr = RestoreReader(res.store).restore(RecipeBuilder(0).finalize())
+        assert rr.container_reads == 0
+        assert rr.read_rate == 0.0
+
+    def test_seeks_per_mib(self, segmenter):
+        s = make_stream(200, seed=7)
+        res, report = ingest(s, segmenter)
+        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        assert rr.seeks_per_mib > 0
+
+    def test_rejects_bad_cache(self, segmenter):
+        res, _ = ingest(make_stream(10), segmenter)
+        with pytest.raises(ValueError):
+            RestoreReader(res.store, cache_containers=0)

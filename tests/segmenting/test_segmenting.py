@@ -1,0 +1,153 @@
+import numpy as np
+import pytest
+
+from repro.chunking.base import ChunkStream
+from repro.segmenting.blocks import Block, BlockBuilder, representative_fingerprint
+from repro.segmenting.segmenter import ContentDefinedSegmenter, FixedSegmenter
+
+from tests.conftest import make_stream
+
+
+def small_segmenter():
+    return ContentDefinedSegmenter(
+        min_bytes=4096, avg_bytes=8192, max_bytes=16384, avg_chunk_bytes=1024
+    )
+
+
+class TestContentDefinedSegmenter:
+    def test_boundaries_cover_stream(self):
+        s = make_stream(200)
+        cuts = small_segmenter().boundaries(s)
+        assert cuts[0] == 0
+        assert cuts[-1] == len(s)
+        assert (np.diff(cuts) > 0).all()
+
+    def test_size_limits(self):
+        s = make_stream(500, seed=3)
+        segs = small_segmenter().split(s)
+        for seg in segs[:-1]:
+            assert 4096 <= seg.nbytes <= 16384 + 1024  # max + one chunk slack
+        assert segs[-1].nbytes <= 16384 + 1024
+
+    def test_empty_stream(self):
+        assert small_segmenter().split(ChunkStream.empty()) == []
+
+    def test_segments_are_views(self):
+        s = make_stream(100)
+        segs = small_segmenter().split(s)
+        assert segs[0].fps.base is s.fps or segs[0].fps is s.fps
+
+    def test_indices_contiguous(self):
+        s = make_stream(300, seed=5)
+        segs = small_segmenter().split(s)
+        assert segs[0].start == 0
+        for a, b in zip(segs, segs[1:]):
+            assert a.stop == b.start
+        assert segs[-1].stop == len(s)
+
+    def test_content_defined_alignment(self):
+        """Identical chunk runs segment identically regardless of what
+        precedes them (after boundary re-sync)."""
+        seg = small_segmenter()
+        shared = make_stream(300, seed=7)
+        prefix_a = make_stream(37, seed=8)
+        prefix_b = make_stream(113, seed=9)
+        sa = ChunkStream.concat([prefix_a, shared])
+        sb = ChunkStream.concat([prefix_b, shared])
+        cuts_a = {c - len(prefix_a) for c in seg.boundaries(sa).tolist() if c > len(prefix_a)}
+        cuts_b = {c - len(prefix_b) for c in seg.boundaries(sb).tolist() if c > len(prefix_b)}
+        inter = cuts_a & cuts_b
+        assert len(inter) / max(len(cuts_a), 1) > 0.6
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            ContentDefinedSegmenter(min_bytes=100, avg_bytes=50, max_bytes=200)
+
+    def test_paper_defaults(self):
+        s = ContentDefinedSegmenter()
+        assert s.min_bytes == 512 * 1024
+        assert s.max_bytes == 2 * 1024 * 1024
+
+
+class TestFixedSegmenter:
+    def test_cuts_by_bytes(self):
+        s = make_stream(100, size=1000)
+        segs = FixedSegmenter(target_bytes=10_000).split(s)
+        assert len(segs) == 10
+        assert all(seg.n_chunks == 10 for seg in segs)
+
+    def test_empty(self):
+        assert FixedSegmenter().split(ChunkStream.empty()) == []
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            FixedSegmenter(target_bytes=0)
+
+
+class TestRepresentativeFingerprint:
+    def test_is_min(self):
+        fps = np.array([9, 2, 7], dtype=np.uint64)
+        assert representative_fingerprint(fps) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            representative_fingerprint(np.zeros(0, dtype=np.uint64))
+
+    def test_similarity_property(self):
+        """Shared min chunk -> same representative."""
+        common = np.array([5, 100, 200], dtype=np.uint64)
+        a = np.concatenate([common, np.array([900], dtype=np.uint64)])
+        b = np.concatenate([common, np.array([800], dtype=np.uint64)])
+        assert representative_fingerprint(a) == representative_fingerprint(b)
+
+
+class TestBlockBuilder:
+    def make_segment(self, n=10, seed=1):
+        s = make_stream(n, seed=seed)
+        from repro.segmenting.segmenter import Segment
+
+        return Segment(index=0, start=0, fps=s.fps, sizes=s.sizes)
+
+    def test_accumulates_and_seals(self):
+        bb = BlockBuilder(block_bytes=4096)
+        seg = self.make_segment(5)
+        bid = bb.add_segment(seg, seg.fps, seg.nbytes)
+        assert bid == 0
+        assert bb.should_seal()  # 5 KiB >= 4 KiB
+        block = bb.seal()
+        assert isinstance(block, Block)
+        assert block.bid == 0
+        assert block.n_chunks == 5
+        assert bb.current_bid == 1
+
+    def test_seal_empty_returns_none(self):
+        assert BlockBuilder().seal() is None
+
+    def test_reps_recorded(self):
+        bb = BlockBuilder(block_bytes=100_000)
+        seg1 = self.make_segment(5, seed=1)
+        seg2 = self.make_segment(5, seed=2)
+        bb.add_segment(seg1, seg1.fps, seg1.nbytes)
+        bb.add_segment(seg2, seg2.fps, seg2.nbytes)
+        block = bb.seal()
+        assert block.segment_reps.tolist() == [
+            representative_fingerprint(seg1.fps),
+            representative_fingerprint(seg2.fps),
+        ]
+
+    def test_written_fps_subset(self):
+        """A dedup'd segment contributes no physical fps but still
+        registers its representative."""
+        bb = BlockBuilder(block_bytes=100_000)
+        seg = self.make_segment(5)
+        bb.add_segment(seg, np.zeros(0, dtype=np.uint64), 0)
+        block = bb.seal()
+        assert block.n_chunks == 0
+        assert block.segment_reps.size == 1
+
+    def test_metadata_bytes(self):
+        bb = BlockBuilder(block_bytes=100_000)
+        seg = self.make_segment(4)
+        bb.add_segment(seg, seg.fps, seg.nbytes)
+        block = bb.seal()
+        assert block.metadata_bytes == 4 * 32

@@ -1,0 +1,124 @@
+import pytest
+
+from repro.storage.container import CHUNK_METADATA_BYTES, Container
+from repro.storage.disk import DiskModel
+from repro.storage.store import ContainerStore
+
+from tests.conftest import TEST_PROFILE
+
+
+class TestContainer:
+    def test_add_and_len(self):
+        c = Container(0, capacity=1000)
+        c.add(1, 300)
+        c.add(2, 300)
+        assert len(c) == 2
+        assert c.data_bytes == 600
+        assert c.remaining == 400
+
+    def test_fits_boundary(self):
+        c = Container(0, capacity=1000)
+        c.add(1, 700)
+        assert c.fits(300)
+        assert not c.fits(301)
+
+    def test_empty_container_accepts_oversized(self):
+        c = Container(0, capacity=100)
+        assert c.fits(1000)
+        c.add(1, 1000)
+        assert not c.fits(1)
+
+    def test_add_overflow_raises(self):
+        c = Container(0, capacity=100)
+        c.add(1, 90)
+        with pytest.raises(ValueError):
+            c.add(2, 20)
+
+    def test_rejects_nonpositive_chunk(self):
+        with pytest.raises(ValueError):
+            Container(0, 100).add(1, 0)
+
+    def test_seal_preserves_order(self):
+        c = Container(7, capacity=1000)
+        for fp in (5, 3, 9):
+            c.add(fp, 100)
+        sealed = c.seal()
+        assert sealed.cid == 7
+        assert sealed.fingerprints.tolist() == [5, 3, 9]
+        assert sealed.data_bytes == 300
+        assert sealed.metadata_bytes == 3 * CHUNK_METADATA_BYTES
+
+    def test_iter_chunks(self):
+        c = Container(0, capacity=1000)
+        c.add(1, 10)
+        c.add(2, 20)
+        assert list(c.iter_chunks()) == [(1, 10), (2, 20)]
+
+
+class TestContainerStore:
+    def make(self, capacity=1000):
+        disk = DiskModel(profile=TEST_PROFILE)
+        return ContainerStore(disk, container_bytes=capacity, seal_seeks=0)
+
+    def test_append_assigns_cids_monotonically(self):
+        s = self.make(capacity=250)
+        cids = [s.append(fp, 100) for fp in range(6)]
+        # 2 chunks per container (250 cap, 100 each)
+        assert cids == [0, 0, 1, 1, 2, 2]
+
+    def test_seal_charges_disk(self):
+        s = self.make(capacity=200)
+        s.append(1, 150)
+        assert s.disk.stats.bytes_written == 0
+        s.append(2, 150)  # seals container 0
+        assert s.disk.stats.bytes_written == 150 + CHUNK_METADATA_BYTES
+
+    def test_flush_seals_open(self):
+        s = self.make()
+        s.append(1, 100)
+        cid = s.flush()
+        assert cid == 0
+        assert s.n_containers == 1
+        assert s.flush() is None
+
+    def test_get_sealed_only(self):
+        s = self.make()
+        s.append(1, 100)
+        with pytest.raises(KeyError):
+            s.get(0)
+        s.flush()
+        assert s.get(0).n_chunks == 1
+        assert s.has(0)
+        assert not s.has(1)
+
+    def test_prefetch_meta_charges_seek_and_bytes(self):
+        s = self.make()
+        s.append(1, 100)
+        s.flush()
+        before = s.disk.stats.snapshot()
+        fps = s.prefetch_meta(0)
+        d = s.disk.stats.delta_since(before)
+        assert fps.tolist() == [1]
+        assert d.seeks == 1
+        assert d.bytes_read == CHUNK_METADATA_BYTES
+        assert s.stats.meta_prefetches == 1
+
+    def test_read_container_charges_payload(self):
+        s = self.make()
+        s.append(1, 100)
+        s.flush()
+        before = s.disk.stats.snapshot()
+        s.read_container(0)
+        d = s.disk.stats.delta_since(before)
+        assert d.seeks == 1
+        assert d.bytes_read == 100 + CHUNK_METADATA_BYTES
+
+    def test_stats_accumulate(self):
+        s = self.make(capacity=250)
+        for fp in range(5):
+            s.append(fp, 100)
+        s.flush()
+        assert s.stats.chunks_written == 5
+        assert s.stats.payload_bytes == 500
+        assert s.stats.containers_sealed == 3
+        assert s.stats.physical_bytes == 500 + 5 * CHUNK_METADATA_BYTES

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.storage.disk import DiskModel, DiskProfile, DiskStats, HDD_2012, SSD_SATA
+
+
+class TestDiskProfile:
+    def test_transfer_time(self):
+        p = DiskProfile("p", 0.01, 100e6)
+        assert p.transfer_time(100e6) == pytest.approx(1.0)
+
+    def test_access_time_eq1_shape(self):
+        p = DiskProfile("p", 0.01, 100e6)
+        assert p.access_time(100e6, seeks=3) == pytest.approx(1.03)
+
+    def test_zero_seek_profile_allowed(self):
+        p = DiskProfile("ram", 0.0, 1e9)
+        assert p.access_time(0, seeks=100) == 0.0
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            DiskProfile("bad", 0.01, 0)
+
+    def test_rejects_negative_seek(self):
+        with pytest.raises(ValueError):
+            DiskProfile("bad", -1, 1e6)
+
+    def test_builtin_profiles_sane(self):
+        assert HDD_2012.seek_time_s > SSD_SATA.seek_time_s
+        assert SSD_SATA.seq_bandwidth > HDD_2012.seq_bandwidth
+
+
+class TestDiskModel:
+    def test_seek_advances_clock(self, disk):
+        t = disk.seek()
+        assert disk.clock.now == pytest.approx(t)
+        assert disk.stats.seeks == 1
+
+    def test_multi_seek(self, disk):
+        disk.seek(5)
+        assert disk.stats.seeks == 5
+
+    def test_read_accounting(self, disk):
+        disk.read(2_000_000, seeks=1)
+        assert disk.stats.bytes_read == 2_000_000
+        assert disk.stats.seeks == 1
+        expected = disk.profile.seek_time_s + 2_000_000 / disk.profile.seq_bandwidth
+        assert disk.clock.now == pytest.approx(expected)
+
+    def test_write_accounting(self, disk):
+        disk.write(1_000_000)
+        assert disk.stats.bytes_written == 1_000_000
+        assert disk.stats.seeks == 0
+
+    def test_estimate_does_not_mutate(self, disk):
+        t = disk.estimate(seeks=2, nbytes=1000)
+        assert t > 0
+        assert disk.clock.now == 0.0
+        assert disk.stats.seeks == 0
+
+    def test_rejects_negative(self, disk):
+        with pytest.raises(ValueError):
+            disk.read(-1)
+
+
+class TestDiskStats:
+    def test_snapshot_independent(self, disk):
+        snap = disk.stats.snapshot()
+        disk.seek()
+        assert snap.seeks == 0
+        assert disk.stats.seeks == 1
+
+    def test_delta_since(self, disk):
+        disk.read(1000, seeks=1)
+        snap = disk.stats.snapshot()
+        disk.read(500, seeks=2)
+        d = disk.stats.delta_since(snap)
+        assert d.bytes_read == 500
+        assert d.seeks == 2
+
+    def test_total_time_sums_components(self):
+        s = DiskStats(read_time_s=1.0, write_time_s=2.0, seek_time_s=0.5)
+        assert s.total_time_s == pytest.approx(3.5)

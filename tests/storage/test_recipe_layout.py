@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.storage.layout import analyze_recipe, container_run_lengths
+from repro.storage.recipe import BackupRecipe, RecipeBuilder
+
+
+def build_recipe(cids, sizes=None, gen=0):
+    b = RecipeBuilder(gen, label="t")
+    n = len(cids)
+    sizes = sizes if sizes is not None else [100] * n
+    for i, (c, s) in enumerate(zip(cids, sizes)):
+        b.add(fp=i, size=s, cid=c)
+    return b.finalize()
+
+
+class TestRecipeBuilder:
+    def test_finalize_roundtrip(self):
+        r = build_recipe([0, 0, 1], sizes=[10, 20, 30])
+        assert r.n_chunks == 3
+        assert r.total_bytes == 60
+        assert r.containers.tolist() == [0, 0, 1]
+
+    def test_add_many(self):
+        b = RecipeBuilder(1)
+        b.add_many([1, 2], [10, 10], [0, 0])
+        r = b.finalize()
+        assert r.n_chunks == 2
+        assert r.generation == 1
+
+    def test_empty_recipe(self):
+        r = RecipeBuilder(0).finalize()
+        assert r.n_chunks == 0
+        assert r.total_bytes == 0
+        assert r.container_switches() == 0
+
+    def test_parallel_validation(self):
+        with pytest.raises(ValueError):
+            BackupRecipe(
+                generation=0,
+                fingerprints=np.zeros(2, dtype=np.uint64),
+                sizes=np.zeros(1, dtype=np.uint32),
+                containers=np.zeros(2, dtype=np.int64),
+            )
+
+
+class TestRecipeQueries:
+    def test_unique_containers(self):
+        r = build_recipe([3, 1, 3, 2])
+        assert r.unique_containers().tolist() == [1, 2, 3]
+
+    def test_container_switches(self):
+        r = build_recipe([0, 0, 1, 1, 0])
+        assert r.container_switches() == 2
+
+    def test_slice(self):
+        r = build_recipe([0, 1, 2, 3])
+        sub = r.slice(1, 3)
+        assert sub.containers.tolist() == [1, 2]
+        assert sub.generation == r.generation
+
+
+class TestRunLengths:
+    def test_example(self):
+        runs = container_run_lengths(np.array([5, 5, 5, 7, 7, 5]))
+        assert runs.tolist() == [3, 2, 1]
+
+    def test_empty(self):
+        assert container_run_lengths(np.array([])).size == 0
+
+    def test_single(self):
+        assert container_run_lengths(np.array([1])).tolist() == [1]
+
+    def test_all_same(self):
+        assert container_run_lengths(np.full(10, 3)).tolist() == [10]
+
+    def test_all_different(self):
+        assert container_run_lengths(np.arange(5)).tolist() == [1] * 5
+
+    def test_sum_equals_length(self):
+        seq = np.array([1, 1, 2, 3, 3, 3, 1])
+        assert container_run_lengths(seq).sum() == seq.size
+
+
+class TestLayoutReport:
+    def test_perfectly_linear(self):
+        r = build_recipe([0] * 10)
+        rep = analyze_recipe(r)
+        assert rep.n_fragments == 1
+        assert rep.delinearization == 0.0
+        assert rep.bytes_per_seek == r.total_bytes
+
+    def test_fully_scattered(self):
+        r = build_recipe(list(range(10)))
+        rep = analyze_recipe(r)
+        assert rep.n_fragments == 10
+        assert rep.delinearization == 1.0
+
+    def test_mixed(self):
+        r = build_recipe([0, 0, 1, 1, 1, 2])
+        rep = analyze_recipe(r)
+        assert rep.n_fragments == 3
+        assert rep.n_distinct_containers == 3
+        assert rep.mean_run_chunks == pytest.approx(2.0)
+
+    def test_empty(self):
+        rep = analyze_recipe(RecipeBuilder(0).finalize())
+        assert rep.n_fragments == 0
+        assert rep.delinearization == 0.0
+        assert rep.fragments_per_mib == 0.0

@@ -1,0 +1,60 @@
+"""Store-level GC primitives and accounting identities."""
+
+import pytest
+
+from repro.storage.container import CHUNK_METADATA_BYTES
+from repro.storage.disk import DiskModel
+from repro.storage.store import ContainerStore
+
+from tests.conftest import TEST_PROFILE
+
+
+def make_store(capacity=1000):
+    return ContainerStore(
+        DiskModel(profile=TEST_PROFILE), container_bytes=capacity, seal_seeks=0
+    )
+
+
+class TestRemove:
+    def test_remove_returns_freed_payload(self):
+        s = make_store()
+        s.append(1, 300)
+        s.append(2, 200)
+        s.flush()
+        assert s.remove(0) == 500
+        assert not s.has(0)
+        assert s.n_containers == 0
+
+    def test_remove_updates_stats(self):
+        s = make_store()
+        s.append(1, 300)
+        s.flush()
+        before_payload = s.stats.payload_bytes
+        before_meta = s.stats.metadata_bytes
+        s.remove(0)
+        assert s.stats.payload_bytes == before_payload - 300
+        assert s.stats.metadata_bytes == before_meta - CHUNK_METADATA_BYTES
+        assert s.stats.containers_removed == 1
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_store().remove(99)
+
+    def test_physical_bytes_identity_through_lifecycle(self):
+        s = make_store(capacity=500)
+        for fp in range(6):
+            s.append(fp, 200)
+        s.flush()
+        expected = 6 * 200 + 6 * CHUNK_METADATA_BYTES
+        assert s.stats.physical_bytes == expected
+        s.remove(0)
+        assert s.stats.physical_bytes < expected
+
+    def test_append_after_remove_reuses_no_cid(self):
+        """Container ids are log positions: never reused after removal."""
+        s = make_store(capacity=250)
+        cids_before = [s.append(fp, 200) for fp in range(3)]
+        s.flush()
+        s.remove(0)
+        cid_new = s.append(99, 200)
+        assert cid_new > max(cids_before)

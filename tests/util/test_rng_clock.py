@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro._util import SimClock, derive_seed, rng_from
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_tag_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_tag_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concat_ambiguity(self):
+        # ("ab",) must differ from ("a", "b")
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_nonnegative_63bit(self):
+        for s in range(20):
+            v = derive_seed(s, "tag")
+            assert 0 <= v < 2**63
+
+
+class TestRngFrom:
+    def test_streams_reproducible(self):
+        a = rng_from(5, "x").integers(0, 1000, 10)
+        b = rng_from(5, "x").integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent(self):
+        a = rng_from(5, "x").integers(0, 1000, 10)
+        b = rng_from(5, "y").integers(0, 1000, 10)
+        assert not np.array_equal(a, b)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(3.0).now == 3.0
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == pytest.approx(2.0)
+
+    def test_advance_returns_now(self):
+        c = SimClock()
+        assert c.advance(2.0) == pytest.approx(2.0)
+
+    def test_elapsed_since(self):
+        c = SimClock()
+        t0 = c.now
+        c.advance(4.0)
+        assert c.elapsed_since(t0) == pytest.approx(4.0)
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)

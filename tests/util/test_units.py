@@ -1,0 +1,85 @@
+import pytest
+
+from repro._util import GIB, KIB, MIB, TIB, format_bytes, format_rate, format_seconds, parse_size
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_rounds(self):
+        assert parse_size(10.6) == 11
+
+    def test_bare_number_string(self):
+        assert parse_size("123") == 123
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1k", KIB),
+            ("1K", KIB),
+            ("4KiB", 4 * KIB),
+            ("8kb", 8 * KIB),
+            ("2m", 2 * MIB),
+            ("2MiB", 2 * MIB),
+            ("3g", 3 * GIB),
+            ("1tb", TIB),
+            ("0.5m", MIB // 2),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  2 MiB ") == 2 * MIB
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1x", "-5", "1..2k"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            parse_size(True)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(2 * KIB) == "2.00 KiB"
+
+    def test_mib(self):
+        assert format_bytes(int(2.5 * MIB)) == "2.50 MiB"
+
+    def test_gib_and_tib(self):
+        assert format_bytes(GIB) == "1.00 GiB"
+        assert format_bytes(3 * TIB) == "3.00 TiB"
+
+    def test_negative(self):
+        assert format_bytes(-MIB) == "-1.00 MiB"
+
+    def test_rate_suffix(self):
+        assert format_rate(MIB) == "1.00 MiB/s"
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(5e-6) == "5 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.25) == "250 ms"
+
+    def test_seconds(self):
+        assert format_seconds(1.5) == "1.50 s"
+
+    def test_minutes(self):
+        assert format_seconds(191) == "3 m 11 s"
+
+    def test_negative_mirrors(self):
+        assert format_seconds(-0.25) == "-250 ms"

@@ -1,0 +1,36 @@
+import pytest
+
+from repro._util import check_fraction, check_nonnegative, check_positive
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.1)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, v):
+        assert check_fraction("f", v) == v
+
+    @pytest.mark.parametrize("v", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, v):
+        with pytest.raises(ValueError):
+            check_fraction("f", v)

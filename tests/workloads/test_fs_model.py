@@ -1,0 +1,145 @@
+import numpy as np
+import pytest
+
+from repro._util import MIB
+from repro.workloads.fs_model import ChunkIdAllocator, ChurnProfile, FileSystemModel
+
+
+class TestChunkIdAllocator:
+    def test_unique_across_takes(self):
+        a = ChunkIdAllocator(1)
+        fps = np.concatenate([a.take(100), a.take(100), a.take(100)])
+        assert np.unique(fps).size == 300
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(ChunkIdAllocator(1).take(10), ChunkIdAllocator(1).take(10))
+
+    def test_different_seeds_disjoint(self):
+        a = ChunkIdAllocator(1).take(1000)
+        b = ChunkIdAllocator(2).take(1000)
+        assert np.intersect1d(a, b).size == 0
+
+    def test_chunk_sizes_bounds(self):
+        a = ChunkIdAllocator(1)
+        sizes = a.chunk_sizes(1000, avg_bytes=8192, min_bytes=2048, max_bytes=65536)
+        assert sizes.min() >= 2048
+        assert sizes.max() <= 65536
+        assert 6000 < sizes.mean() < 11000
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ChunkIdAllocator(1).take(0)
+
+
+class TestChurnProfile:
+    def test_defaults_valid(self):
+        ChurnProfile()
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            ChurnProfile(modify_frac=1.5)
+        with pytest.raises(ValueError):
+            ChurnProfile(insert_prob=0.6, delete_prob=0.6)
+        with pytest.raises(ValueError):
+            ChurnProfile(hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            ChurnProfile(file_move_frac=-0.1)
+
+
+class TestFileSystemModel:
+    def make(self, nbytes=2 * MIB, churn=None, **kw):
+        return FileSystemModel(seed=3, initial_bytes=nbytes, churn=churn, **kw)
+
+    def test_initial_size_near_target(self):
+        fs = self.make(4 * MIB)
+        assert 0.95 * 4 * MIB <= fs.total_bytes <= 1.3 * 4 * MIB
+
+    def test_full_backup_matches_fs(self):
+        fs = self.make()
+        s = fs.full_backup()
+        assert s.total_bytes == fs.total_bytes
+        assert len(s) == fs.total_chunks
+
+    def test_evolve_advances_generation(self):
+        fs = self.make()
+        fs.evolve()
+        assert fs.generation == 1
+
+    def test_evolution_preserves_most_content(self):
+        fs = self.make(4 * MIB)
+        before = set(fs.full_backup().fps.tolist())
+        fs.evolve()
+        after = fs.full_backup()
+        dup = sum(int(sz) for fp, sz in zip(after.fps, after.sizes) if int(fp) in before)
+        assert dup / after.total_bytes > 0.8
+
+    def test_evolution_introduces_new_chunks(self):
+        fs = self.make(4 * MIB)
+        before = set(fs.full_backup().fps.tolist())
+        fs.evolve()
+        after = set(fs.full_backup().fps.tolist())
+        assert after - before
+
+    def test_growth_bounded(self):
+        fs = self.make(4 * MIB)
+        start = fs.total_bytes
+        for _ in range(10):
+            fs.evolve()
+        assert fs.total_bytes < start * 1.6
+
+    def test_deterministic(self):
+        a = self.make()
+        b = self.make()
+        for _ in range(3):
+            a.evolve()
+            b.evolve()
+        assert a.full_backup() == b.full_backup()
+
+    def test_incremental_smaller_than_full(self):
+        fs = self.make(8 * MIB)
+        fs.evolve()
+        inc = fs.incremental_backup()
+        assert 0 < inc.total_bytes < fs.total_bytes
+
+    def test_incremental_before_evolve_is_full(self):
+        fs = self.make()
+        assert fs.incremental_backup() == fs.full_backup()
+
+    def test_incremental_contains_changed_content(self):
+        fs = self.make(8 * MIB)
+        before = set(fs.full_backup().fps.tolist())
+        fs.evolve()
+        inc = set(fs.incremental_backup().fps.tolist())
+        full = set(fs.full_backup().fps.tolist())
+        # everything brand-new in the FS must be shipped by the incremental
+        assert (full - before) <= inc
+
+    def test_shared_pool_cross_user_redundancy(self):
+        from repro.workloads.fs_model import ChunkIdAllocator
+
+        alloc = ChunkIdAllocator(9)
+        pool_fps = alloc.take(2000)
+        pool_sizes = alloc.chunk_sizes(2000, 8192, 2048, 65536)
+        a = FileSystemModel(
+            seed=3, initial_bytes=4 * MIB, user="a", allocator=alloc,
+            shared_pool=(pool_fps, pool_sizes), shared_frac=0.5,
+        )
+        b = FileSystemModel(
+            seed=3, initial_bytes=4 * MIB, user="b", allocator=alloc,
+            shared_pool=(pool_fps, pool_sizes), shared_frac=0.5,
+        )
+        sa = set(a.full_backup().fps.tolist())
+        sb = set(b.full_backup().fps.tolist())
+        assert len(sa & sb) > 0
+
+    def test_moves_preserve_content(self):
+        churn = ChurnProfile(
+            modify_frac=0.0, file_move_frac=0.5, file_delete_frac=0.0,
+            file_create_frac=0.0, file_rewrite_frac=0.0,
+        )
+        fs = self.make(4 * MIB, churn=churn)
+        before = fs.full_backup()
+        fs.evolve()
+        after = fs.full_backup()
+        assert sorted(after.fps.tolist()) == sorted(before.fps.tolist())
+        assert after.fps.tolist() != before.fps.tolist()  # order changed
