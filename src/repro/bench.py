@@ -1,0 +1,101 @@
+"""Wall-clock benchmark of the ingest path (batch vs scalar).
+
+The simulator's *reported* numbers are simulated time and cannot change
+with Python-level optimizations; this module tracks the one thing that
+does change — how long the simulator itself takes to run. It measures
+the fig4 three-engine group workload at the ``small`` scale through both
+ingest paths (the vectorized batch default and the chunk-at-a-time
+scalar reference) and compares against a committed baseline so
+regressions fail loudly.
+
+Used by ``python -m repro bench`` and ``benchmarks/record.py``; the
+committed record lives in ``BENCH_ingest.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.experiments.common import clear_memo, run_group_workload
+from repro.experiments.config import ExperimentConfig
+
+#: default committed-baseline location (repo root)
+BASELINE_FILENAME = "BENCH_ingest.json"
+
+#: a fresh measurement this many times slower than the committed
+#: baseline's batch time fails the bench gate (2x absorbs machine noise;
+#: a de-vectorized ingest path is ~8x)
+REGRESSION_FACTOR = 2.0
+
+
+def measure_ingest(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    batch: bool = True,
+    repeats: int = 3,
+) -> float:
+    """Best-of-``repeats`` wall-clock seconds for the three-engine group
+    ingest (the body of fig4), memo cleared per repetition."""
+    cfg = (config or ExperimentConfig.small()).with_(batch=batch)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        clear_memo()
+        t0 = time.perf_counter()
+        run_group_workload(cfg)
+        t1 = time.perf_counter()
+        best = min(best, t1 - t0)
+    clear_memo()
+    return best
+
+
+def run_bench(*, repeats: int = 3, scalar: bool = True) -> Dict:
+    """Measure the ingest path and return the result record.
+
+    Args:
+        repeats: repetitions per measurement (best-of wins).
+        scalar: also measure the scalar reference path (slower; the
+            ``--quick`` CLI mode skips it).
+    """
+    config = ExperimentConfig.small()
+    result: Dict = {
+        "benchmark": "fig4-small group ingest (DeFrag, DDFS-Like, SiLo-Like)",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "batch_seconds": round(measure_ingest(config, batch=True, repeats=repeats), 4),
+    }
+    if scalar:
+        result["scalar_seconds"] = round(
+            measure_ingest(config, batch=False, repeats=repeats), 4
+        )
+        result["speedup"] = round(result["scalar_seconds"] / result["batch_seconds"], 2)
+    return result
+
+
+def load_baseline(path: Optional[Path] = None) -> Optional[Dict]:
+    """The committed baseline record, or None when absent."""
+    p = Path(path) if path is not None else Path(BASELINE_FILENAME)
+    if not p.is_file():
+        return None
+    return json.loads(p.read_text())
+
+
+def check_regression(
+    result: Dict, baseline: Dict, factor: float = REGRESSION_FACTOR
+) -> Optional[str]:
+    """None if ``result`` is within ``factor`` of the baseline's batch
+    time, else a human-readable failure message."""
+    base = baseline.get("ingest", baseline).get("batch_seconds")
+    if base is None:
+        return None
+    now = result["batch_seconds"]
+    if now > factor * base:
+        return (
+            f"ingest wall-clock regressed: {now:.3f}s vs committed "
+            f"{base:.3f}s baseline (>{factor:.1f}x)"
+        )
+    return None

@@ -6,32 +6,38 @@ Usage::
     python -m repro fig4 --alpha 0.2
     python -m repro all --scale small
     python -m repro alpha-sweep
+    python -m repro bench --quick
     defrag-repro fig6            # console script, same thing
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.experiments import ablations, fig2, fig3, fig4, fig5, fig6
-from repro.experiments import extensions
-from repro.experiments.common import FigureResult
 from repro.experiments.config import ExperimentConfig
 
-_FIGURES: Dict[str, Callable[[ExperimentConfig], FigureResult]] = {
-    "fig2": fig2.run,
-    "fig3": fig3.run,
-    "fig4": fig4.run,
-    "fig5": fig5.run,
-    "fig6": fig6.run,
-    "alpha-sweep": ablations.alpha_sweep,
-    "segment-ablation": ablations.segment_ablation,
-    "cache-ablation": ablations.cache_ablation,
-    "related-work": extensions.related_work_comparison,
-    "gc-study": extensions.gc_study,
+# experiment name -> "module:function", resolved on demand so one
+# figure's run doesn't pay for importing every other harness
+_FIGURES: Dict[str, str] = {
+    "fig2": "repro.experiments.fig2:run",
+    "fig3": "repro.experiments.fig3:run",
+    "fig4": "repro.experiments.fig4:run",
+    "fig5": "repro.experiments.fig5:run",
+    "fig6": "repro.experiments.fig6:run",
+    "alpha-sweep": "repro.experiments.ablations:alpha_sweep",
+    "segment-ablation": "repro.experiments.ablations:segment_ablation",
+    "cache-ablation": "repro.experiments.ablations:cache_ablation",
+    "related-work": "repro.experiments.extensions:related_work_comparison",
+    "gc-study": "repro.experiments.extensions:gc_study",
 }
+
+
+def _resolve(name: str) -> Callable[[ExperimentConfig], "FigureResult"]:
+    modname, funcname = _FIGURES[name].split(":")
+    return getattr(importlib.import_module(modname), funcname)
 
 _FLOAT_FMT = {"fig3": "{:.3f}", "fig5": "{:.3f}"}
 
@@ -44,9 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_FIGURES) + ["all", "report"],
+        choices=sorted(_FIGURES) + ["all", "report", "bench"],
         help="which figure/ablation to regenerate ('all' runs fig2..fig6; "
-        "'report' renders everything as one markdown document)",
+        "'report' renders everything as one markdown document; 'bench' "
+        "times the ingest path against the committed baseline)",
     )
     parser.add_argument(
         "--scale",
@@ -59,12 +66,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--alpha", type=float, default=None, help="DeFrag SPL threshold override"
     )
     parser.add_argument(
+        "--scalar",
+        action="store_true",
+        help="use the chunk-at-a-time reference ingest path instead of "
+        "the vectorized batch path (identical results, slower; for "
+        "benchmarking and cross-checking)",
+    )
+    parser.add_argument(
         "--save",
         metavar="DIR",
         default=None,
         help="also write each result as JSON and CSV into DIR",
     )
+    bench = parser.add_argument_group("bench options")
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench: one repetition, batch path only (skips the slow "
+        "scalar reference measurement)",
+    )
+    bench.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="bench: skip the regression gate against the committed "
+        "BENCH_ingest.json",
+    )
     return parser
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``python -m repro bench``: time the ingest path; exit non-zero if
+    it regressed more than 2x against the committed baseline."""
+    import json
+
+    from repro.bench import check_regression, load_baseline, run_bench
+
+    repeats = 1 if args.quick else 3
+    result = run_bench(repeats=repeats, scalar=not args.quick)
+    print(json.dumps(result, indent=2))
+    if args.no_baseline:
+        return 0
+    baseline = load_baseline()
+    if baseline is None:
+        print("no committed BENCH_ingest.json found; skipping regression gate")
+        return 0
+    failure = check_regression(result, baseline)
+    if failure is not None:
+        print(f"FAIL: {failure}")
+        return 1
+    base = baseline.get("ingest", baseline).get("batch_seconds")
+    print(f"OK: within 2x of committed baseline ({base}s)")
+    return 0
 
 
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -73,12 +125,16 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
         config = config.with_(seed=args.seed)
     if args.alpha is not None:
         config = config.with_(alpha=args.alpha)
+    if args.scalar:
+        config = config.with_(batch=False)
     return config
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "bench":
+        return _run_bench(args)
     config = _make_config(args)
     if args.experiment == "report":
         from repro.experiments.report import generate_markdown
@@ -96,7 +152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.experiment
     ]
     for name in names:
-        result = _FIGURES[name](config)
+        result = _resolve(name)(config)
         print(result.table(fmt=_FLOAT_FMT.get(name, "{:.1f}")))
         print()
         if args.save is not None:

@@ -194,12 +194,30 @@ class EngineResources:
 class DedupEngine(abc.ABC):
     """Common engine skeleton: backup lifecycle + shared meters.
 
-    Subclasses implement :meth:`_process_segment`.
+    Subclasses implement :meth:`_process_segment` (the scalar,
+    chunk-at-a-time reference ladder) and may additionally provide
+    :meth:`_process_segment_batch`, a segment-at-a-time implementation
+    that resolves the whole fingerprint vector with vectorized index
+    probes. The two paths are contractually equivalent: identical
+    outcomes, stats, and simulated clock (the batch path replays every
+    stateful side effect — LRU recency, page-cache order, disk charges —
+    in scalar order, and only batches the pure computation). ``batch``
+    selects the path; the scalar ladder stays available as the reference
+    implementation behind ``batch=False``.
     """
 
-    def __init__(self, resources: EngineResources, cost: Optional[CostModel] = None) -> None:
+    #: overridden per engine with the segment-at-a-time implementation
+    _process_segment_batch = None
+
+    def __init__(
+        self,
+        resources: EngineResources,
+        cost: Optional[CostModel] = None,
+        batch: bool = True,
+    ) -> None:
         self.res = resources
         self.cost = cost if cost is not None else CostModel()
+        self.batch = bool(batch)
         self._recipe: Optional[RecipeBuilder] = None
         self._outcomes: List[SegmentOutcome] = []
         self._backup_t0 = 0.0
@@ -228,7 +246,11 @@ class DedupEngine(abc.ABC):
         self.res.disk.clock.advance(
             self.cost.segment_cpu_seconds(segment.nbytes, segment.n_chunks)
         )
-        outcome = self._process_segment(segment)
+        batch_impl = self._process_segment_batch
+        if self.batch and batch_impl is not None:
+            outcome = batch_impl(segment)
+        else:
+            outcome = self._process_segment(segment)
         outcome.check_partition()
         self._outcomes.append(outcome)
         return outcome

@@ -23,7 +23,9 @@ per MB.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro._util import check_positive
 from repro.dedup.base import CostModel, DedupEngine, EngineResources, SegmentOutcome
@@ -61,8 +63,9 @@ class DDFSEngine(DedupEngine):
         bloom_fp_rate: float = 0.01,
         cache_containers: int = 256,
         prefetch_ahead: int = 4,
+        batch: bool = True,
     ) -> None:
-        super().__init__(resources, cost)
+        super().__init__(resources, cost, batch=batch)
         check_positive("cache_containers", cache_containers)
         check_positive("prefetch_ahead", prefetch_ahead)
         self.prefetch_ahead = int(prefetch_ahead)
@@ -145,14 +148,18 @@ class DDFSEngine(DedupEngine):
         run = [c for c in range(cid, cid + self.prefetch_ahead) if store.has(c)]
         if not run:
             return
-        # one seek for the run, sequential transfer for every section
+        # one seek for the run, sequential transfer for every section;
+        # the cache inserts land after the charges in one batch (nothing
+        # reads the cache in between)
+        units = []
         first = True
         for c in run:
             sealed = store.get(c)
             self.res.disk.read(sealed.metadata_bytes, seeks=1 if first else 0)
             store.stats.meta_prefetches += 1
             first = False
-            self.cache.insert_unit(c, sealed.fingerprints)
+            units.append((c, sealed.fingerprints))
+        self.cache.insert_units(units)
 
     def _process_segment(self, segment: Segment) -> SegmentOutcome:
         outcome = SegmentOutcome(
@@ -173,3 +180,243 @@ class DDFSEngine(DedupEngine):
                 outcome.removed_dup += size
                 recipe.add(fp, size, loc.cid)
         return outcome
+
+    # -- batch path -------------------------------------------------------
+
+    def _process_segment_batch(self, segment: Segment) -> SegmentOutcome:
+        """Segment-at-a-time ingest: the decision ladder of
+        :meth:`_process_segment`, with the per-chunk vector work batched.
+
+        Bloom probe positions are hashed once for the whole segment
+        (:meth:`BloomFilter.begin_batch`) and prefetch-cache membership is
+        resolved for a whole run of chunks per :meth:`lookup_many` call. A
+        run ends at the only event that can change a later chunk's cache
+        answer — an on-disk index hit, whose locality prefetch inserts
+        (and may evict) cached units — at which point membership is
+        re-resolved for the remaining suffix. All stateful side effects
+        (writes, index faults, prefetch charges, recency refreshes)
+        happen at the same chunk position as in the scalar ladder, so
+        reports and the simulated clock are byte-identical.
+        """
+        n = segment.n_chunks
+        outcome = SegmentOutcome(index=segment.index, n_chunks=n, nbytes=segment.nbytes)
+        assert self._recipe is not None
+        sid = self._allocate_sid()
+        fps_arr = segment.fps
+        fps = fps_arr.tolist()
+        sizes = segment.sizes.tolist()
+        bloom_batch = self.bloom.begin_batch(fps_arr)
+        bloom_contains = bloom_batch.contains
+        bloom_add = bloom_batch.add
+        # hoisted fast path of bloom_contains: snapshot answer, falling
+        # into the full check only when pending or staged inserts could
+        # flip it (both containers are mutated in place, never rebound)
+        bloom_m0 = bloom_batch._m0
+        bloom_pending = bloom_batch._pending
+        bloom_staged = bloom_batch._staged
+
+        cache = self.cache
+        touch = cache.touch_unit
+        index = self.res.index
+        peek = index._map.get  # bound peek fast path; fps already ints
+        index_lookup = index.lookup
+        index_insert = index.insert
+        store_append = self.res.store.append
+        store_append_run = self.res.store.append_run
+        stream = self._stream_new
+        stream_get = stream.get
+
+        # all-new run candidates: a chunk that is its fingerprint's first
+        # occurrence in the segment, absent from the stream buffer at
+        # segment start, and summary-vector negative can only resolve one
+        # way — written as new. (A later occurrence, or a stream-buffered
+        # fp, hits rung 2; a bloom positive goes to rung 4; and the
+        # stream buffer only grows with fps written *in* this segment, so
+        # the segment-start snapshot stays authoritative for first
+        # occurrences.) Maximal cache-missing runs of candidates are
+        # written in one batch below.
+        first_occ = np.zeros(n, dtype=bool)
+        first_occ[np.unique(fps_arr, return_index=True)[1]] = True
+        cand = first_occ & bloom_batch.negatives()
+        if stream:
+            cand &= ~np.fromiter(map(stream.__contains__, fps), dtype=bool, count=n)
+        index_insert_many = index.insert_many
+
+        cids = [0] * n
+        written = removed = hits = 0
+        i = 0
+        while i < n:
+            uids_arr = cache.lookup_many(fps if i == 0 else fps[i:])
+            uids = uids_arr.tolist()
+            # relative positions where the cache misses: each maximal run
+            # of hits in between touches no mutable state besides LRU
+            # recency, so it is resolved as one slice (see below)
+            miss_rel = np.flatnonzero(uids_arr < 0)
+            run_ok = (uids_arr < 0) & cand[i:]
+            run_stops = np.flatnonzero(~run_ok)
+            base = i
+            while i < n:
+                fp = fps[i]
+                uid = uids[i - base]
+                if uid >= 0:
+                    # rung 1: prefetch cache — take the whole hit run
+                    # [i, j): hits only read the cache and the index map,
+                    # so nothing inside the run can change a later
+                    # chunk's answer
+                    r = i - base
+                    k = int(np.searchsorted(miss_rel, r))
+                    e = int(miss_rel[k]) if k < miss_rel.size else n - base
+                    j = base + e
+                    # LRU refresh with consecutive duplicates collapsed:
+                    # re-moving the already-most-recent unit is a no-op,
+                    # so the collapsed sequence leaves the identical order
+                    run = uids_arr[r:e]
+                    reps = run[np.concatenate(([0], np.flatnonzero(np.diff(run)) + 1))]
+                    for u in reps.tolist():
+                        touch(u)
+                    hits += j - i
+                    removed += sum(sizes[i:j])
+                    cids[i:j] = [
+                        loc.cid if (loc := peek(f)) is not None else u
+                        for f, u in zip(fps[i:j], uids[r:e])
+                    ]
+                    i = j
+                    continue
+                r = i - base
+                if run_ok[r]:
+                    # maximal cache-missing run of all-new candidates:
+                    # written in one batch (identical packing, seal
+                    # charges, index/stream/bloom state) if try_stage can
+                    # prove no same-batch probe collision flips a later
+                    # chunk's bloom answer; scalar fallback otherwise
+                    t = int(np.searchsorted(run_stops, r))
+                    j = base + (int(run_stops[t]) if t < run_stops.size else n - base)
+                    if j - i >= 8 and bloom_batch.try_stage(i, j):
+                        run_fps = fps[i:j]
+                        run_sizes = sizes[i:j]
+                        cids_run = store_append_run(run_fps, run_sizes)
+                        locs = [ChunkLocation(c, sid) for c in cids_run]
+                        index_insert_many(run_fps, locs)
+                        stream.update(zip(run_fps, locs))
+                        cids[i:j] = cids_run
+                        written += sum(run_sizes)
+                        i = j
+                        continue
+                loc = stream_get(fp)
+                if loc is not None:
+                    # rung 2: current-stream buffer
+                    cids[i] = loc.cid
+                    removed += sizes[i]
+                    i += 1
+                    continue
+                if bloom_m0[i] or ((bloom_pending or bloom_staged) and bloom_contains(i)):
+                    # rung 4: on-disk index
+                    loc = index_lookup(fp)
+                    if loc is not None:
+                        cids[i] = loc.cid
+                        removed += sizes[i]
+                        i += 1
+                        # locality prefetch mutates the cache: re-resolve
+                        # membership for the rest of the segment
+                        self._prefetch_containers(loc.cid)
+                        break
+                # rung 3 said definitely-new, or rung 4 missed (bloom FP)
+                size = sizes[i]
+                cid = store_append(fp, size)
+                loc = ChunkLocation(cid, sid)
+                index_insert(fp, loc)
+                stream[fp] = loc
+                bloom_add(i)
+                cids[i] = cid
+                written += size
+                i += 1
+        bloom_batch.flush()
+        cache.count_hits(hits)
+        cache.count_probes(n)
+        outcome.written_new = written
+        outcome.removed_dup = removed
+        self._recipe.add_many(fps, sizes, cids)
+        return outcome
+
+    def _identify_batch(self, segment: Segment) -> List[Optional[ChunkLocation]]:
+        """Vectorized pure identification: ``[_resolve_duplicate(fp) for
+        fp in segment.fps]`` with the vector work batched. No chunk is
+        written during identification, so the summary vector is static
+        and one ``contains_many`` answers rung 3 for the whole segment;
+        cache membership is re-resolved per locality-prefetch event
+        exactly as in :meth:`_process_segment_batch`. Used by the
+        selective engines (DeFrag, iDedup) whose phase 1 runs before any
+        placement."""
+        n = segment.n_chunks
+        fps_arr = segment.fps
+        fps = fps_arr.tolist()
+        m0_arr = self.bloom.contains_many(fps_arr)
+        m0 = m0_arr.tolist()
+        cache = self.cache
+        touch = cache.touch_unit
+        index = self.res.index
+        peek = index._map.get  # bound peek fast path; fps already ints
+        index_lookup = index.lookup
+        stream = self._stream_new
+        stream_get = stream.get
+        # identification writes nothing, so the stream buffer and summary
+        # vector are static for the whole segment: a cache-missing chunk
+        # that is stream-absent and bloom-negative resolves to None with
+        # no further work, and a whole run of them is skipped in one step
+        skip = ~m0_arr
+        if stream:
+            skip &= ~np.fromiter(map(stream.__contains__, fps), dtype=bool, count=n)
+        locations: List[Optional[ChunkLocation]] = [None] * n
+        hits = 0
+        i = 0
+        while i < n:
+            uids_arr = cache.lookup_many(fps if i == 0 else fps[i:])
+            uids = uids_arr.tolist()
+            miss_rel = np.flatnonzero(uids_arr < 0)
+            run_ok = (uids_arr < 0) & skip[i:]
+            run_stops = np.flatnonzero(~run_ok)
+            base = i
+            while i < n:
+                fp = fps[i]
+                uid = uids[i - base]
+                if uid >= 0:
+                    # whole hit run [i, j), as in _process_segment_batch
+                    r = i - base
+                    k = int(np.searchsorted(miss_rel, r))
+                    e = int(miss_rel[k]) if k < miss_rel.size else n - base
+                    j = base + e
+                    run = uids_arr[r:e]
+                    reps = run[np.concatenate(([0], np.flatnonzero(np.diff(run)) + 1))]
+                    for u in reps.tolist():
+                        touch(u)
+                    hits += j - i
+                    locations[i:j] = [
+                        loc if (loc := peek(f)) is not None else ChunkLocation(u, -1)
+                        for f, u in zip(fps[i:j], uids[r:e])
+                    ]
+                    i = j
+                    continue
+                r = i - base
+                if run_ok[r]:
+                    # definitely-new run: every location stays None
+                    t = int(np.searchsorted(run_stops, r))
+                    i = base + (int(run_stops[t]) if t < run_stops.size else n - base)
+                    continue
+                loc = stream_get(fp)
+                if loc is not None:
+                    locations[i] = loc
+                    i += 1
+                    continue
+                if not m0[i]:
+                    i += 1
+                    continue
+                loc = index_lookup(fp)
+                i += 1
+                if loc is None:
+                    continue
+                locations[i - 1] = loc
+                self._prefetch_containers(loc.cid)
+                break
+        cache.count_hits(hits)
+        cache.count_probes(n)
+        return locations

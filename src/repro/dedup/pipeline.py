@@ -9,13 +9,13 @@ reports.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.chunking.base import ChunkStream
 from repro.dedup.base import BackupReport, DedupEngine
-from repro.segmenting.segmenter import Segmenter
+from repro.segmenting.segmenter import Segment, Segmenter
 from repro.workloads.generators import BackupJob
 
 
@@ -28,12 +28,55 @@ class GroundTruth:
     deduplicator with unbounded RAM.
     """
 
+    #: consolidate pending runs into the base array when they reach this
+    #: fraction of its size (geometric schedule: every fingerprint takes
+    #: part in O(log n_streams) merges instead of one per stream)
+    _MERGE_FRACTION = 0.5
+    #: ... or when this many runs accumulate (bounds membership probes)
+    _MAX_RUNS = 8
+
     def __init__(self) -> None:
+        # all fingerprints ever seen = one sorted base array + a few
+        # sorted pending runs, mutually disjoint by construction
         self._seen = np.zeros(0, dtype=np.uint64)
+        self._runs: List[np.ndarray] = []
 
     @property
     def unique_fingerprints(self) -> int:
-        return int(self._seen.size)
+        return int(self._seen.size) + sum(int(r.size) for r in self._runs)
+
+    @staticmethod
+    def _member(sorted_arr: np.ndarray, fps: np.ndarray) -> np.ndarray:
+        """Vectorized membership of ``fps`` in a sorted array."""
+        if sorted_arr.size == 0:
+            return np.zeros(fps.size, dtype=bool)
+        pos = np.searchsorted(sorted_arr, fps)
+        np.minimum(pos, sorted_arr.size - 1, out=pos)
+        return sorted_arr[pos] == fps
+
+    def _seen_before(self, fps: np.ndarray) -> np.ndarray:
+        """Membership of ``fps`` in everything observed so far."""
+        mask = self._member(self._seen, fps)
+        for run in self._runs:
+            mask |= self._member(run, fps)
+        return mask
+
+    def _absorb(self, new_uniq: np.ndarray) -> None:
+        """Add a sorted array of genuinely-new fingerprints (disjoint from
+        the base and every pending run) and consolidate on schedule."""
+        if new_uniq.size:
+            self._runs.append(new_uniq)
+        pending = sum(int(r.size) for r in self._runs)
+        if not pending:
+            return
+        if (
+            len(self._runs) >= self._MAX_RUNS
+            or pending >= self._MERGE_FRACTION * self._seen.size
+        ):
+            # runs are mutually disjoint, so a plain sort of the
+            # concatenation is the union
+            self._seen = np.sort(np.concatenate([self._seen, *self._runs]))
+            self._runs = []
 
     def observe(self, stream: ChunkStream, seg_boundaries: np.ndarray):
         """Account one stream (segment-aligned) and absorb it.
@@ -53,7 +96,7 @@ class GroundTruth:
             return 0, [], []
         fps = stream.fps
         sizes = stream.sizes.astype(np.int64)
-        in_prev = np.isin(fps, self._seen)
+        in_prev = self._seen_before(fps)
         uniq, first_idx = np.unique(fps, return_index=True)
         is_first = np.zeros(n, dtype=bool)
         is_first[first_idx] = True
@@ -65,12 +108,81 @@ class GroundTruth:
         seg_all_dup = (
             np.logical_and.reduceat(dup_mask, starts) if starts.size else np.zeros(0, bool)
         )
-        self._seen = np.union1d(self._seen, uniq)
+        # absorb only the genuinely-new uniques (first in-stream occurrence
+        # and never seen before), keeping base + runs disjoint so
+        # ``unique_fingerprints`` stays the exact plain sum of their sizes
+        self._absorb(uniq[~in_prev[first_idx]])
         return (
             int(dup_bytes.sum()),
             [int(x) for x in seg_dup],
             [bool(x) for x in seg_all_dup],
         )
+
+
+class PreparedBackup(NamedTuple):
+    """One backup's engine-independent ingest inputs, computed once.
+
+    Segment boundaries (and the segment views built from them) depend
+    only on the stream and the segmenter configuration — never on the
+    engine — so a workload that is replayed through several engines can
+    pay for segmentation a single time (:func:`prepare_workload`).
+    """
+
+    job: BackupJob
+    boundaries: np.ndarray
+    segments: List[Segment]
+
+
+#: the ground-truth annotation of one backup, as returned by
+#: :meth:`GroundTruth.observe`: (total_true_dup_bytes,
+#: per_segment_true_dup_bytes, per_segment_fully_dup)
+TruthTriple = Tuple[int, List[int], List[bool]]
+
+
+def prepare_workload(
+    jobs: Iterable[BackupJob], segmenter: Segmenter
+) -> List[PreparedBackup]:
+    """Segment every job once, for replay through multiple engines."""
+    prepared: List[PreparedBackup] = []
+    for job in jobs:
+        boundaries = segmenter.boundaries(job.stream)
+        segments = segmenter.split_at(job.stream, boundaries)
+        prepared.append(PreparedBackup(job, boundaries, segments))
+    return prepared
+
+
+def truth_annotations(prepared: Iterable[PreparedBackup]) -> List[TruthTriple]:
+    """Ground-truth triples for a prepared workload, computed once.
+
+    The oracle depends only on the streams and their segment boundaries,
+    so its annotations — like the segmentation — are shareable across
+    every engine that replays the same workload."""
+    gt = GroundTruth()
+    return [gt.observe(p.job.stream, p.boundaries) for p in prepared]
+
+
+def _annotate(report: BackupReport, truth: TruthTriple) -> None:
+    total, per_seg, fully = truth
+    report.true_dup_bytes = total
+    # copies: reports own their lists (shared truths must stay pristine)
+    report.seg_true_dup_bytes = list(per_seg)
+    report.seg_fully_dup = list(fully)
+
+
+def run_prepared_backup(
+    engine: DedupEngine,
+    prepared: PreparedBackup,
+    truth: Optional[TruthTriple] = None,
+) -> BackupReport:
+    """Ingest one pre-segmented backup; annotate a precomputed truth."""
+    job = prepared.job
+    engine.begin_backup(job.generation, job.label)
+    for segment in prepared.segments:
+        engine.process_segment(segment)
+    report = engine.end_backup()
+    if truth is not None:
+        _annotate(report, truth)
+    return report
 
 
 def run_backup(
@@ -81,16 +193,13 @@ def run_backup(
 ) -> BackupReport:
     """Ingest one backup through ``engine`` and annotate ground truth."""
     boundaries = segmenter.boundaries(job.stream)
-    segments = segmenter.split(job.stream)
+    segments = segmenter.split_at(job.stream, boundaries)
     engine.begin_backup(job.generation, job.label)
     for segment in segments:
         engine.process_segment(segment)
     report = engine.end_backup()
     if ground_truth is not None:
-        total, per_seg, fully = ground_truth.observe(job.stream, boundaries)
-        report.true_dup_bytes = total
-        report.seg_true_dup_bytes = per_seg
-        report.seg_fully_dup = fully
+        _annotate(report, ground_truth.observe(job.stream, boundaries))
     return report
 
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro._util import MIB, check_positive
 from repro.dedup.base import CostModel, DedupEngine, EngineResources, SegmentOutcome
 from repro.index.cache import FingerprintPrefetchCache
@@ -57,8 +59,9 @@ class SiLoEngine(DedupEngine):
         block_bytes: int = 8 * MIB,
         cache_blocks: int = 64,
         similarity_capacity: Optional[int] = None,
+        batch: bool = True,
     ) -> None:
-        super().__init__(resources, cost)
+        super().__init__(resources, cost, batch=batch)
         check_positive("cache_blocks", cache_blocks)
         self.similarity = SimilarityIndex(capacity=similarity_capacity)
         self.cache = FingerprintPrefetchCache(cache_blocks)
@@ -151,6 +154,100 @@ class SiLoEngine(DedupEngine):
 
         # every logical chunk of the segment is indexed in its block
         self._builder.add_segment(segment, segment.fps, segment.nbytes)
+        if self._builder.should_seal():
+            self._seal_block()
+        return outcome
+
+    # -- batch path -------------------------------------------------------
+
+    def _process_segment_batch(self, segment: Segment) -> SegmentOutcome:
+        """Segment-at-a-time ingest. After the similarity probe and the
+        (at most one) block fetch, the prefetch cache is static for the
+        rest of the segment — writes never touch it — so one
+        :meth:`lookup_many` resolves cache membership for the whole
+        fingerprint vector up front; locations then come from the RAM
+        maps, live per chunk. Byte-identical to the scalar path."""
+        n = segment.n_chunks
+        outcome = SegmentOutcome(index=segment.index, n_chunks=n, nbytes=segment.nbytes)
+        assert self._recipe is not None
+
+        fps_arr = segment.fps
+        if n:
+            rep = representative_fingerprint(fps_arr)
+            bid = self.similarity.lookup(rep)
+            if bid is not None:
+                self._fetch_block(bid)
+
+        cache = self.cache
+        touch = cache.touch_unit
+        uids_arr = cache.lookup_many(fps_arr)
+        uids = uids_arr.tolist()
+        miss_pos = np.flatnonzero(uids_arr < 0)
+        fps = fps_arr.tolist()
+        sizes = segment.sizes.tolist()
+        locations = self._locations
+        locations_get = locations.get
+        store_append = self.res.store.append
+        stream = self._stream_new
+        stream_get = stream.get
+
+        cids = [0] * n
+        written = removed = hits = 0
+        i = 0
+        while i < n:
+            fp = fps[i]
+            uid = uids[i]
+            loc: Optional[ChunkLocation] = None
+            if uid >= 0:
+                # Take the maximal run [i, j) of cache hits: hits read
+                # the static cache and the location map — which writes
+                # grow, but only with fingerprints the cache cannot
+                # cover — so nothing inside the run changes a later
+                # chunk's answer. LRU refreshes collapse consecutive
+                # duplicate units (re-moving the most-recent unit is a
+                # no-op, so the collapsed order is identical).
+                k = int(np.searchsorted(miss_pos, i))
+                j = int(miss_pos[k]) if k < miss_pos.size else n
+                found = [locations_get(f) for f in fps[i:j]]
+                if None not in found:
+                    run = uids_arr[i:j]
+                    reps = run[np.concatenate(([0], np.flatnonzero(np.diff(run)) + 1))]
+                    for u in reps.tolist():
+                        touch(u)
+                    hits += j - i
+                    removed += sum(sizes[i:j])
+                    cids[i:j] = [l.cid for l in found]
+                    i = j
+                    continue
+                # a cached fingerprint with no stored copy cannot happen
+                # for real blocks (every block fp was stored), but the
+                # scalar ladder tolerates it — resolve this chunk alone
+                touch(uid)
+                hits += 1
+                loc = found[0]
+            if loc is None:
+                loc = stream_get(fp)
+            if loc is None:
+                # new (or undetected duplicate): store it
+                size = sizes[i]
+                cid = store_append(fp, size)
+                loc = ChunkLocation(cid, -1)
+                locations[fp] = loc
+                stream[fp] = loc
+                written += size
+                cids[i] = cid
+            else:
+                removed += sizes[i]
+                cids[i] = loc.cid
+            i += 1
+        cache.count_hits(hits)
+        cache.count_probes(n)
+        outcome.written_new = written
+        outcome.removed_dup = removed
+        self._recipe.add_many(fps, sizes, cids)
+
+        # every logical chunk of the segment is indexed in its block
+        self._builder.add_segment(segment, fps_arr, segment.nbytes)
         if self._builder.should_seal():
             self._seal_block()
         return outcome

@@ -51,8 +51,9 @@ class SparseIndexEngine(DedupEngine):
         max_champions: int = 2,
         hook_history: int = 3,
         cache_manifests: int = 16,
+        batch: bool = True,
     ) -> None:
-        super().__init__(resources, cost)
+        super().__init__(resources, cost, batch=batch)
         check_positive("sample_rate", sample_rate)
         check_positive("max_champions", max_champions)
         check_positive("hook_history", hook_history)

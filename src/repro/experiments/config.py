@@ -96,6 +96,11 @@ class ExperimentConfig:
         )
     )
     incremental_file_bytes: int = 2 * MIB
+    #: engines resolve each segment's fingerprint vector as one batch
+    #: (the vectorized ingest path); False replays the scalar
+    #: chunk-at-a-time reference ladder — results are byte-identical,
+    #: only wall-clock differs (the bench harness A/Bs this switch)
+    batch: bool = True
 
     # -- scale presets --------------------------------------------------
 

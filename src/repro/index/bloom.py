@@ -88,6 +88,21 @@ class BloomFilter:
         hit = (self._words[words] & bits) != 0
         return hit.all(axis=1)
 
+    # -- segment batching -------------------------------------------------
+
+    def begin_batch(self, fps: np.ndarray) -> "BloomBatch":
+        """Precompute the probe positions of one segment's fingerprints.
+
+        The returned :class:`BloomBatch` answers per-chunk membership and
+        performs per-chunk inserts against *this* filter without re-hashing,
+        so an engine's batch ingest path pays the double-hashing cost once
+        per segment instead of once per chunk. Results are bit-identical to
+        the scalar ``fp in bloom`` / ``add(fp)`` sequence, including the
+        case where an ``add`` earlier in the segment flips a later chunk's
+        membership (a same-segment-induced false positive).
+        """
+        return BloomBatch(self, fps)
+
     # -- introspection ----------------------------------------------------
 
     @property
@@ -110,3 +125,152 @@ class BloomFilter:
             f"BloomFilter(capacity={self.capacity}, bits={self.n_bits}, "
             f"k={self.n_hashes}, added={self.n_added})"
         )
+
+
+class BloomBatch:
+    """One segment's fingerprints, hashed once, probed per chunk.
+
+    ``contains(i)`` / ``add(i)`` refer to the i-th fingerprint of the
+    array handed to :meth:`BloomFilter.begin_batch`. Membership uses the
+    snapshot taken at construction (bits never clear, so a set bit stays
+    authoritative) plus the batch's own pending inserts — the only way a
+    snapshot-absent chunk's answer can change mid-segment. Inserts are
+    staged in a per-word pending dict and folded into the filter's word
+    array by :meth:`flush` in one vector OR; the caller must flush at the
+    end of the segment walk.
+    """
+
+    __slots__ = (
+        "_bloom",
+        "_rows",
+        "_bits",
+        "_m0",
+        "_hit",
+        "_pos",
+        "_hit_arr",
+        "_pending",
+        "_staged",
+        "_added_pos",
+    )
+
+    def __init__(self, bloom: BloomFilter, fps: np.ndarray) -> None:
+        fps = np.asarray(fps, dtype=np.uint64)
+        self._bloom = bloom
+        self._pending: dict = {}
+        # inserts staged in bulk by try_stage, folded lazily (contains)
+        # or at flush; _added_pos tracks every insert's probe positions
+        # for try_stage's coverage check
+        self._staged: list = []
+        self._added_pos: list = []
+        if fps.size == 0:
+            self._rows: list = []
+            self._bits: list = []
+            self._m0: list = []
+            self._hit: list = []
+            self._pos = np.zeros((0, 0), dtype=np.uint64)
+            self._hit_arr = np.zeros((0, 0), dtype=bool)
+            return
+        pos = bloom._positions(fps)
+        rows = (pos >> _U64(6)).astype(np.int64)
+        bits = _U64(1) << (pos & _U64(63))
+        hit = (bloom._words[rows] & bits) != 0
+        self._m0 = hit.all(axis=1).tolist()
+        self._rows = rows.tolist()
+        self._bits = bits.tolist()
+        # per-probe snapshot answers: bits never clear, so a snapshot-set
+        # probe stays set and only snapshot-unset probes can be flipped
+        # (by a pending insert)
+        self._hit = hit.tolist()
+        self._pos = pos
+        self._hit_arr = hit
+
+    def negatives(self) -> np.ndarray:
+        """Boolean mask of the chunks whose *snapshot* membership is
+        negative (the only chunks a pending insert could still flip)."""
+        return ~np.asarray(self._m0, dtype=bool)
+
+    def contains(self, i: int) -> bool:
+        """Membership of fingerprint ``i``, as of now (not batch start)."""
+        if self._m0[i]:
+            return True
+        if self._staged:
+            self._materialize()
+        pending = self._pending
+        if not pending:
+            return False
+        get = pending.get
+        for row, bit, h in zip(self._rows[i], self._bits[i], self._hit[i]):
+            if not h and not get(row, 0) & bit:
+                return False
+        return True
+
+    def add(self, i: int) -> None:
+        """Insert fingerprint ``i`` (visible to later ``contains`` calls)."""
+        pending = self._pending
+        get = pending.get
+        for row, bit in zip(self._rows[i], self._bits[i]):
+            pending[row] = get(row, 0) | bit
+        self._added_pos.append(self._pos[i])
+        self._bloom.n_added += 1
+
+    def try_stage(self, lo: int, hi: int) -> bool:
+        """Stage the inserts of chunks ``[lo, hi)`` in one batch — but only
+        if every one of them is *provably* still absent, i.e. each has a
+        snapshot-unset probe that no other insert of this batch (staged,
+        scalar, or a peer inside the run itself) could have set. Returns
+        False without staging anything when the proof fails (probe
+        collision — the caller falls back to the scalar ladder, whose
+        per-chunk ``contains``/``add`` sequence handles the collision
+        exactly); the check is conservative, so a True answer is always
+        bit-identical to the scalar sequence.
+        """
+        sub = self._pos[lo:hi]
+        miss = ~self._hit_arr[lo:hi]
+        flat = sub.ravel()
+        uniq, inv, counts = np.unique(flat, return_inverse=True, return_counts=True)
+        # a probe is a valid witness if no run peer shares it ...
+        solo = (counts == 1)[inv].reshape(sub.shape)
+        if self._added_pos:
+            # ... and no earlier insert of this batch already set it
+            added = np.concatenate([a.ravel() for a in self._added_pos])
+            solo &= ~np.isin(flat, added).reshape(sub.shape)
+        if not bool((solo & miss).any(axis=1).all()):
+            return False
+        self._staged.append(sub)
+        self._added_pos.append(sub)
+        self._bloom.n_added += hi - lo
+        return True
+
+    def _materialize(self) -> None:
+        """Fold staged bulk inserts into the pending per-word dict so the
+        scalar ``contains`` fast path sees them."""
+        pos = np.concatenate([b.ravel() for b in self._staged])
+        self._staged.clear()
+        rows = (pos >> _U64(6)).astype(np.int64)
+        bits = _U64(1) << (pos & _U64(63))
+        order = np.argsort(rows, kind="stable")
+        rows_s = rows[order]
+        bits_s = bits[order]
+        uniq, start = np.unique(rows_s, return_index=True)
+        ors = np.bitwise_or.reduceat(bits_s, start)
+        pending = self._pending
+        get = pending.get
+        for r, v in zip(uniq.tolist(), ors.tolist()):
+            pending[r] = get(r, 0) | v
+
+    def flush(self) -> None:
+        """Fold pending and staged inserts into the filter's word array."""
+        for block in self._staged:
+            pos = block.ravel()
+            rows = (pos >> _U64(6)).astype(np.int64)
+            bits = _U64(1) << (pos & _U64(63))
+            np.bitwise_or.at(self._bloom._words, rows, bits)
+        self._staged.clear()
+        pending = self._pending
+        if not pending:
+            return
+        rows = np.fromiter(pending.keys(), dtype=np.int64, count=len(pending))
+        vals = np.fromiter(pending.values(), dtype=np.uint64, count=len(pending))
+        # keys are unique, so plain fancy-index OR is safe
+        self._bloom._words[rows] |= vals
+        pending.clear()

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Any, Dict, Hashable, Iterable, Optional
 
 import numpy as np
@@ -75,6 +76,7 @@ class PrefetchCacheStats:
         return self.hits / self.units_inserted if self.units_inserted else 0.0
 
 
+
 class FingerprintPrefetchCache:
     """LRU cache of prefetched metadata *units* (containers or blocks).
 
@@ -82,6 +84,15 @@ class FingerprintPrefetchCache:
     fingerprint to the unit that supplied it (refreshing that unit's
     recency); inserting past capacity evicts whole units and their
     fingerprints.
+
+    The fingerprint → unit mapping is a plain dict maintained
+    incrementally on unit insert/evict: upserting a unit's fingerprints
+    and unmapping an evicted unit's both cost O(unit), never O(cache) —
+    inserting into a flat sorted array would copy the whole mapping per
+    prefetch. Ties between units holding the same fingerprint resolve to
+    the most recently inserted one (dict-update semantics). Scalar
+    :meth:`lookup` and batch :meth:`lookup_many` read the same dict, so
+    the two ingest paths can never disagree.
 
     Args:
         capacity_units: number of units held (DDFS caches on the order of
@@ -92,11 +103,23 @@ class FingerprintPrefetchCache:
         check_positive("capacity_units", capacity_units)
         self.capacity_units = int(capacity_units)
         self._units: "OrderedDict[int, np.ndarray]" = OrderedDict()
-        self._fp_to_unit: Dict[int, int] = {}
+        # fingerprint -> covering unit id
+        self._map: Dict[int, int] = {}
+        # uid -> (source array, key list): unit contents are immutable
+        # (sealed containers / sealed blocks), so the int conversion is
+        # paid once per unit, not per re-prefetch; the source array is
+        # kept to detect a uid reused for different contents (tests may
+        # do that; real units never do)
+        self._derived: Dict[int, tuple] = {}
         self.stats = PrefetchCacheStats()
+        # bound LRU recency refresh for batch walks: semantically one
+        # consumed cache hit minus its stats, which the walk accounts in
+        # bulk via count_hits/count_probes (zero wrapper overhead on the
+        # per-hit path; the OrderedDict object survives clear())
+        self.touch_unit = self._units.move_to_end
 
     def __contains__(self, fp: int) -> bool:
-        return int(fp) in self._fp_to_unit
+        return int(fp) in self._map
 
     def __len__(self) -> int:
         return len(self._units)
@@ -104,12 +127,73 @@ class FingerprintPrefetchCache:
     def lookup(self, fp: int) -> Optional[int]:
         """Return the unit id whose prefetch covers ``fp``, or None."""
         self.stats.lookups += 1
-        uid = self._fp_to_unit.get(int(fp))
+        uid = self._map.get(int(fp))
         if uid is None:
             return None
         self._units.move_to_end(uid)
         self.stats.hits += 1
         return uid
+
+    # -- batch interface ------------------------------------------------
+
+    def lookup_many(self, fps) -> np.ndarray:
+        """Batched membership: the unit id covering each fingerprint,
+        or -1. Accepts an array or a list of native ints (callers holding
+        a ``.tolist()`` of the segment pass it to skip reconversion).
+        Pure — no stats, no recency refresh; batch callers account
+        consumed probes via :meth:`touch` / :meth:`count_probes` so the
+        scalar and batch paths meter identically."""
+        keys = fps.tolist() if isinstance(fps, np.ndarray) else fps
+        n = len(keys)
+        if n == 0 or not self._map:
+            return np.full(n, -1, dtype=np.int64)
+        return np.fromiter(
+            map(self._map.get, keys, repeat(-1)), dtype=np.int64, count=n
+        )
+
+    def touch(self, uid: int) -> None:
+        """Account one consumed cache hit: recency refresh + hit count
+        (the batch-path equivalent of a successful :meth:`lookup`)."""
+        self._units.move_to_end(uid)
+        self.stats.hits += 1
+
+    def count_hits(self, n: int) -> None:
+        """Account ``n`` consumed cache hits whose recency refreshes were
+        already applied one by one via :attr:`touch_unit`."""
+        self.stats.hits += int(n)
+
+    def count_probes(self, n: int) -> None:
+        """Account ``n`` consumed membership probes (hits and misses)."""
+        self.stats.lookups += int(n)
+
+    # -- mapping maintenance --------------------------------------------
+
+    def _map_upsert(self, keys: list, uid: int) -> None:
+        """Point a unit's fingerprints at ``uid``, stealing attribution
+        from earlier units (dict-update semantics)."""
+        self._map.update(zip(keys, repeat(uid)))
+
+    def _map_evict(self, keys: list, uid: int) -> None:
+        """Unmap an evicted unit's fingerprints — but only those still
+        attributed to it (a fingerprint can appear in several units'
+        metadata; newer inserts steal the attribution)."""
+        m = self._map
+        get = m.get
+        for f in keys:
+            if get(f) == uid:
+                del m[f]
+
+    def _derive(self, uid: int, fps: np.ndarray) -> list:
+        """A unit's fingerprints as native-int dict keys, memoized on its
+        immutable contents."""
+        cached = self._derived.get(uid)
+        if cached is not None and cached[0] is fps:
+            return cached[1]
+        keys = [int(f) for f in fps] if not isinstance(fps, np.ndarray) else fps.tolist()
+        self._derived[uid] = (fps, keys)
+        return keys
+
+    # -- unit maintenance -----------------------------------------------
 
     def has_unit(self, uid: int) -> bool:
         """True if unit ``uid`` is currently cached (no recency change)."""
@@ -126,22 +210,43 @@ class FingerprintPrefetchCache:
             # the mapping and was then evicted, the fingerprint would
             # otherwise stay unreachable while this unit is still cached.
             self._units.move_to_end(uid)
-            for fp in self._units[uid]:
-                self._fp_to_unit[int(fp)] = uid
+            self._map_upsert(self._derive(uid, self._units[uid]), uid)
             return
         self._units[uid] = fps
-        for fp in fps:
-            self._fp_to_unit[int(fp)] = uid
+        self._map_upsert(self._derive(uid, fps), uid)
         self.stats.units_inserted += 1
         while len(self._units) > self.capacity_units:
             old_uid, old_fps = self._units.popitem(last=False)
             self.stats.units_evicted += 1
-            for fp in old_fps:
-                # only unmap fingerprints still attributed to the evictee
-                if self._fp_to_unit.get(int(fp)) == old_uid:
-                    del self._fp_to_unit[int(fp)]
+            self._map_evict(self._derive(old_uid, old_fps), old_uid)
+
+    def insert_units(self, units: "list[tuple[int, np.ndarray]]") -> None:
+        """Cache a *run* of prefetched units in order.
+
+        Equivalent to ``insert_unit(uid, fps)`` per pair: upserts in run
+        order attribute each fingerprint to the last unit of the run
+        holding it, and deferring the evictions to the end pops the same
+        least-recent units — nothing observes the cache between the
+        inserts."""
+        for uid, fps in units:
+            fps = np.asarray(fps, dtype=np.uint64)
+            uid = int(uid)
+            if uid in self._units:
+                # re-prefetch: refresh recency and re-register (see
+                # insert_unit)
+                self._units.move_to_end(uid)
+                self._map_upsert(self._derive(uid, self._units[uid]), uid)
+                continue
+            self._units[uid] = fps
+            self._map_upsert(self._derive(uid, fps), uid)
+            self.stats.units_inserted += 1
+        while len(self._units) > self.capacity_units:
+            old_uid, old_fps = self._units.popitem(last=False)
+            self.stats.units_evicted += 1
+            self._map_evict(self._derive(old_uid, old_fps), old_uid)
 
     def clear(self) -> None:
         """Drop all cached units (e.g. between independent streams)."""
         self._units.clear()
-        self._fp_to_unit.clear()
+        self._map.clear()
+        self._derived.clear()

@@ -13,7 +13,9 @@ engine's per-chunk CPU constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional
+
+import numpy as np
 
 from repro._util import KIB, check_positive
 from repro.index.cache import LRUCache
@@ -35,13 +37,21 @@ class ChunkLocation(NamedTuple):
 
 @dataclass
 class IndexStats:
-    """Cumulative index-access accounting."""
+    """Cumulative index-access accounting.
+
+    ``negative_lookups`` counts lookups that found no entry — each one
+    still paid for its bucket page like any other lookup (absence is only
+    proven by reading the bucket), so the counter makes the
+    negative-lookup asymmetry directly observable and lets the batched
+    and scalar ingest paths be compared on it.
+    """
 
     lookups: int = 0
     page_faults: int = 0
     page_hits: int = 0
     inserts: int = 0
     updates: int = 0
+    negative_lookups: int = 0
 
     @property
     def fault_rate(self) -> float:
@@ -89,8 +99,11 @@ class DiskChunkIndex:
         return len(self._map)
 
     def __contains__(self, fp: int) -> bool:
-        """RAM-model membership check (no disk charge) — for tests and
-        oracles only; engines must use :meth:`lookup`."""
+        """RAM-model membership check (no disk charge) — for tests,
+        oracles, and batch-path *routing* (deciding which deferred
+        :meth:`lookup_many` batch a chunk joins; every routed chunk still
+        pays its authoritative lookup). Engines must not use it to skip
+        a lookup's charge."""
         return int(fp) in self._map
 
     def page_of(self, fp: int) -> int:
@@ -103,7 +116,8 @@ class DiskChunkIndex:
 
         Note the asymmetry with a dict: a *negative* lookup (fingerprint
         absent — e.g. a bloom false positive) costs the same page fault,
-        because absence is only proven by reading the bucket.
+        because absence is only proven by reading the bucket. Negative
+        results are tallied in ``stats.negative_lookups``.
         """
         fp = int(fp)
         self.stats.lookups += 1
@@ -115,12 +129,74 @@ class DiskChunkIndex:
             self.disk.read(self.page_bytes, seeks=1)
             if self._page_cache is not None:
                 self._page_cache.put(page, True)
-        return self._map.get(fp)
+        loc = self._map.get(fp)
+        if loc is None:
+            self.stats.negative_lookups += 1
+        return loc
+
+    def lookup_many(self, fps) -> List[Optional[ChunkLocation]]:
+        """Authoritative lookup of a fingerprint run, in order.
+
+        Misses naturally group by bucket-page id: the first lookup that
+        faults a page brings it into the RAM page cache, so subsequent
+        lookups hashing to the same page within the run hit in RAM — one
+        simulated fault per distinct faulted page (while the pages fit in
+        the cache). The page cache and disk are driven in exactly the
+        sequence ``[lookup(fp) for fp in fps]`` would drive them, so
+        simulated-cost accounting (faults, stats, clock) is preserved to
+        the bit; only the per-call Python overhead is batched away.
+
+        Returns one location (or None) per fingerprint.
+        """
+        if isinstance(fps, np.ndarray):
+            fps = fps.tolist()
+        stats = self.stats
+        page_cache = self._page_cache
+        map_get = self._map.get
+        n_pages = self.n_pages
+        page_bytes = self.page_bytes
+        disk_read = self.disk.read
+        out: List[Optional[ChunkLocation]] = []
+        append = out.append
+        lookups = hits = faults = negatives = 0
+        for fp in fps:
+            fp = int(fp)
+            lookups += 1
+            page = fp % n_pages
+            if page_cache is not None and page_cache.get(page) is not None:
+                hits += 1
+            else:
+                faults += 1
+                disk_read(page_bytes, seeks=1)
+                if page_cache is not None:
+                    page_cache.put(page, True)
+            loc = map_get(fp)
+            if loc is None:
+                negatives += 1
+            append(loc)
+        stats.lookups += lookups
+        stats.page_hits += hits
+        stats.page_faults += faults
+        stats.negative_lookups += negatives
+        return out
 
     def insert(self, fp: int, location: ChunkLocation) -> None:
         """Record a newly written chunk (batched write; no disk charge)."""
         self._map[int(fp)] = location
         self.stats.inserts += 1
+
+    def insert_many(self, fps, locations) -> None:
+        """Record a run of newly written chunks — ``insert`` pairwise,
+        batched (no disk charge either way). ``fps`` must be plain ints."""
+        self._map.update(zip(fps, locations))
+        self.stats.inserts += len(locations)
+
+    def update_many(self, fps, locations) -> None:
+        """Re-point a run of existing fingerprints — ``update`` pairwise,
+        batched. Later pairs win on a repeated fingerprint, exactly as
+        sequential calls would. ``fps`` must be plain ints."""
+        self._map.update(zip(fps, locations))
+        self.stats.updates += len(locations)
 
     def update(self, fp: int, location: ChunkLocation) -> None:
         """Re-point an existing fingerprint at a fresher physical copy

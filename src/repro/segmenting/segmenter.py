@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator, List
 
 import numpy as np
@@ -42,8 +43,10 @@ class Segment:
     def n_chunks(self) -> int:
         return int(self.fps.size)
 
-    @property
+    @cached_property
     def nbytes(self) -> int:
+        # cached: the arrays are views of an immutable stream, and the
+        # ingest path reads this several times per segment
         return int(self.sizes.sum(dtype=np.int64)) if self.n_chunks else 0
 
     @property
@@ -65,13 +68,18 @@ class Segmenter(abc.ABC):
 
     def split(self, stream: ChunkStream) -> List[Segment]:
         """Split ``stream`` into :class:`Segment` views."""
-        cuts = self.boundaries(stream)
+        return self.split_at(stream, self.boundaries(stream))
+
+    def split_at(self, stream: ChunkStream, cuts: np.ndarray) -> List[Segment]:
+        """Segment views from precomputed cuts (as from
+        :meth:`boundaries`) — lets callers needing both the cuts and the
+        segments pay for one boundary scan."""
+        fps = stream.fps
+        sizes = stream.sizes
         segments: List[Segment] = []
         for i in range(len(cuts) - 1):
             a, b = int(cuts[i]), int(cuts[i + 1])
-            segments.append(
-                Segment(index=i, start=a, fps=stream.fps[a:b], sizes=stream.sizes[a:b])
-            )
+            segments.append(Segment(index=i, start=a, fps=fps[a:b], sizes=sizes[a:b]))
         return segments
 
     def iter_split(self, stream: ChunkStream) -> Iterator[Segment]:
@@ -115,18 +123,33 @@ class ContentDefinedSegmenter(Segmenter):
         self._divisor = max(2, span // self.avg_chunk_bytes)
 
     def boundaries(self, stream: ChunkStream) -> np.ndarray:
+        """One searchsorted step per *segment* instead of one loop
+        iteration per chunk: a segment ends at the earlier of the first
+        chunk crossing ``max_bytes`` and the first boundary candidate past
+        ``min_bytes`` — both monotone in the cumulative byte total, so
+        each is a binary search."""
         n = len(stream)
         if n == 0:
             return np.zeros(1, dtype=np.int64)
-        is_candidate = (stream.fps % np.uint64(self._divisor)) == 0
-        sizes = stream.sizes.astype(np.int64)
+        cum = np.cumsum(stream.sizes, dtype=np.int64)
+        cand_idx = np.flatnonzero((stream.fps % np.uint64(self._divisor)) == 0)
+        cand_cum = cum[cand_idx]
         cuts = [0]
-        acc = 0
-        for i in range(n):
-            acc += int(sizes[i])
-            if acc >= self.max_bytes or (acc >= self.min_bytes and is_candidate[i]):
-                cuts.append(i + 1)
-                acc = 0
+        base = 0
+        pos = 0
+        while True:
+            i_forced = int(np.searchsorted(cum, base + self.max_bytes))
+            k = max(
+                int(np.searchsorted(cand_idx, pos)),
+                int(np.searchsorted(cand_cum, base + self.min_bytes)),
+            )
+            i_cand = int(cand_idx[k]) if k < cand_idx.size else n
+            i = min(i_forced, i_cand)
+            if i >= n:
+                break
+            cuts.append(i + 1)
+            base = int(cum[i])
+            pos = i + 1
         if cuts[-1] != n:
             cuts.append(n)
         return np.asarray(cuts, dtype=np.int64)
@@ -146,13 +169,15 @@ class FixedSegmenter(Segmenter):
         n = len(stream)
         if n == 0:
             return np.zeros(1, dtype=np.int64)
-        cum = np.cumsum(stream.sizes.astype(np.int64))
+        cum = np.cumsum(stream.sizes, dtype=np.int64)
         cuts = [0]
         threshold = self.target_bytes
-        for i in range(n):
-            if cum[i] >= threshold:
-                cuts.append(i + 1)
-                threshold = int(cum[i]) + self.target_bytes
+        while True:
+            i = int(np.searchsorted(cum, threshold))
+            if i >= n:
+                break
+            cuts.append(i + 1)
+            threshold = int(cum[i]) + self.target_bytes
         if cuts[-1] != n:
             cuts.append(n)
         return np.asarray(cuts, dtype=np.int64)

@@ -112,6 +112,14 @@ class Container:
         self._sizes.append(int(size))
         self._bytes += int(size)
 
+    def add_unchecked(self, fp: int, size: int) -> None:
+        """:meth:`add` without the guards, for a caller that has already
+        checked :meth:`fits` and normalized the values (the container
+        store's per-chunk hot path)."""
+        self._fps.append(fp)
+        self._sizes.append(size)
+        self._bytes += size
+
     def iter_chunks(self) -> Iterator[Tuple[int, int]]:
         """Yield ``(fingerprint, size)`` in write order."""
         return zip(self._fps, self._sizes)

@@ -94,7 +94,14 @@ class RecipeBuilder:
         self._cids.append(int(cid))
 
     def add_many(self, fps, sizes, cids) -> None:
-        """Record a run of chunks (parallel iterables)."""
+        """Record a run of chunks (parallel iterables). Plain lists are
+        extended as-is (the batch ingest path's bulk append); any other
+        iterable is normalized element-wise."""
+        if type(fps) is list and type(sizes) is list and type(cids) is list:
+            self._fps.extend(fps)
+            self._sizes.extend(sizes)
+            self._cids.extend(cids)
+            return
         self._fps.extend(int(f) for f in fps)
         self._sizes.extend(int(s) for s in sizes)
         self._cids.extend(int(c) for c in cids)

@@ -94,12 +94,67 @@ class ContainerStore:
 
     def append(self, fp: int, size: int) -> int:
         """Append one chunk to the log; returns the container id it landed
-        in. Seals and charges the previous container when it fills."""
-        cid = self.current_cid(size)
-        assert self._open is not None
-        self._open.add(fp, size)
+        in. Seals and charges the previous container when it fills.
+
+        Semantically ``current_cid(size)`` + ``Container.add``; open-coded
+        because this is the hottest call of the ingest write path."""
+        if size <= 0:
+            raise ValueError(f"chunk size must be > 0, got {size}")
+        fp = int(fp)
+        size = int(size)
+        open_ = self._open
+        # inlined Container.fits / Container.add_unchecked (slot access
+        # instead of two method calls per chunk)
+        if open_ is not None and open_._bytes != 0 and size > open_.capacity - open_._bytes:
+            self._seal_open()
+            open_ = None
+        if open_ is None:
+            open_ = self._open = Container(self._next_cid, self.container_bytes)
+            self._next_cid += 1
+        open_._fps.append(fp)
+        open_._sizes.append(size)
+        open_._bytes += size
         self.stats.chunks_written += 1
-        return cid
+        return open_.cid
+
+    def append_run(self, fps: list, sizes: list) -> list:
+        """Append a run of chunks in stream order; returns one container
+        id per chunk. Byte-identical to ``[self.append(f, s) for f, s in
+        zip(fps, sizes)]`` — same greedy packing, same seal charges at the
+        same sequence points — but packed one *container* at a time
+        instead of one chunk at a time. ``fps``/``sizes`` must be plain
+        Python ints (callers hold ``.tolist()`` output).
+        """
+        n = len(fps)
+        if n == 0:
+            return []
+        if min(sizes) <= 0:
+            raise ValueError(f"chunk size must be > 0, got {min(sizes)}")
+        cs = np.cumsum(np.asarray(sizes, dtype=np.int64))
+        cids: list = []
+        pos = 0
+        while pos < n:
+            open_ = self._open
+            if open_ is None:
+                open_ = self._open = Container(self._next_cid, self.container_bytes)
+                self._next_cid += 1
+            prev = int(cs[pos - 1]) if pos else 0
+            # chunks [pos, k) fit the remaining room of the open container
+            k = int(np.searchsorted(cs, prev + open_.capacity - open_._bytes, "right"))
+            if k <= pos:
+                if open_._bytes != 0:
+                    self._seal_open()
+                    continue
+                # an oversize chunk still lands in an empty container
+                # (exactly as the scalar append admits it)
+                k = pos + 1
+            open_._fps += fps[pos:k]
+            open_._sizes += sizes[pos:k]
+            open_._bytes += int(cs[k - 1]) - prev
+            cids += [open_.cid] * (k - pos)
+            pos = k
+        self.stats.chunks_written += n
+        return cids
 
     def flush(self) -> Optional[int]:
         """Seal the open container (end of a backup stream). Returns the

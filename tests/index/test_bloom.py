@@ -77,3 +77,55 @@ class TestIntrospection:
 
     def test_ram_bytes_positive(self):
         assert BloomFilter(1000).ram_bytes > 0
+
+
+class TestBloomBatchStaging:
+    """try_stage: a whole run of adds is staged only when the batch can
+    prove no same-run or prior-add probe collision could flip a later
+    mid-segment membership answer; otherwise it refuses and the caller
+    falls back to bit-identical scalar adds."""
+
+    def _batch(self, fps):
+        bloom = BloomFilter(10_000, 0.01)
+        return bloom, bloom.begin_batch(np.asarray(fps, dtype=np.uint64))
+
+    def test_stage_success_marks_members_and_counts(self):
+        bloom, batch = self._batch([1, 2, 3, 4])
+        assert batch.try_stage(0, 4)
+        assert bloom.n_added == 4
+        assert all(batch.contains(i) for i in range(4))
+
+    def test_stage_matches_scalar_adds_bit_for_bit(self):
+        fps = [11, 22, 33, 44, 55]
+        bloom, batch = self._batch(fps)
+        assert batch.try_stage(0, len(fps))
+        batch.flush()
+        ref = BloomFilter(10_000, 0.01)
+        for fp in fps:
+            ref.add(fp)
+        assert np.array_equal(bloom._words, ref._words)
+        assert bloom.n_added == ref.n_added
+
+    def test_refuses_repeated_fingerprint_in_run(self):
+        # identical fps share all probe positions: no solo probe exists,
+        # so the run cannot be proven collision-free
+        bloom, batch = self._batch([7, 7])
+        assert not batch.try_stage(0, 2)
+        assert bloom.n_added == 0
+        assert not batch.contains(0)
+
+    def test_refuses_collision_with_prior_add(self):
+        bloom, batch = self._batch([9, 9])
+        batch.add(0)
+        assert not batch.try_stage(1, 2)
+        assert batch.contains(1)  # pending add of the same fp is visible
+
+    def test_negatives_snapshot(self):
+        bloom = BloomFilter(10_000, 0.01)
+        bloom.add(5)
+        batch = bloom.begin_batch(np.array([5, 6], dtype=np.uint64))
+        neg = batch.negatives()
+        assert not neg[0]
+        # staging chunk 1 must not rewrite the snapshot view
+        assert batch.try_stage(1, 2) or True
+        assert not batch.negatives()[0]

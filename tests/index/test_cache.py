@@ -130,3 +130,28 @@ class TestPrefetchCache:
         c = FingerprintPrefetchCache(2)
         c.insert_unit(1, self.unit())
         assert c.has_unit(1)
+
+
+class TestLookupMany:
+    def test_list_and_array_inputs_agree(self):
+        cache = FingerprintPrefetchCache(4)
+        cache.insert_unit(7, np.array([1, 2, 3], dtype=np.uint64))
+        arr = np.array([1, 9, 3], dtype=np.uint64)
+        out_arr = cache.lookup_many(arr)
+        out_list = cache.lookup_many([1, 9, 3])
+        assert out_arr.tolist() == out_list.tolist() == [7, -1, 7]
+
+    def test_pure_no_stats_no_recency(self):
+        cache = FingerprintPrefetchCache(2)
+        cache.insert_unit(1, np.array([10], dtype=np.uint64))
+        cache.insert_unit(2, np.array([20], dtype=np.uint64))
+        before = (cache.stats.lookups, cache.stats.hits)
+        cache.lookup_many([10, 20, 30])
+        assert (cache.stats.lookups, cache.stats.hits) == before
+        # unit 1 is still the LRU victim: lookup_many refreshed nothing
+        cache.insert_unit(3, np.array([30], dtype=np.uint64))
+        assert not cache.has_unit(1) and cache.has_unit(2)
+
+    def test_empty_input(self):
+        cache = FingerprintPrefetchCache(2)
+        assert cache.lookup_many([]).size == 0

@@ -97,3 +97,21 @@ class TestPaging:
         for i in range(10):
             idx.insert(i, ChunkLocation(0, 0))
         assert idx.disk_bytes == 400
+
+
+class TestBatchedWrites:
+    def test_insert_many_matches_sequential_inserts(self):
+        a, b = make_index(), make_index()
+        locs = [ChunkLocation(c, 0) for c in range(5)]
+        a.insert_many(list(range(5)), locs)
+        for fp, loc in zip(range(5), locs):
+            b.insert(fp, loc)
+        assert all(a.peek(fp) == b.peek(fp) for fp in range(5))
+        assert a.stats.inserts == b.stats.inserts == 5
+
+    def test_update_many_later_pair_wins(self):
+        idx = make_index()
+        idx.insert(1, ChunkLocation(0, 0))
+        idx.update_many([1, 1], [ChunkLocation(5, 1), ChunkLocation(9, 2)])
+        assert idx.peek(1) == ChunkLocation(9, 2)
+        assert idx.stats.updates == 2

@@ -122,3 +122,55 @@ class TestContainerStore:
         assert s.stats.payload_bytes == 500
         assert s.stats.containers_sealed == 3
         assert s.stats.physical_bytes == 500 + 5 * CHUNK_METADATA_BYTES
+
+
+class TestAppendRun:
+    """append_run must be byte-identical to sequential appends: same
+    packing, same cids, same seal charges at the same points."""
+
+    def _twin_stores(self):
+        return (
+            ContainerStore(DiskModel(profile=TEST_PROFILE), container_bytes=100),
+            ContainerStore(DiskModel(profile=TEST_PROFILE), container_bytes=100),
+        )
+
+    def _assert_equivalent(self, fps, sizes):
+        a, b = self._twin_stores()
+        cids_run = a.append_run(list(fps), list(sizes))
+        cids_seq = [b.append(f, s) for f, s in zip(fps, sizes)]
+        assert cids_run == cids_seq
+        assert a.disk.stats.total_time_s == b.disk.stats.total_time_s
+        assert a.stats.containers_sealed == b.stats.containers_sealed
+        assert a.stats.chunks_written == b.stats.chunks_written
+        a.flush()
+        b.flush()
+        assert {c: s.fingerprints.tolist() for c, s in a._sealed.items()} == {
+            c: s.fingerprints.tolist() for c, s in b._sealed.items()
+        }
+
+    def test_empty_run(self):
+        store, _ = self._twin_stores()
+        assert store.append_run([], []) == []
+        assert store.stats.chunks_written == 0
+
+    def test_run_spanning_containers(self):
+        self._assert_equivalent(range(10), [30] * 10)
+
+    def test_exact_fit_boundary(self):
+        self._assert_equivalent(range(6), [50, 50, 50, 50, 50, 50])
+
+    def test_oversize_chunk_lands_in_empty_container(self):
+        self._assert_equivalent([1, 2, 3], [40, 250, 40])
+
+    def test_run_after_partial_open_container(self):
+        a, b = self._twin_stores()
+        assert a.append(99, 70) == b.append(99, 70)
+        assert a.append_run([1, 2, 3], [40, 40, 40]) == [
+            b.append(f, 40) for f in (1, 2, 3)
+        ]
+        assert a.disk.stats.total_time_s == b.disk.stats.total_time_s
+
+    def test_rejects_nonpositive_size(self):
+        store, _ = self._twin_stores()
+        with pytest.raises(ValueError):
+            store.append_run([1, 2], [10, 0])
