@@ -52,6 +52,27 @@ def measure_ingest(
     return best
 
 
+def measure_phases(config: Optional[ExperimentConfig] = None) -> Dict[str, float]:
+    """One *untimed* observability-enabled run of the same workload: the
+    per-engine per-phase *simulated*-seconds breakdown. Kept separate
+    from :func:`measure_ingest` so the gated wall-clock numbers are
+    always measured with observability off."""
+    from repro.obs import Observability, Span, obs_session
+
+    cfg = config or ExperimentConfig.small()
+    clear_memo()
+    try:
+        with obs_session(Observability()) as obs:
+            run_group_workload(cfg)
+    finally:
+        clear_memo()
+    return {
+        span.name: round(span.sim_seconds, 4)
+        for span in obs.registry.by_kind(Span)
+        if ".phase." in span.name
+    }
+
+
 def run_bench(*, repeats: int = 3, scalar: bool = True) -> Dict:
     """Measure the ingest path and return the result record.
 
@@ -73,6 +94,7 @@ def run_bench(*, repeats: int = 3, scalar: bool = True) -> Dict:
             measure_ingest(config, batch=False, repeats=repeats), 4
         )
         result["speedup"] = round(result["scalar_seconds"] / result["batch_seconds"], 2)
+    result["phase_seconds"] = measure_phases(config)
     return result
 
 

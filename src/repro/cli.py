@@ -7,6 +7,8 @@ Usage::
     python -m repro all --scale small
     python -m repro alpha-sweep
     python -m repro bench --quick
+    python -m repro trace fig4 --scale small --events out.jsonl
+    python -m repro stats --last
     defrag-repro fig6            # console script, same thing
 """
 
@@ -14,10 +16,15 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import logging
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.config import ExperimentConfig
+
+#: where ``trace`` drops its metrics snapshot for ``stats --last``
+LAST_STATS_PATH = Path(".repro_stats.json")
 
 # experiment name -> "module:function", resolved on demand so one
 # figure's run doesn't pay for importing every other harness
@@ -50,10 +57,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_FIGURES) + ["all", "report", "bench"],
+        choices=sorted(_FIGURES) + ["all", "report", "bench", "trace", "stats"],
         help="which figure/ablation to regenerate ('all' runs fig2..fig6; "
         "'report' renders everything as one markdown document; 'bench' "
-        "times the ingest path against the committed baseline)",
+        "times the ingest path against the committed baseline; 'trace' "
+        "reruns one figure with observability on; 'stats' prints the "
+        "last trace's metrics snapshot)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="for 'trace': the figure/ablation to rerun under tracing "
+        "(e.g. 'trace fig4')",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="library log level: -v INFO, -vv DEBUG (default WARNING)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="library log level ERROR (overrides -v)",
     )
     parser.add_argument(
         "--scale",
@@ -91,7 +120,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench: skip the regression gate against the committed "
         "BENCH_ingest.json",
     )
+    obs = parser.add_argument_group("observability options")
+    obs.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="trace: also write the JSONL event stream (DeFrag decisions, "
+        "cache evictions, phase spans, ...) to PATH",
+    )
+    obs.add_argument(
+        "--last",
+        action="store_true",
+        help="stats: render the snapshot saved by the last 'trace' run "
+        "(the default and only mode, spelled out)",
+    )
     return parser
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Root handler for the library's module-level loggers."""
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(level=level, format="%(levelname)s %(name)s: %(message)s")
+
+
+def _run_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``python -m repro trace <fig>``: rerun one figure with the
+    observability session on, print its table plus the metrics dump, and
+    persist the snapshot (and optionally the JSONL event stream)."""
+    import json
+
+    from repro.experiments import common
+    from repro.obs import JsonlEventSink, Observability, obs_session
+
+    if args.target is None:
+        parser.error("trace needs a figure, e.g.: trace fig4")
+    if args.target not in _FIGURES:
+        parser.error(
+            f"unknown trace target {args.target!r} "
+            f"(choose from {', '.join(sorted(_FIGURES))})"
+        )
+    config = _make_config(args)
+    sink = JsonlEventSink(args.events) if args.events is not None else None
+    # drop memoized workload runs so the figure actually executes (and
+    # records) under this session, then again so later obs-off runs
+    # don't reuse anything built during it
+    common.clear_memo()
+    try:
+        with obs_session(Observability(events=sink)) as obs:
+            result = _resolve(args.target)(config)
+    finally:
+        common.clear_memo()
+    print(result.table(fmt=_FLOAT_FMT.get(args.target, "{:.1f}")))
+    print()
+    print(obs.registry.render())
+    LAST_STATS_PATH.write_text(json.dumps(obs.registry.snapshot(), indent=2))
+    print()
+    if sink is not None:
+        print(f"wrote {sink.n_events} events to {sink.path}")
+    print(f"metrics snapshot saved to {LAST_STATS_PATH} (view: repro stats --last)")
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """``python -m repro stats --last``: render the saved snapshot."""
+    import json
+
+    from repro.obs import render_snapshot
+
+    if not LAST_STATS_PATH.exists():
+        print(f"no {LAST_STATS_PATH} found — run 'repro trace <fig>' first")
+        return 1
+    print(render_snapshot(json.loads(LAST_STATS_PATH.read_text())))
+    return 0
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -132,9 +239,15 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _configure_logging(args)
     if args.experiment == "bench":
         return _run_bench(args)
+    if args.experiment == "trace":
+        return _run_trace(args, parser)
+    if args.experiment == "stats":
+        return _run_stats(args)
     config = _make_config(args)
     if args.experiment == "report":
         from repro.experiments.report import generate_markdown

@@ -31,6 +31,7 @@ from repro.core.spl import SPLProfile, spl_profile
 from repro.dedup.base import CostModel, EngineResources, SegmentOutcome
 from repro.dedup.ddfs import DDFSEngine
 from repro.index.full_index import ChunkLocation
+from repro.obs.registry import SPL_EDGES
 from repro.segmenting.segmenter import Segment
 
 
@@ -98,13 +99,19 @@ class DeFragEngine(DDFSEngine):
         assert self._recipe is not None
         recipe = self._recipe
 
+        observing = self.obs.enabled
+        clock = self.res.disk.clock
+        t0 = clock.now
         locations = self._identify(segment)
+        t1 = clock.now
         profile = self._profile(segment, locations)
         decision = self.policy.decide(profile)
         self._referenced_segment_groups += profile.n_referenced_segments
         self._rewritten_groups += decision.n_rewritten_segments
         if decision.n_rewritten_segments:
             self._segments_with_rewrites += 1
+        if observing:
+            self._record_decision(segment, profile, decision, locations)
 
         sid = self._allocate_sid()
         for fp, size, loc in zip(segment.fps, segment.sizes, locations):
@@ -129,6 +136,8 @@ class DeFragEngine(DDFSEngine):
             else:
                 outcome.removed_dup += size
                 recipe.add(fp, size, loc.cid)
+        if observing:
+            self._record_phases(t0, t1, clock.now)
         return outcome
 
     # -- batch path -------------------------------------------------------
@@ -164,13 +173,19 @@ class DeFragEngine(DDFSEngine):
         outcome = SegmentOutcome(index=segment.index, n_chunks=n, nbytes=segment.nbytes)
         assert self._recipe is not None
 
+        observing = self.obs.enabled
+        clock = self.res.disk.clock
+        t0 = clock.now
         locations = self._identify_batch(segment)
+        t1 = clock.now
         profile = self._profile_batch(segment, locations)
         decision = self.policy.decide(profile)
         self._referenced_segment_groups += profile.n_referenced_segments
         self._rewritten_groups += decision.n_rewritten_segments
         if decision.n_rewritten_segments:
             self._segments_with_rewrites += 1
+        if observing:
+            self._record_decision(segment, profile, decision, locations)
         rewrite_sids = decision.rewrite_sids
 
         sid = self._allocate_sid()
@@ -255,7 +270,62 @@ class DeFragEngine(DDFSEngine):
         outcome.removed_dup = removed
         outcome.rewritten_dup = rewritten
         self._recipe.add_many(fps, sizes, cids)
+        if observing:
+            self._record_phases(t0, t1, clock.now)
         return outcome
+
+    # -- observability -----------------------------------------------------
+
+    def _record_phases(self, t0: float, t1: float, t2: float) -> None:
+        """Identify/profile/place span attribution for one segment.
+
+        Profiling and the policy decision are pure RAM work in the model
+        (zero simulated time), so the profile span carries counts only;
+        the clock deltas split cleanly into identify and place. Both
+        ingest paths snapshot the clock at the same phase boundaries, so
+        the spans — like every other metric — are path-independent.
+        """
+        p = self.name
+        reg = self.obs.registry
+        reg.span(f"{p}.phase.identify").record(t1 - t0)
+        reg.span(f"{p}.phase.profile").record(0.0)
+        reg.span(f"{p}.phase.place").record(t2 - t1)
+
+    def _record_decision(self, segment, profile, decision, locations) -> None:
+        """SPL histogram + one ``defrag_decision`` event per referenced
+        stored segment (the paper's rewrite-or-dedup choice, §III-B)."""
+        reg = self.obs.registry
+        p = self.name
+        hist = reg.histogram(f"{p}.spl", SPL_EDGES)
+        total = profile.segment_total
+        alpha = getattr(self.policy, "alpha", None)
+        events = self.obs.events
+        if not events.enabled:
+            for amount in profile.shares.values():
+                hist.observe(amount / total if total else 0.0)
+            return
+        chunk_share: dict = {}
+        byte_share: dict = {}
+        for loc, size in zip(locations, segment.sizes):
+            if loc is not None:
+                s = loc.sid
+                chunk_share[s] = chunk_share.get(s, 0) + 1
+                byte_share[s] = byte_share.get(s, 0) + int(size)
+        for peer, amount in sorted(profile.shares.items()):
+            spl = amount / total if total else 0.0
+            hist.observe(spl)
+            events.emit(
+                "defrag_decision",
+                engine=p,
+                generation=self._generation,
+                segment=segment.index,
+                peer_segment=int(peer),
+                spl=spl,
+                alpha=alpha,
+                action="rewrite" if decision.should_rewrite(peer) else "dedup",
+                chunks=chunk_share.get(peer, 0),
+                bytes=byte_share.get(peer, 0),
+            )
 
     def _on_begin_backup(self) -> None:
         super()._on_begin_backup()

@@ -16,15 +16,20 @@ reproduction's results cannot be skewed by Python's own speed.
 from __future__ import annotations
 
 import abc
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro._util import MIB, check_nonnegative, format_rate
 from repro.index.full_index import DiskChunkIndex
+from repro.obs import Observability, get_active
+from repro.obs.spans import EngineScope
 from repro.segmenting.segmenter import Segment
 from repro.storage.disk import DiskModel, DiskStats
 from repro.storage.recipe import BackupRecipe, RecipeBuilder
 from repro.storage.store import ContainerStore
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -214,10 +219,13 @@ class DedupEngine(abc.ABC):
         resources: EngineResources,
         cost: Optional[CostModel] = None,
         batch: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.res = resources
         self.cost = cost if cost is not None else CostModel()
         self.batch = bool(batch)
+        self.obs = obs if obs is not None else get_active()
+        self._obs_scope: Optional[EngineScope] = None
         self._recipe: Optional[RecipeBuilder] = None
         self._outcomes: List[SegmentOutcome] = []
         self._backup_t0 = 0.0
@@ -237,21 +245,31 @@ class DedupEngine(abc.ABC):
         self._outcomes = []
         self._backup_t0 = self.res.disk.clock.now
         self._disk_t0 = self.res.disk.stats.snapshot()
+        if self.obs.enabled and self.obs.events.enabled:
+            cache = getattr(self, "cache", None)
+            if cache is not None and getattr(cache, "on_evict", None) is None:
+                cache.on_evict = self._emit_cache_evict
         self._on_begin_backup()
 
     def process_segment(self, segment: Segment) -> SegmentOutcome:
         """Ingest one segment: charge CPU, classify chunks, write data."""
         if self._recipe is None:
             raise RuntimeError("call begin_backup first")
-        self.res.disk.clock.advance(
-            self.cost.segment_cpu_seconds(segment.nbytes, segment.n_chunks)
-        )
+        cpu_s = self.cost.segment_cpu_seconds(segment.nbytes, segment.n_chunks)
+        probe = None
+        if self.obs.enabled:
+            if self._obs_scope is None:
+                self._obs_scope = self.obs.scope_for(self)
+            probe = self._obs_scope.begin()
+        self.res.disk.clock.advance(cpu_s)
         batch_impl = self._process_segment_batch
         if self.batch and batch_impl is not None:
             outcome = batch_impl(segment)
         else:
             outcome = self._process_segment(segment)
         outcome.check_partition()
+        if probe is not None:
+            self._obs_scope.end(self._generation, segment, outcome, probe, cpu_s)
         self._outcomes.append(outcome)
         return outcome
 
@@ -279,7 +297,22 @@ class DedupEngine(abc.ABC):
         report.extras.update(self._collect_extras())
         self._recipe = None
         self._disk_t0 = None
+        if self.obs.enabled:
+            if self._obs_scope is None:
+                self._obs_scope = self.obs.scope_for(self)
+            self._obs_scope.record_backup(report)
+        log.debug("%s: %s", self.name, report.summary())
         return report
+
+    def _emit_cache_evict(self, unit_id, n_fingerprints: int) -> None:
+        """Locality-cache eviction callback -> ``cache_evict`` event."""
+        self.obs.events.emit(
+            "cache_evict",
+            engine=self.name,
+            generation=self._generation,
+            unit=unit_id,
+            fingerprints=n_fingerprints,
+        )
 
     # -- subclass hooks ---------------------------------------------------
 

@@ -64,8 +64,9 @@ class DDFSEngine(DedupEngine):
         cache_containers: int = 256,
         prefetch_ahead: int = 4,
         batch: bool = True,
+        obs=None,
     ) -> None:
-        super().__init__(resources, cost, batch=batch)
+        super().__init__(resources, cost, batch=batch, obs=obs)
         check_positive("cache_containers", cache_containers)
         check_positive("prefetch_ahead", prefetch_ahead)
         self.prefetch_ahead = int(prefetch_ahead)

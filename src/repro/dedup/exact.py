@@ -25,8 +25,9 @@ class ExactEngine(DedupEngine):
         resources: EngineResources,
         cost: Optional[CostModel] = None,
         batch: bool = True,
+        obs=None,
     ) -> None:
-        super().__init__(resources, cost, batch=batch)
+        super().__init__(resources, cost, batch=batch, obs=obs)
         # current-stream buffer (pre-merge), as in DDFSEngine
         self._stream_new: Dict[int, ChunkLocation] = {}
         self._next_sid = 0

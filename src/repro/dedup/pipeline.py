@@ -9,9 +9,12 @@ reports.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
+
+log = logging.getLogger(__name__)
 
 from repro.chunking.base import ChunkStream
 from repro.dedup.base import BackupReport, DedupEngine
@@ -240,4 +243,10 @@ def run_workload(
         reports.append(report)
         if progress is not None:
             progress(report)
+    log.info(
+        "%s: workload done, %d backups, %d logical bytes",
+        engine.name,
+        len(reports),
+        sum(r.logical_bytes for r in reports),
+    )
     return reports

@@ -60,8 +60,9 @@ class SiLoEngine(DedupEngine):
         cache_blocks: int = 64,
         similarity_capacity: Optional[int] = None,
         batch: bool = True,
+        obs=None,
     ) -> None:
-        super().__init__(resources, cost, batch=batch)
+        super().__init__(resources, cost, batch=batch, obs=obs)
         check_positive("cache_blocks", cache_blocks)
         self.similarity = SimilarityIndex(capacity=similarity_capacity)
         self.cache = FingerprintPrefetchCache(cache_blocks)

@@ -52,8 +52,9 @@ class SparseIndexEngine(DedupEngine):
         hook_history: int = 3,
         cache_manifests: int = 16,
         batch: bool = True,
+        obs=None,
     ) -> None:
-        super().__init__(resources, cost, batch=batch)
+        super().__init__(resources, cost, batch=batch, obs=obs)
         check_positive("sample_rate", sample_rate)
         check_positive("max_champions", max_champions)
         check_positive("hook_history", hook_history)

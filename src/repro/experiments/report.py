@@ -13,8 +13,9 @@ from typing import Dict, List, Optional
 
 from repro._util import MIB
 from repro.experiments import ablations, fig2, fig3, fig4, fig5, fig6
-from repro.experiments.common import FigureResult
+from repro.experiments.common import FigureResult, clear_memo
 from repro.experiments.config import ExperimentConfig
+from repro.obs import Histogram, MetricsRegistry, Observability, Span, obs_session
 
 _FIGS = (
     ("fig2", fig2.run, "{:.1f}"),
@@ -59,12 +60,72 @@ def _config_section(config: ExperimentConfig) -> str:
     )
 
 
+def _histogram_table(hist: Histogram) -> str:
+    lines = ["| bucket | count |", "|---|---|"]
+    for label, n in hist.buckets():
+        lines.append(f"| {label} | {n} |")
+    lines.append(f"| **total** (mean {hist.mean:.3f}) | {hist.count} |")
+    return "\n".join(lines)
+
+
+def _diagnostics_section(registry: MetricsRegistry) -> str:
+    """The observability rollup: per-phase span totals plus the SPL and
+    prefetch-yield histograms recorded while the figures ran."""
+    from repro.obs.spans import INGEST_PHASES
+
+    lines: List[str] = [
+        "## Diagnostics",
+        "",
+        "Recorded by the observability layer (`repro.obs`) while the "
+        "figures above ran. All durations are *simulated* seconds.",
+    ]
+    phase_cols = tuple(INGEST_PHASES) + ("segment",)
+    phase_rows: Dict[str, Dict[str, Span]] = {}
+    other: List[Span] = []
+    for span in registry.by_kind(Span):
+        engine, _, phase = span.name.partition(".phase.")
+        if phase in phase_cols:
+            phase_rows.setdefault(engine, {})[phase] = span
+        else:
+            other.append(span)
+    if phase_rows:
+        lines += ["", "### Per-phase simulated time (seconds)", ""]
+        lines.append("| engine | " + " | ".join(phase_cols) + " |")
+        lines.append("|" + "---|" * (len(phase_cols) + 1))
+        for engine in sorted(phase_rows):
+            row = phase_rows[engine]
+            cells = [
+                f"{row[c].sim_seconds:.3f}" if c in row else "-" for c in phase_cols
+            ]
+            lines.append(f"| {engine} | " + " | ".join(cells) + " |")
+    if other:
+        lines += ["", "### Other spans", "", "| span | count | sim seconds |", "|---|---|---|"]
+        for span in other:
+            lines.append(f"| {span.name} | {span.count} | {span.sim_seconds:.3f} |")
+    for hist in registry.by_kind(Histogram):
+        tail = hist.name.rpartition(".")[2]
+        if hist.name.endswith(".spl"):
+            title = f"{hist.name} — SPL per referenced stored segment"
+        elif tail == "prefetch_yield":
+            title = f"{hist.name} — cache hits per prefetched unit"
+        elif hist.name == "restore.seeks_per_mib":
+            title = "restore.seeks_per_mib — container fetches per restored MiB"
+        else:
+            continue
+        if not hist.count:
+            continue
+        lines += ["", f"### {title}", "", _histogram_table(hist)]
+    return "\n".join(lines)
+
+
 def generate_markdown(
     config: Optional[ExperimentConfig] = None,
     *,
     include_ablations: bool = False,
 ) -> str:
-    """Run every figure and render one markdown document."""
+    """Run every figure (under an observability session, so the report
+    can close with a Diagnostics rollup) and render one markdown
+    document."""
     config = config if config is not None else ExperimentConfig.default()
     sections: List[str] = [
         "# DeFrag reproduction report",
@@ -76,29 +137,38 @@ def generate_markdown(
         _config_section(config),
     ]
     results: Dict[str, FigureResult] = {}
-    for name, runner, fmt in _FIGS:
-        result = runner(config)
-        results[name] = result
-        sections += [
-            "",
-            f"## {result.figure}: {result.title}",
-            "",
-            _markdown_table(result, fmt),
-            "",
-        ]
-        sections += [f"- **{k}**: {v}" for k, v in result.notes.items()]
-    if include_ablations:
-        for runner in (ablations.alpha_sweep, ablations.cache_ablation):
-            result = runner(config)
-            sections += [
-                "",
-                f"## {result.figure}: {result.title}",
-                "",
-                _markdown_table(result, "{:.2f}"),
-                "",
-            ]
-            sections += [f"- **{k}**: {v}" for k, v in result.notes.items()]
-    return "\n".join(sections) + "\n"
+    # drop memoized workload runs so the figures execute (and record
+    # diagnostics) under this session; again after, so obs-off callers
+    # never reuse anything built during it
+    clear_memo()
+    try:
+        with obs_session(Observability()) as obs:
+            for name, runner, fmt in _FIGS:
+                result = runner(config)
+                results[name] = result
+                sections += [
+                    "",
+                    f"## {result.figure}: {result.title}",
+                    "",
+                    _markdown_table(result, fmt),
+                    "",
+                ]
+                sections += [f"- **{k}**: {v}" for k, v in result.notes.items()]
+            if include_ablations:
+                for runner in (ablations.alpha_sweep, ablations.cache_ablation):
+                    result = runner(config)
+                    sections += [
+                        "",
+                        f"## {result.figure}: {result.title}",
+                        "",
+                        _markdown_table(result, "{:.2f}"),
+                        "",
+                    ]
+                    sections += [f"- **{k}**: {v}" for k, v in result.notes.items()]
+    finally:
+        clear_memo()
+    sections += ["", _diagnostics_section(obs.registry), ""]
+    return "\n".join(sections)
 
 
 def write_report(

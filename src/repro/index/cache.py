@@ -112,6 +112,9 @@ class FingerprintPrefetchCache:
         # do that; real units never do)
         self._derived: Dict[int, tuple] = {}
         self.stats = PrefetchCacheStats()
+        # optional (uid, n_fingerprints) eviction callback, wired by the
+        # observability layer when event tracing is on
+        self.on_evict = None
         # bound LRU recency refresh for batch walks: semantically one
         # consumed cache hit minus its stats, which the walk accounts in
         # bulk via count_hits/count_probes (zero wrapper overhead on the
@@ -219,6 +222,8 @@ class FingerprintPrefetchCache:
             old_uid, old_fps = self._units.popitem(last=False)
             self.stats.units_evicted += 1
             self._map_evict(self._derive(old_uid, old_fps), old_uid)
+            if self.on_evict is not None:
+                self.on_evict(old_uid, len(old_fps))
 
     def insert_units(self, units: "list[tuple[int, np.ndarray]]") -> None:
         """Cache a *run* of prefetched units in order.
@@ -244,6 +249,8 @@ class FingerprintPrefetchCache:
             old_uid, old_fps = self._units.popitem(last=False)
             self.stats.units_evicted += 1
             self._map_evict(self._derive(old_uid, old_fps), old_uid)
+            if self.on_evict is not None:
+                self.on_evict(old_uid, len(old_fps))
 
     def clear(self) -> None:
         """Drop all cached units (e.g. between independent streams)."""

@@ -11,12 +11,15 @@ many small shares per segment.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
 
 from repro.storage.recipe import BackupRecipe
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -69,6 +72,12 @@ def segment_share_profiles(
         profiles.append(
             SegmentShareProfile(segment_index=i, n_chunks=n, shares=shares)
         )
+    log.debug(
+        "segment_share_profiles: gen %d -> %d segments, mean max-share %.3f",
+        recipe.generation,
+        len(profiles),
+        float(np.mean([p.max_share for p in profiles])) if profiles else 0.0,
+    )
     return profiles
 
 

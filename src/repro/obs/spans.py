@@ -1,0 +1,245 @@
+"""Phase spans: simulated-clock attribution of the ingest pipeline.
+
+A *span* is an accumulated (count, simulated seconds) pair per pipeline
+phase. The engine base class probes shared meters (disk, index, cache,
+store) at segment boundaries and attributes the segment's simulated time
+to phases **exactly**, because every disk charge in the model has a
+closed form:
+
+* ``cpu`` — the analytic CPU term (chunking, fingerprinting, RAM ladder
+  work including bloom probes and cache lookups, which cost no simulated
+  disk time by construction).
+* ``index_fault`` — on-disk index bucket reads: each fault charges one
+  seek plus one page transfer, so ``faults x access_time(page_bytes, 1)``
+  is exact.
+* ``meta_prefetch`` — locality prefetches (container metadata sections,
+  SiLo block indexes, sparse-index manifests): the remaining read+seek
+  time once faults and seal seeks are subtracted.
+* ``container_append`` — sealing containers to the log (write transfer
+  plus the store's configured seal seeks).
+
+The four phases partition each segment's disk+CPU simulated time, and
+they are derived from the *shared stats counters* — which the twin-run
+suite asserts byte-identical between the batch and scalar ingest paths —
+so recording them can never diverge between the two paths either.
+
+Probing happens once per segment (never per chunk) and only when
+observability is enabled, preserving the zero-overhead-when-disabled
+invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.obs.registry import (
+    FRACTION_EDGES,
+    MetricsRegistry,
+    SIM_SECONDS_EDGES,
+    YIELD_EDGES,
+)
+
+__all__ = ["EngineScope", "INGEST_PHASES"]
+
+#: The base per-segment phase names, in pipeline order.
+INGEST_PHASES = ("cpu", "index_fault", "meta_prefetch", "container_append")
+
+
+class EngineScope:
+    """Pre-resolved metric handles + meter references for one engine.
+
+    Created lazily on the first instrumented segment so construction
+    order (engines build their caches after ``super().__init__``) does
+    not matter. One scope per engine instance; engines sharing a registry
+    but differing in display name record under distinct prefixes.
+    """
+
+    __slots__ = (
+        "prefix",
+        "events",
+        "clock",
+        "disk_stats",
+        "index_stats",
+        "store_stats",
+        "cache_stats",
+        "bloom",
+        "seal_seek_seconds",
+        "fault_seconds",
+        "sp_cpu",
+        "sp_fault",
+        "sp_prefetch",
+        "sp_append",
+        "sp_segment",
+        "c_segments",
+        "c_chunks",
+        "c_logical",
+        "c_new",
+        "c_removed",
+        "c_rewritten",
+        "c_index_lookups",
+        "c_index_faults",
+        "c_cache_lookups",
+        "c_cache_hits",
+        "c_prefetch_units",
+        "c_evictions",
+        "c_bloom_added",
+        "h_seg_seconds",
+        "h_dup_frac",
+        "h_yield",
+    )
+
+    def __init__(self, registry: MetricsRegistry, events, engine) -> None:
+        p = engine.name
+        self.prefix = p
+        self.events = events
+        disk = engine.res.disk
+        self.clock = disk.clock
+        self.disk_stats = disk.stats
+        self.index_stats = engine.res.index.stats
+        self.store_stats = engine.res.store.stats
+        cache = getattr(engine, "cache", None)
+        self.cache_stats = cache.stats if cache is not None else None
+        self.bloom = getattr(engine, "bloom", None)
+        profile = disk.profile
+        self.seal_seek_seconds = engine.res.store.seal_seeks * profile.seek_time_s
+        self.fault_seconds = profile.access_time(engine.res.index.page_bytes, seeks=1)
+
+        self.sp_cpu = registry.span(f"{p}.phase.cpu")
+        self.sp_fault = registry.span(f"{p}.phase.index_fault")
+        self.sp_prefetch = registry.span(f"{p}.phase.meta_prefetch")
+        self.sp_append = registry.span(f"{p}.phase.container_append")
+        self.sp_segment = registry.span(f"{p}.phase.segment")
+        self.c_segments = registry.counter(f"{p}.segments")
+        self.c_chunks = registry.counter(f"{p}.chunks")
+        self.c_logical = registry.counter(f"{p}.bytes.logical")
+        self.c_new = registry.counter(f"{p}.bytes.written_new")
+        self.c_removed = registry.counter(f"{p}.bytes.removed_dup")
+        self.c_rewritten = registry.counter(f"{p}.bytes.rewritten_dup")
+        self.c_index_lookups = registry.counter(f"{p}.index.lookups")
+        self.c_index_faults = registry.counter(f"{p}.index.page_faults")
+        self.c_cache_lookups = registry.counter(f"{p}.cache.lookups")
+        self.c_cache_hits = registry.counter(f"{p}.cache.hits")
+        self.c_prefetch_units = registry.counter(f"{p}.cache.units_prefetched")
+        self.c_evictions = registry.counter(f"{p}.cache.units_evicted")
+        self.c_bloom_added = registry.counter(f"{p}.bloom.added")
+        self.h_seg_seconds = registry.histogram(
+            f"{p}.segment_sim_seconds", SIM_SECONDS_EDGES
+        )
+        self.h_dup_frac = registry.histogram(
+            f"{p}.segment_dup_fraction", FRACTION_EDGES
+        )
+        self.h_yield = registry.histogram(f"{p}.prefetch_yield", YIELD_EDGES)
+
+    # -- per-segment probe ----------------------------------------------
+
+    def begin(self) -> Tuple:
+        """Snapshot every shared meter the segment can move."""
+        d = self.disk_stats
+        i = self.index_stats
+        c = self.cache_stats
+        return (
+            self.clock.now,
+            d.read_time_s,
+            d.write_time_s,
+            d.seek_time_s,
+            i.lookups,
+            i.page_faults,
+            self.store_stats.containers_sealed,
+            (c.lookups, c.hits, c.units_inserted, c.units_evicted)
+            if c is not None
+            else None,
+            self.bloom.n_added if self.bloom is not None else 0,
+        )
+
+    def end(self, generation: int, segment, outcome, snap: Tuple, cpu_s: float) -> None:
+        """Attribute the segment's simulated time and counter deltas."""
+        t0, r0, w0, k0, l0, f0, sealed0, c0, b0 = snap
+        d = self.disk_stats
+        i = self.index_stats
+        total = self.clock.now - t0
+        faults = i.page_faults - f0
+        sealed = self.store_stats.containers_sealed - sealed0
+        fault_s = faults * self.fault_seconds
+        seal_seek_s = sealed * self.seal_seek_seconds
+        append_s = (d.write_time_s - w0) + seal_seek_s
+        prefetch_s = (d.read_time_s - r0) + (d.seek_time_s - k0) - fault_s - seal_seek_s
+
+        self.sp_cpu.record(cpu_s)
+        self.sp_fault.record(fault_s, count=faults)
+        self.sp_append.record(append_s, count=sealed)
+        self.sp_segment.record(total)
+        self.c_segments.inc()
+        self.c_chunks.inc(outcome.n_chunks)
+        self.c_logical.inc(outcome.nbytes)
+        self.c_new.inc(outcome.written_new)
+        self.c_removed.inc(outcome.removed_dup)
+        self.c_rewritten.inc(outcome.rewritten_dup)
+        self.c_index_lookups.inc(i.lookups - l0)
+        self.c_index_faults.inc(faults)
+        if self.bloom is not None:
+            self.c_bloom_added.inc(self.bloom.n_added - b0)
+        units = 0
+        hits = 0
+        if c0 is not None:
+            c = self.cache_stats
+            lookups = c.lookups - c0[0]
+            hits = c.hits - c0[1]
+            units = c.units_inserted - c0[2]
+            self.c_cache_lookups.inc(lookups)
+            self.c_cache_hits.inc(hits)
+            self.c_prefetch_units.inc(units)
+            self.c_evictions.inc(c.units_evicted - c0[3])
+            self.sp_prefetch.record(prefetch_s, count=units)
+            if units:
+                self.h_yield.observe(hits / units)
+        else:
+            self.sp_prefetch.record(prefetch_s)
+        self.h_seg_seconds.observe(total)
+        if outcome.nbytes:
+            self.h_dup_frac.observe(
+                (outcome.removed_dup + outcome.rewritten_dup) / outcome.nbytes
+            )
+        if self.events.enabled:
+            self.events.emit(
+                "segment_span",
+                engine=self.prefix,
+                generation=generation,
+                segment=outcome.index,
+                n_chunks=outcome.n_chunks,
+                nbytes=outcome.nbytes,
+                sim_seconds=total,
+                cpu_s=cpu_s,
+                index_fault_s=fault_s,
+                meta_prefetch_s=prefetch_s,
+                container_append_s=append_s,
+                index_faults=faults,
+                prefetch_units=units,
+                cache_hits=hits,
+            )
+
+    # -- per-backup ------------------------------------------------------
+
+    def record_backup(self, report) -> None:
+        """Per-backup rollup + lifecycle event."""
+        if self.events.enabled:
+            extras = report.extras
+            units = extras.get("prefetches", extras.get("block_fetches"))
+            if units is not None:
+                self.events.emit(
+                    "prefetch_yield",
+                    engine=self.prefix,
+                    generation=report.generation,
+                    prefetch_units=units,
+                    cache_hits=extras.get("cache_hits", 0.0),
+                    hits_per_prefetch=extras.get("hits_per_prefetch", 0.0),
+                )
+            self.events.emit(
+                "backup",
+                engine=self.prefix,
+                generation=report.generation,
+                label=report.label,
+                logical_bytes=report.logical_bytes,
+                stored_bytes=report.stored_bytes,
+                sim_seconds=report.elapsed_seconds,
+                throughput=report.throughput,
+            )

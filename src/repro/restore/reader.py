@@ -109,7 +109,7 @@ class RestoreReader:
                 cache.popitem(last=False)
 
         elapsed = disk.clock.now - t0
-        return RestoreReport(
+        report = RestoreReport(
             generation=recipe.generation,
             label=recipe.label or "",
             logical_bytes=recipe.total_bytes,
@@ -122,6 +122,38 @@ class RestoreReader:
                 container_reads, recipe.total_bytes, disk.profile
             ),
         )
+        self._record(report)
+        return report
+
+    def _record(self, report: RestoreReport) -> None:
+        """Feed the ambient observability session (no-op when disabled)."""
+        from repro.obs import YIELD_EDGES, get_active
+
+        obs = get_active()
+        if not obs.enabled:
+            return
+        reg = obs.registry
+        reg.counter("restore.backups").inc()
+        reg.counter("restore.bytes").inc(report.logical_bytes)
+        reg.counter("restore.container_reads").inc(report.container_reads)
+        reg.counter("restore.cache_hits").inc(report.cache_hits)
+        reg.span("restore.phase.read").record(
+            report.elapsed_seconds, count=report.container_reads
+        )
+        reg.histogram("restore.seeks_per_mib", YIELD_EDGES).observe(
+            report.seeks_per_mib
+        )
+        if obs.events.enabled:
+            obs.events.emit(
+                "restore",
+                generation=report.generation,
+                label=report.label,
+                logical_bytes=report.logical_bytes,
+                container_reads=report.container_reads,
+                cache_hits=report.cache_hits,
+                sim_seconds=report.elapsed_seconds,
+                read_rate=report.read_rate,
+            )
 
     def restore_file(self, recipe: BackupRecipe, start: int, n_chunks: int) -> RestoreReport:
         """Restore a single file (a chunk extent of the backup) — the

@@ -187,7 +187,34 @@ class GarbageCollector:
             utilization_before=util_before,
             utilization_after=util_after,
         )
+        self._record(report)
         return report, remapped
+
+    def _record(self, report: GCReport) -> None:
+        """Feed the ambient observability session (no-op when disabled)."""
+        from repro.obs import FRACTION_EDGES, get_active
+
+        obs = get_active()
+        if not obs.enabled:
+            return
+        reg = obs.registry
+        reg.counter("gc.passes").inc()
+        reg.counter("gc.containers_collected").inc(report.containers_collected)
+        reg.counter("gc.bytes_reclaimed").inc(report.bytes_reclaimed)
+        reg.counter("gc.bytes_moved").inc(report.bytes_moved)
+        reg.histogram("gc.utilization_before", FRACTION_EDGES).observe(
+            report.utilization_before
+        )
+        if obs.events.enabled:
+            obs.events.emit(
+                "gc_pass",
+                containers_examined=report.containers_examined,
+                containers_collected=report.containers_collected,
+                bytes_reclaimed=report.bytes_reclaimed,
+                bytes_moved=report.bytes_moved,
+                utilization_before=report.utilization_before,
+                utilization_after=report.utilization_after,
+            )
 
     def _remap(
         self, recipe: BackupRecipe, moved: Dict[Tuple[int, int], int]

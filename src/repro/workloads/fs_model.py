@@ -21,6 +21,7 @@ bijection) while still uniformly distributed for the index structures.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -29,6 +30,8 @@ import numpy as np
 from repro._util import KIB, MIB, check_fraction, check_positive, rng_from
 from repro.chunking.base import ChunkStream
 from repro.chunking.fingerprint import splitmix64_array
+
+log = logging.getLogger(__name__)
 
 
 class ChunkIdAllocator:
@@ -389,6 +392,14 @@ class FileSystemModel:
             self._files.append(f)
             produced += f.nbytes
             self._changed_fids.add(f.fid)
+        log.debug(
+            "%s gen %d: %d files (%d touched), %d bytes",
+            self.user,
+            self.generation,
+            len(self._files),
+            len(self._changed_fids),
+            self.total_bytes,
+        )
 
     def _edit_file(self, f: _File) -> None:
         """Apply a Poisson number of edit sites to one file."""

@@ -14,6 +14,7 @@ workloads never hold more than one stream in memory.
 
 from __future__ import annotations
 
+import logging
 from typing import Iterator, NamedTuple, Optional
 
 from repro._util import KIB, MIB, check_positive, rng_from
@@ -22,6 +23,8 @@ from repro.chunking.fingerprint import splitmix64_array
 from repro.workloads.fs_model import ChunkIdAllocator, ChurnProfile, FileSystemModel
 
 import numpy as np
+
+log = logging.getLogger(__name__)
 
 
 class BackupJob(NamedTuple):
@@ -48,6 +51,13 @@ def single_user_stream(
     distributions etc.).
     """
     check_positive("n_generations", n_generations)
+    log.info(
+        "single_user_stream: %d generations x %d bytes (seed %d, label %s)",
+        n_generations,
+        fs_bytes,
+        seed,
+        label,
+    )
     fs = FileSystemModel(
         seed=seed, initial_bytes=fs_bytes, churn=churn, user=label, **fs_kwargs
     )
@@ -148,6 +158,14 @@ def group_fs_66(
     check_positive("per_user_bytes", per_user_bytes)
     check_positive("n_users", n_users)
     check_positive("n_backups", n_backups)
+    log.info(
+        "group_fs_66: %d users x %d bytes, %d backups (seed %d, shared %.0f%%)",
+        n_users,
+        per_user_bytes,
+        n_backups,
+        seed,
+        shared_frac * 100,
+    )
     alloc = ChunkIdAllocator(seed)
     pool = _shared_pool(derive(seed, "pool"), int(per_user_bytes * 1.5))
     users = [

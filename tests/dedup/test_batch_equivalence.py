@@ -79,11 +79,31 @@ def run_twin(name, streams):
             run_backup(engine, BackupJob(g, "u", s), small_segmenter(), gt)
             for g, s in enumerate(streams)
         ]
-        prints.append(state_fingerprint(res, reports))
+        prints.append(state_fingerprint(res, reports, engine))
     return prints
 
 
-def state_fingerprint(res, reports):
+def engine_counters(engine):
+    """Every engine-level stats counter the two ingest paths must agree
+    on: prefetch-cache hit/miss/eviction accounting, bloom insert count,
+    similarity-index stats, rewrite totals, manifest loads."""
+    out = {}
+    cache = getattr(engine, "cache", None)
+    if cache is not None:
+        out["cache"] = dataclasses.astuple(cache.stats)
+    bloom = getattr(engine, "bloom", None)
+    if bloom is not None:
+        out["bloom_added"] = bloom.n_added
+    similarity = getattr(engine, "similarity", None)
+    if similarity is not None:
+        out["similarity"] = dataclasses.astuple(similarity.stats)
+    for attr in ("total_rewritten_bytes", "total_rewritten_chunks", "manifest_loads"):
+        if hasattr(engine, attr):
+            out[attr] = getattr(engine, attr)
+    return tuple(sorted(out.items()))
+
+
+def state_fingerprint(res, reports, engine=None):
     """Everything observable from a run, hashable for equality."""
     out = []
     for r in reports:
@@ -109,6 +129,8 @@ def state_fingerprint(res, reports):
     out.append(dataclasses.astuple(res.disk.stats))
     out.append(dataclasses.astuple(res.index.stats))
     out.append(dataclasses.astuple(res.store.stats))
+    if engine is not None:
+        out.append(engine_counters(engine))
     return out
 
 
@@ -140,6 +162,55 @@ class TestBatchScalarEquivalence:
         streams = [j.stream for j in jobs]
         batch_print, scalar_print = run_twin(name, streams)
         assert batch_print == scalar_print
+
+
+class TestEquivalenceUnderTracing:
+    """Observability must not perturb the twin-run contract: with a
+    session on (metrics + event tracing), batch and scalar twins still
+    agree on every report, counter, and clock — and on the recorded
+    metric snapshots and event streams themselves."""
+
+    def _run_traced(self, name, streams, batch):
+        from repro.obs import ListEventSink, Observability, obs_session
+
+        res = fresh_resources()
+        sink = ListEventSink()
+        with obs_session(Observability(events=sink)) as obs:
+            engine = ENGINE_FACTORIES[name](res, batch)
+            gt = GroundTruth()
+            reports = [
+                run_backup(engine, BackupJob(g, "u", s), small_segmenter(), gt)
+                for g, s in enumerate(streams)
+            ]
+        fingerprint = state_fingerprint(res, reports, engine)
+        return fingerprint, obs.registry.snapshot(), sink.events
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_FACTORIES))
+    def test_traced_twins_identical(self, name):
+        jobs = single_user_incrementals(3, 128 * 1024, seed=11)
+        streams = [j.stream for j in jobs]
+        batch_run = self._run_traced(name, streams, True)
+        scalar_run = self._run_traced(name, streams, False)
+        assert batch_run[0] == scalar_run[0]  # reports, clocks, counters
+        assert batch_run[1] == scalar_run[1]  # metric snapshots
+        assert batch_run[2] == scalar_run[2]  # event streams
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_FACTORIES))
+    def test_tracing_changes_nothing_observable(self, name):
+        """The same run traced and untraced produces the identical
+        fingerprint: observability is read-only on the simulation."""
+        jobs = single_user_incrementals(3, 128 * 1024, seed=11)
+        streams = [j.stream for j in jobs]
+        traced_fp, _, _ = self._run_traced(name, streams, True)
+
+        res = fresh_resources()
+        engine = ENGINE_FACTORIES[name](res, True)
+        gt = GroundTruth()
+        reports = [
+            run_backup(engine, BackupJob(g, "u", s), small_segmenter(), gt)
+            for g, s in enumerate(streams)
+        ]
+        assert state_fingerprint(res, reports, engine) == traced_fp
 
 
 class TestIndexBatchAccounting:

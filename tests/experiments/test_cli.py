@@ -30,6 +30,65 @@ class TestParser:
             build_parser().parse_args(["fig99"])
 
 
+class TestTraceParser:
+    def test_trace_takes_target_and_events(self):
+        args = build_parser().parse_args(
+            ["trace", "fig4", "--scale", "small", "--events", "out.jsonl"]
+        )
+        assert args.experiment == "trace"
+        assert args.target == "fig4"
+        assert args.events == "out.jsonl"
+
+    def test_stats_last(self):
+        args = build_parser().parse_args(["stats", "--last"])
+        assert args.experiment == "stats"
+        assert args.last is True
+
+    def test_verbosity_flags(self):
+        assert build_parser().parse_args(["-vv", "fig2"]).verbose == 2
+        assert build_parser().parse_args(["-q", "fig2"]).quiet is True
+
+    def test_trace_requires_known_target(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+        with pytest.raises(SystemExit):
+            main(["trace", "fig99"])
+
+
+class TestTraceMain:
+    def test_trace_writes_events_and_snapshot(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        events = tmp_path / "events.jsonl"
+        assert main(
+            ["trace", "fig2", "--scale", "small", "--events", str(events)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fig2" in out
+        assert "phase spans" in out
+        assert "wrote" in out and "events" in out
+        assert events.exists()
+        assert (tmp_path / ".repro_stats.json").exists()
+
+        from repro.obs import read_jsonl
+
+        spans = read_jsonl(events, type="segment_span")
+        assert spans
+        assert {"engine", "generation", "segment"} <= set(spans[0])
+
+    def test_stats_renders_last_snapshot(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "fig2", "--scale", "small"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--last"]) == 0
+        out = capsys.readouterr().out
+        assert "phase spans" in out
+
+    def test_stats_without_snapshot_fails(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["stats", "--last"]) == 1
+        assert "trace" in capsys.readouterr().out
+
+
 class TestMain:
     def test_fig2_small(self, capsys):
         assert main(["fig2", "--scale", "small"]) == 0

@@ -49,6 +49,57 @@ class TestReport:
         assert "Fig4" in capsys.readouterr().out
 
 
+class TestDiagnosticsSection:
+    """The report's observability appendix: per-phase span pivot plus the
+    SPL and prefetch-yield histograms collected while the figures ran."""
+
+    def test_section_present(self, report_text):
+        assert "## Diagnostics" in report_text
+        # diagnostics come last, after every figure section
+        assert report_text.index("## Diagnostics") > report_text.index("Fig6")
+
+    def test_per_phase_table(self, report_text):
+        assert "### Per-phase simulated time (seconds)" in report_text
+        start = report_text.index("### Per-phase simulated time")
+        block = report_text[start : start + 2000]
+        assert "| engine | cpu | index_fault | meta_prefetch | container_append | segment |" in block
+        # every engine the figures exercised has a row
+        for engine in ("DeFrag", "DDFS"):
+            assert f"| {engine} |" in block
+
+    def test_spl_histogram(self, report_text):
+        assert "SPL per referenced stored segment" in report_text
+        assert "DeFrag.spl" in report_text
+
+    def test_prefetch_yield_histogram(self, report_text):
+        assert "cache hits per prefetched unit" in report_text
+        assert "prefetch_yield" in report_text
+
+    def test_histogram_tables_have_totals(self, report_text):
+        start = report_text.index("## Diagnostics")
+        block = report_text[start:]
+        assert "| bucket | count |" in block
+        assert "| **total** (mean " in block
+
+    def test_phase_rows_are_numeric(self, report_text):
+        start = report_text.index("### Per-phase simulated time")
+        lines = report_text[start:].splitlines()
+        rows = [l for l in lines if l.startswith("| DeFrag |")]
+        assert rows
+        cells = [c.strip() for c in rows[0].strip("|").split("|")][1:]
+        values = [float(c) for c in cells]
+        assert len(values) == 5
+        # cpu + index_fault + meta_prefetch + container_append == segment
+        assert sum(values[:4]) == pytest.approx(values[4], rel=1e-6)
+
+    def test_diagnostics_empty_without_activity(self):
+        from repro.experiments.report import _diagnostics_section
+        from repro.obs import MetricsRegistry
+
+        text = _diagnostics_section(MetricsRegistry())
+        assert text.startswith("## Diagnostics")
+
+
 class TestDeFragTelemetry:
     def test_extras_present_and_consistent(self, segmenter, small_jobs):
         from repro.core.defrag import DeFragEngine

@@ -1,0 +1,217 @@
+"""Integration: engines recording into an observability session.
+
+Covers the tentpole invariants: per-segment phase attribution partitions
+the simulated clock exactly, DeFrag emits one decision event per
+referenced stored segment (rewrites iff SPL < alpha under the threshold
+policy), cache evictions and restores are traced, and a disabled session
+records nothing at all (the zero-overhead contract).
+"""
+
+import pytest
+
+from repro.core.defrag import DeFragEngine
+from repro.core.policy import SPLThresholdPolicy
+from repro.dedup.base import EngineResources
+from repro.dedup.ddfs import DDFSEngine
+from repro.dedup.pipeline import run_workload
+from repro.obs import (
+    ListEventSink,
+    NULL_OBS,
+    Observability,
+    get_active,
+    obs_session,
+)
+from repro.restore.reader import RestoreReader
+from repro.segmenting.segmenter import ContentDefinedSegmenter
+from repro.workloads.generators import single_user_incrementals
+
+from tests.conftest import TEST_PROFILE
+
+# high enough that the small 6-generation workload crosses the rewrite
+# threshold (at 0.1 nothing fragments this quickly)
+ALPHA = 0.3
+
+
+def small_segmenter():
+    return ContentDefinedSegmenter(
+        min_bytes=4096, avg_bytes=8192, max_bytes=16384, avg_chunk_bytes=1024
+    )
+
+
+def fresh_resources():
+    res = EngineResources.create(
+        profile=TEST_PROFILE,
+        container_bytes=64 * 1024,
+        expected_entries=50_000,
+        index_page_cache_pages=4,
+    )
+    res.store.seal_seeks = 0
+    return res
+
+
+def run_defrag(obs=None, n_generations=6):
+    res = fresh_resources()
+    engine = DeFragEngine(
+        res,
+        policy=SPLThresholdPolicy(ALPHA),
+        bloom_capacity=50_000,
+        cache_containers=4,
+        obs=obs,
+    )
+    jobs = single_user_incrementals(n_generations, 256 * 1024, seed=7)
+    reports = run_workload(engine, jobs, small_segmenter())
+    return engine, reports
+
+
+class TestSession:
+    def test_default_is_disabled(self):
+        assert get_active() is NULL_OBS
+        assert NULL_OBS.enabled is False
+
+    def test_session_scoping(self):
+        obs = Observability()
+        with obs_session(obs) as inner:
+            assert inner is obs
+            assert get_active() is obs
+            with obs_session() as nested:
+                assert get_active() is nested
+            assert get_active() is obs
+        assert get_active() is NULL_OBS
+
+    def test_engines_adopt_ambient_session(self):
+        with obs_session() as obs:
+            engine = DDFSEngine(fresh_resources(), bloom_capacity=1000)
+        assert engine.obs is obs
+
+    def test_session_restored_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs_session():
+                raise RuntimeError("boom")
+        assert get_active() is NULL_OBS
+
+
+class TestZeroOverheadDisabled:
+    def test_disabled_engine_records_nothing(self):
+        engine, _ = run_defrag(obs=None)
+        assert engine.obs is NULL_OBS
+        assert engine._obs_scope is None
+        assert len(NULL_OBS.registry) == 0
+        assert engine.cache.on_evict is None
+
+
+class TestPhaseSpans:
+    def test_phase_partition_is_exact(self):
+        obs = Observability()
+        engine, reports = run_defrag(obs=obs)
+        reg = obs.registry
+        total = reg.get("DeFrag.phase.segment").sim_seconds
+        parts = sum(
+            reg.get(f"DeFrag.phase.{p}").sim_seconds
+            for p in ("cpu", "index_fault", "meta_prefetch", "container_append")
+        )
+        assert total == pytest.approx(parts, rel=1e-9)
+        # identify + place partition the same total minus CPU
+        overlay = (
+            reg.get("DeFrag.phase.identify").sim_seconds
+            + reg.get("DeFrag.phase.place").sim_seconds
+        )
+        assert overlay == pytest.approx(
+            total - reg.get("DeFrag.phase.cpu").sim_seconds, rel=1e-9
+        )
+        # spans cover per-segment time only; end_backup's final container
+        # flush is the (small) remainder of the simulated backup time
+        assert 0 < total <= sum(r.elapsed_seconds for r in reports)
+
+    def test_counters_match_reports(self):
+        obs = Observability()
+        engine, reports = run_defrag(obs=obs)
+        reg = obs.registry
+        assert reg.get("DeFrag.bytes.logical").value == sum(
+            r.logical_bytes for r in reports
+        )
+        assert reg.get("DeFrag.bytes.rewritten_dup").value == sum(
+            r.rewritten_dup_bytes for r in reports
+        )
+        assert reg.get("DeFrag.segments").value == sum(
+            len(r.segments) for r in reports
+        )
+
+
+class TestDecisionTrace:
+    def test_decision_events_cover_rewrites(self):
+        sink = ListEventSink()
+        obs = Observability(events=sink)
+        engine, reports = run_defrag(obs=obs)
+        decisions = sink.of_type("defrag_decision")
+        assert decisions, "workload produced no decisions"
+        rewrites = [d for d in decisions if d["action"] == "rewrite"]
+        assert rewrites, "workload produced no rewrites"
+        for d in decisions:
+            assert d["alpha"] == ALPHA
+            assert 0.0 <= d["spl"] <= 1.0
+            assert (d["action"] == "rewrite") == (d["spl"] < ALPHA)
+            assert d["bytes"] >= 0 and d["chunks"] >= 1
+        # at least one decision event per segment that rewrote bytes
+        rewritten_segments = {
+            (r.generation, o.index)
+            for r in reports
+            for o in r.segments
+            if o.rewritten_dup
+        }
+        decision_segments = {(d["generation"], d["segment"]) for d in rewrites}
+        assert rewritten_segments <= decision_segments
+        # rewritten bytes accounted by the events match the reports
+        assert sum(d["bytes"] for d in rewrites) == sum(
+            r.rewritten_dup_bytes for r in reports
+        )
+
+    def test_spl_histogram_matches_decisions(self):
+        sink = ListEventSink()
+        obs = Observability(events=sink)
+        run_defrag(obs=obs)
+        hist = obs.registry.get("DeFrag.spl")
+        assert hist.count == len(sink.of_type("defrag_decision"))
+
+    def test_cache_evict_events(self):
+        sink = ListEventSink()
+        obs = Observability(events=sink)
+        engine, _ = run_defrag(obs=obs)
+        evicts = sink.of_type("cache_evict")
+        assert len(evicts) == engine.cache.stats.units_evicted
+        assert len(evicts) == obs.registry.get("DeFrag.cache.units_evicted").value
+        for e in evicts:
+            assert e["engine"] == "DeFrag"
+            assert e["fingerprints"] >= 1
+
+    def test_backup_and_yield_events(self):
+        sink = ListEventSink()
+        obs = Observability(events=sink)
+        _, reports = run_defrag(obs=obs)
+        assert len(sink.of_type("backup")) == len(reports)
+        assert len(sink.of_type("prefetch_yield")) == len(reports)
+        assert len(sink.of_type("segment_span")) == sum(
+            len(r.segments) for r in reports
+        )
+
+
+class TestRestoreObservability:
+    def test_restore_records_into_ambient_session(self):
+        engine, reports = run_defrag(obs=None)
+        reader = RestoreReader(engine.res.store, cache_containers=4)
+        sink = ListEventSink()
+        with obs_session(Observability(events=sink)) as obs:
+            report = reader.restore(reports[-1].recipe)
+        assert obs.registry.get("restore.backups").value == 1
+        assert (
+            obs.registry.get("restore.container_reads").value
+            == report.container_reads
+        )
+        events = sink.of_type("restore")
+        assert len(events) == 1
+        assert events[0]["container_reads"] == report.container_reads
+
+    def test_restore_without_session_records_nothing(self):
+        engine, reports = run_defrag(obs=None)
+        reader = RestoreReader(engine.res.store, cache_containers=4)
+        reader.restore(reports[-1].recipe)
+        assert len(NULL_OBS.registry) == 0

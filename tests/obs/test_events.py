@@ -1,0 +1,66 @@
+"""Unit tests for the event sinks and the JSONL trace format."""
+
+import json
+
+from repro.obs.events import (
+    JsonlEventSink,
+    ListEventSink,
+    NULL_EVENTS,
+    NullEventSink,
+    read_jsonl,
+)
+
+
+class TestNullSink:
+    def test_disabled_and_noop(self):
+        assert NULL_EVENTS.enabled is False
+        NULL_EVENTS.emit("anything", x=1)  # must not raise
+        NULL_EVENTS.close()
+        assert isinstance(NULL_EVENTS, NullEventSink)
+
+
+class TestListSink:
+    def test_collects_and_filters(self):
+        sink = ListEventSink()
+        assert sink.enabled is True
+        sink.emit("a", x=1)
+        sink.emit("b", y=2)
+        sink.emit("a", x=3)
+        assert sink.n_events == 3
+        assert [e["x"] for e in sink.of_type("a")] == [1, 3]
+        assert sink.events[1] == {"type": "b", "y": 2}
+
+
+class TestJsonlSink:
+    def test_writes_one_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path)
+        sink.emit("alpha", value=1)
+        sink.emit("beta", value=2.5, name="x")
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"type": "alpha", "value": 1}
+        assert sink.n_events == 2
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlEventSink(path)
+        sink.close()  # no emit -> no file
+        assert not path.exists()
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "e.jsonl")
+        sink.emit("x")
+        sink.close()
+        sink.close()
+
+    def test_read_jsonl_filter(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path)
+        sink.emit("a", n=1)
+        sink.emit("b", n=2)
+        sink.emit("a", n=3)
+        sink.close()
+        assert len(read_jsonl(path)) == 3
+        assert [e["n"] for e in read_jsonl(path, type="a")] == [1, 3]

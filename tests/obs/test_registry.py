@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry primitives."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    FRACTION_EDGES,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SPL_EDGES,
+    Span,
+    render_snapshot,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_gauge(self):
+        g = Gauge("x")
+        g.set(3.5)
+        assert g.value == 3.5
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_span_accumulates(self):
+        s = Span("x")
+        s.record(0.5)
+        s.record(0.25, count=3)
+        assert s.count == 4
+        assert s.sim_seconds == 0.75
+
+    def test_histogram_bucketing(self):
+        h = Histogram("x", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0):
+            h.observe(v)
+        # (-inf,1], (1,2], (2,4], (4,inf)
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(112.0)
+        assert h.mean == pytest.approx(112.0 / 7)
+
+    def test_histogram_buckets_labels(self):
+        h = Histogram("x", (1.0, 2.0))
+        h.observe(0.0)
+        h.observe(5.0)
+        labels = [label for label, _ in h.buckets()]
+        assert labels == ["<= 1", "(1, 2]", "> 2"]
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("x", ())
+        with pytest.raises(ValueError):
+            Histogram("x", (2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("x", (1.0, 1.0))
+
+    def test_edge_constants_are_increasing(self):
+        for edges in (SPL_EDGES, FRACTION_EDGES):
+            assert list(edges) == sorted(set(edges))
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a.b")
+        c1.inc()
+        assert reg.counter("a.b") is c1
+        assert reg.counter("a.b").value == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_histogram_edge_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1.0, 2.0))
+        assert reg.histogram("h", (1.0, 2.0)) is reg.get("h")
+        with pytest.raises(ValueError):
+            reg.histogram("h", (1.0, 3.0))
+
+    def test_introspection(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.span("a")
+        assert len(reg) == 2
+        assert "a" in reg and "c" not in reg
+        assert reg.names() == ["a", "b"]
+        assert [m.name for m in reg.by_kind(Span)] == ["a"]
+        assert reg.get("c") is None
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", (1.0,)).observe(0.5)
+        reg.span("s").record(2.0)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["spans"]["s"] == {"count": 1, "sim_seconds": 2.0}
+
+    def test_render_snapshot_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("eng.chunks").inc(42)
+        reg.span("eng.phase.cpu").record(0.5)
+        reg.histogram("eng.spl", (0.1, 0.5)).observe(0.3)
+        text = render_snapshot(reg.snapshot())
+        assert "eng.chunks" in text
+        assert "eng.phase.cpu" in text
+        assert "n=       1" in text or "n=" in text
+        assert "(0.1, 0.5]" in text
+        assert reg.render() == text
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert len(reg) == 0
