@@ -70,6 +70,23 @@ _WORKLOAD_SNIPPET = (
 )
 
 
+def reference_commit(src: Path) -> "str | None":
+    """Short commit hash of the checkout whose package root is ``src``,
+    or None when it isn't a git checkout (the hash — unlike the often
+    temporary checkout path — stays meaningful in the committed record)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            check=True,
+            capture_output=True,
+            text=True,
+            cwd=src,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return out.stdout.strip() or None
+
+
 def time_workload_in(src: Path, repeats: int) -> float:
     """Best-of in-process group-workload seconds for the checkout whose
     package root is ``src``."""
@@ -132,11 +149,13 @@ def main() -> int:
         ref_src = Path(args.reference_src).resolve()
         ref = {
             "label": args.reference_label,
-            "src": str(ref_src),
             "workload_seconds": round(
                 time_workload_in(ref_src, args.repeats), 4
             ),
         }
+        commit = reference_commit(ref_src)
+        if commit is not None:
+            ref["commit"] = commit
         ref["workload_speedup"] = round(
             ref["workload_seconds"] / record["ingest"]["batch_seconds"], 2
         )

@@ -73,13 +73,42 @@ def measure_phases(config: Optional[ExperimentConfig] = None) -> Dict[str, float
     }
 
 
-def run_bench(*, repeats: int = 3, scalar: bool = True) -> Dict:
+def measure_parallel(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    jobs: int = 2,
+    repeats: int = 3,
+) -> float:
+    """Best-of wall-clock seconds for the same three-engine group ingest
+    decomposed into per-engine cells and run with ``jobs`` workers (the
+    ``repro.parallel`` grid path, obs off)."""
+    from repro.experiments.fig4 import cells
+    from repro.parallel import run_grid
+
+    cfg = (config or ExperimentConfig.small()).with_(batch=True)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        clear_memo()
+        t0 = time.perf_counter()
+        run_grid(cells(cfg), jobs=jobs)
+        t1 = time.perf_counter()
+        best = min(best, t1 - t0)
+    clear_memo()
+    return best
+
+
+def run_bench(
+    *, repeats: int = 3, scalar: bool = True, jobs: Optional[int] = None
+) -> Dict:
     """Measure the ingest path and return the result record.
 
     Args:
         repeats: repetitions per measurement (best-of wins).
         scalar: also measure the scalar reference path (slower; the
             ``--quick`` CLI mode skips it).
+        jobs: when set (> 1), also measure the parallel grid path with
+            that many workers and record the speedup over the serial
+            batch measurement.
     """
     config = ExperimentConfig.small()
     result: Dict = {
@@ -94,6 +123,14 @@ def run_bench(*, repeats: int = 3, scalar: bool = True) -> Dict:
             measure_ingest(config, batch=False, repeats=repeats), 4
         )
         result["speedup"] = round(result["scalar_seconds"] / result["batch_seconds"], 2)
+    if jobs is not None and jobs > 1:
+        result["parallel_jobs"] = jobs
+        result["parallel_seconds"] = round(
+            measure_parallel(config, jobs=jobs, repeats=repeats), 4
+        )
+        result["parallel_speedup"] = round(
+            result["batch_seconds"] / result["parallel_seconds"], 2
+        )
     result["phase_seconds"] = measure_phases(config)
     return result
 
@@ -104,6 +141,24 @@ def load_baseline(path: Optional[Path] = None) -> Optional[Dict]:
     if not p.is_file():
         return None
     return json.loads(p.read_text())
+
+
+def reference_summary(baseline: Dict) -> str:
+    """One line describing the committed baseline's reference
+    measurement, or a warning when the baseline predates the reference
+    block (older records lack it; that's not an error)."""
+    ref = baseline.get("reference")
+    if not isinstance(ref, dict):
+        return (
+            "note: baseline has no reference block "
+            "(re-record with benchmarks/record.py to add one)"
+        )
+    label = ref.get("label", "reference")
+    commit = ref.get("commit")
+    where = f" @ {commit}" if commit else ""
+    speedup = ref.get("workload_speedup")
+    vs = f", workload speedup {speedup}x vs it" if speedup is not None else ""
+    return f"reference: {label}{where}{vs}"
 
 
 def check_regression(

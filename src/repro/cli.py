@@ -4,12 +4,16 @@ Usage::
 
     python -m repro fig2 [--scale small|default|large] [--seed N]
     python -m repro fig4 --alpha 0.2
-    python -m repro all --scale small
-    python -m repro alpha-sweep
+    python -m repro all --scale small --jobs 4
+    python -m repro alpha-sweep --jobs 5
     python -m repro bench --quick
     python -m repro trace fig4 --scale small --events out.jsonl
     python -m repro stats --last
     defrag-repro fig6            # console script, same thing
+
+``--jobs N`` fans the experiment's independent cells (one engine x
+config x alpha point each) across N worker processes; output is
+byte-identical to ``--jobs 1`` (see DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -95,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--alpha", type=float, default=None, help="DeFrag SPL threshold override"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment's cell grid (default 1 "
+        "= serial; results are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget when --jobs > 1 (a timed-out "
+        "cell is retried once, then reported as failed)",
+    )
+    parser.add_argument(
         "--scalar",
         action="store_true",
         help="use the chunk-at-a-time reference ingest path instead of "
@@ -174,7 +194,7 @@ def _run_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     common.clear_memo()
     try:
         with obs_session(Observability(events=sink)) as obs:
-            result = _resolve(args.target)(config)
+            result = _resolve(args.target)(config, jobs=args.jobs)
     finally:
         common.clear_memo()
     print(result.table(fmt=_FLOAT_FMT.get(args.target, "{:.1f}")))
@@ -206,10 +226,19 @@ def _run_bench(args: argparse.Namespace) -> int:
     it regressed more than 2x against the committed baseline."""
     import json
 
-    from repro.bench import check_regression, load_baseline, run_bench
+    from repro.bench import (
+        check_regression,
+        load_baseline,
+        reference_summary,
+        run_bench,
+    )
 
     repeats = 1 if args.quick else 3
-    result = run_bench(repeats=repeats, scalar=not args.quick)
+    result = run_bench(
+        repeats=repeats,
+        scalar=not args.quick,
+        jobs=args.jobs if args.jobs > 1 else None,
+    )
     print(json.dumps(result, indent=2))
     if args.no_baseline:
         return 0
@@ -223,6 +252,7 @@ def _run_bench(args: argparse.Namespace) -> int:
         return 1
     base = baseline.get("ingest", baseline).get("batch_seconds")
     print(f"OK: within 2x of committed baseline ({base}s)")
+    print(reference_summary(baseline))
     return 0
 
 
@@ -252,7 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "report":
         from repro.experiments.report import generate_markdown
 
-        text = generate_markdown(config)
+        text = generate_markdown(config, jobs=args.jobs)
         print(text)
         if args.save is not None:
             from pathlib import Path
@@ -261,11 +291,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             outdir.mkdir(parents=True, exist_ok=True)
             (outdir / "report.md").write_text(text)
         return 0
-    names = ["fig2", "fig3", "fig4", "fig5", "fig6"] if args.experiment == "all" else [
-        args.experiment
-    ]
+    from repro.experiments.suite import ALL_FIGURES, run_suite, suite_failed
+
+    names = list(ALL_FIGURES) if args.experiment == "all" else [args.experiment]
+    results, errors = run_suite(
+        names, config, jobs=args.jobs, timeout_s=args.cell_timeout
+    )
     for name in names:
-        result = _resolve(name)(config)
+        if name in errors:
+            print(f"FAILED {name}: {errors[name]}")
+            print()
+            continue
+        result = results[name]
         print(result.table(fmt=_FLOAT_FMT.get(name, "{:.1f}")))
         print()
         if args.save is not None:
@@ -277,7 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             outdir.mkdir(parents=True, exist_ok=True)
             save_json(result, outdir / f"{name}.json")
             save_csv(result, outdir / f"{name}.csv")
-    return 0
+    return 1 if suite_failed(results, errors) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -217,7 +217,7 @@ class SiLoEngine(DedupEngine):
                         touch(u)
                     hits += j - i
                     removed += sum(sizes[i:j])
-                    cids[i:j] = [l.cid for l in found]
+                    cids[i:j] = [loc.cid for loc in found]
                     i = j
                     continue
                 # a cached fingerprint with no stored copy cannot happen

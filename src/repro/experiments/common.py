@@ -8,6 +8,7 @@ minutes of simulation.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,9 @@ from repro.dedup.pipeline import (
 from repro.dedup.silo import SiLoEngine
 from repro.dedup.sparse import SparseIndexEngine
 from repro.experiments.config import ExperimentConfig
+from repro.metrics.efficiency import partial_segment_efficiency
+from repro.metrics.throughput import throughput_series
+from repro.parallel import CellSpec
 from repro.segmenting.segmenter import ContentDefinedSegmenter
 from repro.workloads.generators import group_fs_66
 
@@ -122,6 +126,9 @@ class FigureResult:
     x: List[int]
     series: Dict[str, List[float]]
     notes: Dict[str, str] = field(default_factory=dict)
+    #: grid cells that failed while producing this figure (their series
+    #: values are NaN); non-empty failures make the CLI exit non-zero
+    failures: List[str] = field(default_factory=list)
 
     def table(self, fmt: str = "{:.1f}") -> str:
         """Aligned text table: one row per x value, one column per series."""
@@ -138,6 +145,8 @@ class FigureResult:
             lines.append(row)
         for key, val in self.notes.items():
             lines.append(f"# {key}: {val}")
+        for failure in self.failures:
+            lines.append(f"# FAILED cell {failure}")
         return "\n".join(lines)
 
     def endpoint(self, name: str) -> float:
@@ -221,3 +230,75 @@ def clear_memo() -> None:
     """Drop memoized group runs (tests use this to bound memory)."""
     _GROUP_MEMO.clear()
     _PREP_MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# grid cells (repro.parallel)
+# ----------------------------------------------------------------------
+
+
+def config_fingerprint(config: ExperimentConfig) -> str:
+    """Short stable digest of the *full* config identity.
+
+    Cell keys embed this so two cells over different configs (seed,
+    scale, alpha, cache sizes, ...) can never collide in one grid; the
+    dataclass repr covers every field recursively and deterministically.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:12]
+
+
+def warm_group_workload(config: ExperimentConfig) -> None:
+    """Parent-side warm hook: precompute the group workload preparation
+    (generation + segmentation + ground truth) so forked workers inherit
+    the ``_PREP_MEMO`` entry read-only instead of recomputing it."""
+    _prepared_group(config)
+
+
+def group_cell(config: ExperimentConfig, engine: str) -> Dict:
+    """Grid cell: one engine over the 66-generation group workload.
+
+    Returns every series figs 4/5 read from a group run, so one cell
+    (deduplicated by key) serves both figures — mirroring what the
+    serial ``_GROUP_MEMO`` sharing does in-process.
+    """
+    _res, reports = run_group_workload(config, (engine,))[engine]
+    return {
+        "generations": [r.generation + 1 for r in reports],
+        "throughput_bps": [float(t) for t in throughput_series(reports)],
+        "partial_eff_cum": [
+            float(e) for e in partial_segment_efficiency(reports, cumulative=True)
+        ],
+    }
+
+
+def group_cell_spec(config: ExperimentConfig, engine: str) -> CellSpec:
+    """Spec for :func:`group_cell` (shared by figs 4 and 5)."""
+    return CellSpec(
+        key=("group", engine, config_fingerprint(config)),
+        fn="repro.experiments.common:group_cell",
+        config=config,
+        kwargs={"engine": engine},
+        warm="repro.experiments.common:warm_group_workload",
+    )
+
+
+def cell_values(
+    specs: Sequence[CellSpec], results: Dict
+) -> Tuple[Dict[Tuple, Dict], List[str]]:
+    """Split grid results for ``specs`` into payloads and failures.
+
+    Returns ``(values, failures)``: ``values`` maps cell key -> payload
+    for successful cells; ``failures`` holds one human-readable line per
+    failed or missing cell, in spec order.
+    """
+    values: Dict[Tuple, Dict] = {}
+    failures: List[str] = []
+    for spec in specs:
+        result = results.get(spec.key)
+        if result is None:
+            failures.append(f"{'/'.join(spec.key)}: no result")
+        elif not result.ok:
+            failures.append(result.describe_failure())
+        else:
+            values[spec.key] = result.value
+    return values, failures

@@ -7,26 +7,37 @@
 * :func:`gc_study` — how much of DeFrag's compression sacrifice is
   reclaimable: ingest with rewrites, expire old generations, run the
   garbage collector, and measure space and restore rate before/after.
+
+Grid decomposition: one cell per engine for the comparison; the GC
+study is a single cell (ingest → expire → collect is one pipeline over
+one live store).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.dedup.pipeline import run_workload
 from repro.experiments.common import (
     FigureResult,
     build_engine,
     build_resources,
+    cell_values,
+    config_fingerprint,
     paper_segmenter,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.efficiency import cumulative_efficiency
 from repro.metrics.storage import storage_summary
 from repro.metrics.throughput import mean_throughput
+from repro.parallel import CellSpec, GridError, run_grid
 from repro.restore.reader import RestoreReader
 from repro.storage.gc import GarbageCollector
 from repro.workloads.generators import author_fs_20_full
+
+DEFAULT_RELATED_ENGINES = ("DDFS-Like", "SiLo-Like", "SparseIndex", "iDedup", "DeFrag")
+
+_NAN = float("nan")
 
 
 def _author_jobs(config: ExperimentConfig):
@@ -38,51 +49,97 @@ def _author_jobs(config: ExperimentConfig):
     )
 
 
-def related_work_comparison(
-    config: Optional[ExperimentConfig] = None,
-    engines: Sequence[str] = ("DDFS-Like", "SiLo-Like", "SparseIndex", "iDedup", "DeFrag"),
-) -> FigureResult:
-    """One row per engine: ingest rate, efficiency, compression, restore."""
-    config = config if config is not None else ExperimentConfig.default()
-    rows = {}
-    for name in engines:
-        res = build_resources(config)
-        engine = build_engine(name, config, res)
-        reports = run_workload(engine, _author_jobs(config), paper_segmenter())
-        restore = RestoreReader(
-            res.store, cache_containers=config.restore_cache_containers
-        ).restore(reports[-1].recipe)
-        rows[name] = [
+# ----------------------------------------------------------------------
+# related-work comparison
+# ----------------------------------------------------------------------
+
+
+def related_cell(config: ExperimentConfig, engine: str) -> Dict:
+    """Grid cell: one engine's full scorecard on the author workload."""
+    res = build_resources(config)
+    eng = build_engine(engine, config, res)
+    reports = run_workload(eng, _author_jobs(config), paper_segmenter())
+    restore = RestoreReader(
+        res.store, cache_containers=config.restore_cache_containers
+    ).restore(reports[-1].recipe)
+    return {
+        "row": [
             mean_throughput(reports) / 1e6,
             cumulative_efficiency(reports)[-1],
             storage_summary(reports).compression_ratio,
             restore.read_rate / 1e6,
         ]
+    }
+
+
+def related_cells(
+    config: ExperimentConfig,
+    engines: Sequence[str] = DEFAULT_RELATED_ENGINES,
+) -> List[CellSpec]:
+    """One scorecard cell per engine."""
+    return [
+        CellSpec(
+            key=("relwork", engine, config_fingerprint(config)),
+            fn="repro.experiments.extensions:related_cell",
+            config=config,
+            kwargs={"engine": engine},
+        )
+        for engine in engines
+    ]
+
+
+def related_assemble(
+    config: ExperimentConfig,
+    results: Dict,
+    engines: Sequence[str] = DEFAULT_RELATED_ENGINES,
+) -> FigureResult:
+    specs = related_cells(config, engines)
+    values, failures = cell_values(specs, results)
+    if not values:
+        raise GridError(f"related-work: every cell failed: {failures}")
+    series = {}
+    for spec in specs:
+        payload = values.get(spec.key)
+        series[spec.kwargs["engine"]] = (
+            list(payload["row"]) if payload else [_NAN] * 4
+        )
     return FigureResult(
         figure="ExtRelatedWork",
         title="selective & near-exact schemes, one substrate",
         x_label="metric-idx",
         x=[0, 1, 2, 3],
-        series={name: rows[name] for name in engines},
+        series=series,
         notes={
             "rows": "0: ingest MB/s, 1: efficiency, 2: compression x, 3: restore MB/s",
         },
+        failures=failures,
     )
 
 
-def gc_study(
+def related_work_comparison(
     config: Optional[ExperimentConfig] = None,
+    engines: Sequence[str] = DEFAULT_RELATED_ENGINES,
+    *,
+    jobs: int = 1,
+) -> FigureResult:
+    """One row per engine: ingest rate, efficiency, compression, restore."""
+    config = config if config is not None else ExperimentConfig.default()
+    results = run_grid(related_cells(config, engines), jobs=jobs)
+    return related_assemble(config, results, engines)
+
+
+# ----------------------------------------------------------------------
+# garbage-collection study
+# ----------------------------------------------------------------------
+
+
+def gc_cell(
+    config: ExperimentConfig,
     retain_last: int = 4,
     min_utilization: float = 0.7,
-) -> FigureResult:
-    """Expire all but the last ``retain_last`` backups and collect.
-
-    Shows that DeFrag's rewrite overhead is largely *transient*: once old
-    generations expire, the superseded copies sit in low-utilization
-    containers that compaction reclaims, and the surviving backups
-    restore at least as fast afterwards.
-    """
-    config = config if config is not None else ExperimentConfig.default()
+) -> Dict:
+    """Grid cell: the whole ingest → expire → collect → re-restore
+    pipeline (one live store end to end)."""
     res = build_resources(config)
     engine = build_engine("DeFrag", config, res)
     reports = run_workload(engine, _author_jobs(config), paper_segmenter())
@@ -97,26 +154,78 @@ def gc_study(
 
     rate_after = reader.restore(remapped[-1]).read_rate / 1e6
     physical_after = res.store.stats.physical_bytes
+    return {
+        "values": [
+            physical_before / 2**20,
+            physical_after / 2**20,
+            report.bytes_reclaimed / 2**20,
+            report.utilization_before,
+            report.utilization_after,
+            rate_after / max(rate_before, 1e-9),
+        ],
+        "collected": f"{report.containers_collected}/{report.containers_examined} containers",
+    }
 
+
+def gc_cells(
+    config: ExperimentConfig,
+    retain_last: int = 4,
+    min_utilization: float = 0.7,
+) -> List[CellSpec]:
+    """The study's grid: a single end-to-end cell."""
+    return [
+        CellSpec(
+            key=("gc", f"r{retain_last}", f"u{min_utilization:g}", config_fingerprint(config)),
+            fn="repro.experiments.extensions:gc_cell",
+            config=config,
+            kwargs={"retain_last": retain_last, "min_utilization": min_utilization},
+        )
+    ]
+
+
+def gc_assemble(
+    config: ExperimentConfig,
+    results: Dict,
+    retain_last: int = 4,
+    min_utilization: float = 0.7,
+) -> FigureResult:
+    specs = gc_cells(config, retain_last, min_utilization)
+    values, failures = cell_values(specs, results)
+    if not values:
+        raise GridError(f"gc-study: every cell failed: {failures}")
+    payload = values[specs[0].key]
     return FigureResult(
         figure="ExtGC",
         title=f"garbage collection after expiring to last {retain_last} backups",
         x_label="metric-idx",
         x=[0, 1, 2, 3, 4, 5],
-        series={
-            "value": [
-                physical_before / 2**20,
-                physical_after / 2**20,
-                report.bytes_reclaimed / 2**20,
-                report.utilization_before,
-                report.utilization_after,
-                rate_after / max(rate_before, 1e-9),
-            ],
-        },
+        series={"value": list(payload["values"])},
         notes={
             "rows": "0: MiB before, 1: MiB after, 2: MiB reclaimed, "
             "3: utilization before, 4: utilization after, "
             "5: restore-rate ratio after/before",
-            "collected": f"{report.containers_collected}/{report.containers_examined} containers",
+            "collected": payload["collected"],
         },
+        failures=failures,
     )
+
+
+def gc_study(
+    config: Optional[ExperimentConfig] = None,
+    retain_last: int = 4,
+    min_utilization: float = 0.7,
+    *,
+    jobs: int = 1,
+) -> FigureResult:
+    """Expire all but the last ``retain_last`` backups and collect.
+
+    Shows that DeFrag's rewrite overhead is largely *transient*: once old
+    generations expire, the superseded copies sit in low-utilization
+    containers that compaction reclaims, and the surviving backups
+    restore at least as fast afterwards.
+    """
+    config = config if config is not None else ExperimentConfig.default()
+    results = run_grid(
+        gc_cells(config, retain_last, min_utilization), jobs=jobs
+    )
+    return gc_assemble(config, results, retain_last, min_utilization)

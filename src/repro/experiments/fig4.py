@@ -5,36 +5,62 @@ throughput is much lower than DeFrag's; DeFrag is comparable to SiLo and
 beats it on generations with very good stream locality (1–5, 41–42)
 because one container prefetch then serves a long run of duplicates,
 while SiLo still pays similarity-driven block fetches.
+
+Grid decomposition: one cell per engine over the shared group workload
+(``common.group_cell``); cells are keyed so fig5's DeFrag/SiLo cells
+deduplicate against these in a combined ``repro all`` grid.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.common import FigureResult, run_group_workload
+from repro.experiments.common import (
+    FigureResult,
+    cell_values,
+    group_cell_spec,
+)
 from repro.experiments.config import ExperimentConfig
-from repro.metrics.throughput import throughput_series
+from repro.parallel import CellSpec, GridError, run_grid
+
+#: the three engines Fig. 4 compares, in series order
+ENGINES = ("DeFrag", "DDFS-Like", "SiLo-Like")
 
 
-def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
-    """Regenerate Fig. 4's series (three engines, shared workload)."""
-    config = config if config is not None else ExperimentConfig.default()
-    runs = run_group_workload(config, ("DeFrag", "DDFS-Like", "SiLo-Like"))
-    series = {
-        name: [t / 1e6 for t in throughput_series(reports)]
-        for name, (_res, reports) in runs.items()
+def cells(config: ExperimentConfig) -> List[CellSpec]:
+    """The figure's grid: one group-workload cell per engine."""
+    return [group_cell_spec(config, engine) for engine in ENGINES]
+
+
+def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
+    """Rebuild Fig. 4 from grid cell payloads (failed cells go NaN)."""
+    specs = cells(config)
+    values, failures = cell_values(specs, results)
+    by_engine = {
+        spec.kwargs["engine"]: values.get(spec.key) for spec in specs
     }
-    any_reports = next(iter(runs.values()))[1]
+    ok = {name: v for name, v in by_engine.items() if v is not None}
+    if not ok:
+        raise GridError(f"fig4: every cell failed: {failures}")
+    generations = next(iter(ok.values()))["generations"]
+    n = len(generations)
+    series = {
+        name: (
+            [t / 1e6 for t in by_engine[name]["throughput_bps"]]
+            if by_engine[name] is not None
+            else [float("nan")] * n
+        )
+        for name in ENGINES
+    }
     defrag = series["DeFrag"]
     ddfs = series["DDFS-Like"]
     silo = series["SiLo-Like"]
-    n = len(defrag)
     wins_over_silo = sum(1 for d, s in zip(defrag, silo) if d > s)
     return FigureResult(
         figure="Fig4",
         title="Deduplication throughput comparison (alpha=%.2f)" % config.alpha,
         x_label="generation",
-        x=[r.generation + 1 for r in any_reports],
+        x=list(generations),
         series=series,
         notes={
             "paper": "DDFS well below DeFrag; DeFrag comparable to SiLo, "
@@ -43,7 +69,16 @@ def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
             % (sum(defrag) / n, sum(ddfs) / n, sum(silo) / n),
             "defrag_gens_above_silo": f"{wins_over_silo}/{n}",
         },
+        failures=failures,
     )
+
+
+def run(
+    config: Optional[ExperimentConfig] = None, *, jobs: int = 1
+) -> FigureResult:
+    """Regenerate Fig. 4's series (three engines, shared workload)."""
+    config = config if config is not None else ExperimentConfig.default()
+    return assemble(config, run_grid(cells(config), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -5,40 +5,60 @@ detections). Counting only segments that share *part* of their redundant
 chunks (fully duplicate segments removed by both are excluded), SiLo has
 ~12% of the redundant data not removed by generation 66 while DeFrag has
 only ~4% — DeFrag buys its locality much more cheaply.
+
+Grid decomposition: the DeFrag and SiLo cells are the same group-workload
+cells Fig. 4 uses (same keys), so a combined ``repro all`` grid computes
+each engine run once — the parallel analogue of the serial group memo.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.common import FigureResult, run_group_workload
+from repro.experiments.common import (
+    FigureResult,
+    cell_values,
+    group_cell_spec,
+)
 from repro.experiments.config import ExperimentConfig
-from repro.metrics.efficiency import partial_segment_efficiency
+from repro.parallel import CellSpec, GridError, run_grid
+
+#: the two engines Fig. 5 compares, in series order
+ENGINES = ("DeFrag", "SiLo-Like")
 
 
-def _kept_series(reports) -> list:
-    """Cumulative kept-redundancy fraction under Fig. 5 accounting.
-
-    For DeFrag "kept" counts rewritten bytes (intentional); for SiLo it
-    counts missed bytes — both are redundancy left on disk.
-    """
-    eff = partial_segment_efficiency(reports, cumulative=True)
-    return [1.0 - e for e in eff]
+def cells(config: ExperimentConfig) -> List[CellSpec]:
+    """The figure's grid: one group-workload cell per engine."""
+    return [group_cell_spec(config, engine) for engine in ENGINES]
 
 
-def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
-    """Regenerate Fig. 5's series."""
-    config = config if config is not None else ExperimentConfig.default()
-    runs = run_group_workload(config, ("DeFrag", "SiLo-Like"))
-    defrag_reports = runs["DeFrag"][1]
-    silo_reports = runs["SiLo-Like"][1]
-    defrag_eff = partial_segment_efficiency(defrag_reports, cumulative=True)
-    silo_eff = partial_segment_efficiency(silo_reports, cumulative=True)
+def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
+    """Rebuild Fig. 5 from grid cell payloads (failed cells go NaN)."""
+    specs = cells(config)
+    values, failures = cell_values(specs, results)
+    by_engine = {
+        spec.kwargs["engine"]: values.get(spec.key) for spec in specs
+    }
+    ok = {name: v for name, v in by_engine.items() if v is not None}
+    if not ok:
+        raise GridError(f"fig5: every cell failed: {failures}")
+    generations = next(iter(ok.values()))["generations"]
+    n = len(generations)
+    eff = {
+        name: (
+            list(by_engine[name]["partial_eff_cum"])
+            if by_engine[name] is not None
+            else [float("nan")] * n
+        )
+        for name in ENGINES
+    }
+    defrag_eff = eff["DeFrag"]
+    silo_eff = eff["SiLo-Like"]
     return FigureResult(
         figure="Fig5",
         title="Deduplication efficiency comparison (partial-sharing segments)",
         x_label="generation",
-        x=[r.generation + 1 for r in defrag_reports],
+        x=list(generations),
         series={
             "DeFrag": defrag_eff,
             "SiLo-Like": silo_eff,
@@ -48,7 +68,16 @@ def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
             "kept_at_end": "DeFrag=%.1f%% SiLo=%.1f%%"
             % (100 * (1 - defrag_eff[-1]), 100 * (1 - silo_eff[-1])),
         },
+        failures=failures,
     )
+
+
+def run(
+    config: Optional[ExperimentConfig] = None, *, jobs: int = 1
+) -> FigureResult:
+    """Regenerate Fig. 5's series."""
+    config = config if config is not None else ExperimentConfig.default()
+    return assemble(config, run_grid(cells(config), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -8,48 +8,95 @@ The harness ingests the 20-generation author workload (the same dataset
 regime as Fig. 2, where twenty generations of placement decay have
 accumulated) through both engines and then restores every generation
 from each engine's own store.
+
+Grid decomposition: one ingest+restore cell per engine (the restore
+needs the engine's live store, so it happens inside the cell).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.dedup.pipeline import run_workload
 from repro.experiments.common import (
     FigureResult,
     build_engine,
     build_resources,
+    cell_values,
+    config_fingerprint,
     paper_segmenter,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.parallel import CellSpec, GridError, run_grid
 from repro.restore.reader import RestoreReader
 from repro.workloads.generators import author_fs_20_full
 
+#: the two engines Fig. 6 compares, in series order
+ENGINES = ("DeFrag", "DDFS-Like")
 
-def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
-    """Regenerate Fig. 6's series."""
-    config = config if config is not None else ExperimentConfig.default()
-    series = {}
-    reads = {}
-    for name in ("DeFrag", "DDFS-Like"):
-        res = build_resources(config)
-        engine = build_engine(name, config, res)
-        jobs = author_fs_20_full(
-            fs_bytes=config.fs_bytes,
-            seed=config.seed,
-            n_generations=config.n_generations,
-            churn=config.churn_full,
+
+def restore_cell(config: ExperimentConfig, engine: str) -> Dict:
+    """Grid cell: ingest the author workload through one engine, then
+    restore every generation from that engine's own store."""
+    res = build_resources(config)
+    eng = build_engine(engine, config, res)
+    jobs = author_fs_20_full(
+        fs_bytes=config.fs_bytes,
+        seed=config.seed,
+        n_generations=config.n_generations,
+        churn=config.churn_full,
+    )
+    reports = run_workload(eng, jobs, paper_segmenter())
+    reader = RestoreReader(res.store, cache_containers=config.restore_cache_containers)
+    rates, nreads = [], []
+    for report in reports:
+        rr = reader.restore(report.recipe)
+        rates.append(rr.read_rate / 1e6)
+        nreads.append(float(rr.container_reads))
+    return {"rates_mbps": rates, "container_reads": nreads}
+
+
+def cells(config: ExperimentConfig) -> List[CellSpec]:
+    """The figure's grid: one ingest+restore cell per engine."""
+    return [
+        CellSpec(
+            key=("fig6", engine, config_fingerprint(config)),
+            fn="repro.experiments.fig6:restore_cell",
+            config=config,
+            kwargs={"engine": engine},
         )
-        reports = run_workload(engine, jobs, paper_segmenter())
-        reader = RestoreReader(res.store, cache_containers=config.restore_cache_containers)
-        rates, nreads = [], []
-        for report in reports:
-            rr = reader.restore(report.recipe)
-            rates.append(rr.read_rate / 1e6)
-            nreads.append(float(rr.container_reads))
-        series[name] = rates
-        reads[name] = nreads
-    n = len(series["DeFrag"])
+        for engine in ENGINES
+    ]
+
+
+def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
+    """Rebuild Fig. 6 from grid cell payloads (failed cells go NaN)."""
+    specs = cells(config)
+    values, failures = cell_values(specs, results)
+    by_engine = {
+        spec.kwargs["engine"]: values.get(spec.key) for spec in specs
+    }
+    ok = {name: v for name, v in by_engine.items() if v is not None}
+    if not ok:
+        raise GridError(f"fig6: every cell failed: {failures}")
+    n = len(next(iter(ok.values()))["rates_mbps"])
+    nan = [float("nan")] * n
+    series = {
+        name: (
+            list(by_engine[name]["rates_mbps"])
+            if by_engine[name] is not None
+            else list(nan)
+        )
+        for name in ENGINES
+    }
+    reads = {
+        name: (
+            list(by_engine[name]["container_reads"])
+            if by_engine[name] is not None
+            else list(nan)
+        )
+        for name in ENGINES
+    }
     mean_gain = sum(
         d / max(s, 1e-9) for d, s in zip(series["DeFrag"], series["DDFS-Like"])
     ) / n
@@ -69,7 +116,16 @@ def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
             "mean_speedup": f"{mean_gain:.2f}x",
             "endpoint_speedup": f"{series['DeFrag'][-1] / max(series['DDFS-Like'][-1], 1e-9):.2f}x",
         },
+        failures=failures,
     )
+
+
+def run(
+    config: Optional[ExperimentConfig] = None, *, jobs: int = 1
+) -> FigureResult:
+    """Regenerate Fig. 6's series."""
+    config = config if config is not None else ExperimentConfig.default()
+    return assemble(config, run_grid(cells(config), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -12,17 +12,22 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro._util import MIB
-from repro.experiments import ablations, fig2, fig3, fig4, fig5, fig6
 from repro.experiments.common import FigureResult, clear_memo
 from repro.experiments.config import ExperimentConfig
 from repro.obs import Histogram, MetricsRegistry, Observability, Span, obs_session
+from repro.parallel import GridError
 
 _FIGS = (
-    ("fig2", fig2.run, "{:.1f}"),
-    ("fig3", fig3.run, "{:.3f}"),
-    ("fig4", fig4.run, "{:.1f}"),
-    ("fig5", fig5.run, "{:.3f}"),
-    ("fig6", fig6.run, "{:.1f}"),
+    ("fig2", "{:.1f}"),
+    ("fig3", "{:.3f}"),
+    ("fig4", "{:.1f}"),
+    ("fig5", "{:.3f}"),
+    ("fig6", "{:.1f}"),
+)
+
+_ABLATIONS = (
+    ("alpha-sweep", "{:.2f}"),
+    ("cache-ablation", "{:.2f}"),
 )
 
 
@@ -122,10 +127,16 @@ def generate_markdown(
     config: Optional[ExperimentConfig] = None,
     *,
     include_ablations: bool = False,
+    jobs: int = 1,
 ) -> str:
     """Run every figure (under an observability session, so the report
     can close with a Diagnostics rollup) and render one markdown
-    document."""
+    document. All figures execute over one deduplicated cell grid —
+    cells shared between figures record diagnostics exactly once, in
+    either venue — so the rendered document is byte-identical for any
+    ``jobs``."""
+    from repro.experiments.suite import run_suite
+
     config = config if config is not None else ExperimentConfig.default()
     sections: List[str] = [
         "# DeFrag reproduction report",
@@ -136,37 +147,33 @@ def generate_markdown(
         "",
         _config_section(config),
     ]
-    results: Dict[str, FigureResult] = {}
+    entries = _FIGS + (_ABLATIONS if include_ablations else ())
     # drop memoized workload runs so the figures execute (and record
     # diagnostics) under this session; again after, so obs-off callers
     # never reuse anything built during it
     clear_memo()
     try:
         with obs_session(Observability()) as obs:
-            for name, runner, fmt in _FIGS:
-                result = runner(config)
-                results[name] = result
-                sections += [
-                    "",
-                    f"## {result.figure}: {result.title}",
-                    "",
-                    _markdown_table(result, fmt),
-                    "",
-                ]
-                sections += [f"- **{k}**: {v}" for k, v in result.notes.items()]
-            if include_ablations:
-                for runner in (ablations.alpha_sweep, ablations.cache_ablation):
-                    result = runner(config)
-                    sections += [
-                        "",
-                        f"## {result.figure}: {result.title}",
-                        "",
-                        _markdown_table(result, "{:.2f}"),
-                        "",
-                    ]
-                    sections += [f"- **{k}**: {v}" for k, v in result.notes.items()]
+            results, errors = run_suite(
+                [name for name, _ in entries], config, jobs=jobs
+            )
     finally:
         clear_memo()
+    if errors:
+        raise GridError(
+            "report aborted, experiments failed: "
+            + "; ".join(f"{k}: {v}" for k, v in errors.items())
+        )
+    for name, fmt in entries:
+        result = results[name]
+        sections += [
+            "",
+            f"## {result.figure}: {result.title}",
+            "",
+            _markdown_table(result, fmt),
+            "",
+        ]
+        sections += [f"- **{k}**: {v}" for k, v in result.notes.items()]
     sections += ["", _diagnostics_section(obs.registry), ""]
     return "\n".join(sections)
 
@@ -176,8 +183,11 @@ def write_report(
     config: Optional[ExperimentConfig] = None,
     *,
     include_ablations: bool = False,
+    jobs: int = 1,
 ) -> Path:
     """Generate and write the markdown report; returns the path."""
     path = Path(path)
-    path.write_text(generate_markdown(config, include_ablations=include_ablations))
+    path.write_text(
+        generate_markdown(config, include_ablations=include_ablations, jobs=jobs)
+    )
     return path

@@ -1,0 +1,96 @@
+"""Suite execution: many experiments, one deduplicated cell grid.
+
+``repro all --jobs N`` collects every requested experiment's cells into
+a *single* grid before running it, so cells shared between figures (the
+group-workload runs figs 4 and 5 both consume) are computed exactly
+once — the parallel analogue of the serial ``_GROUP_MEMO`` sharing —
+and every independent cell across all figures can occupy a worker at
+the same time.
+
+Each experiment module exposes the uniform pair ``cells(config)`` /
+``assemble(config, results)``; this registry names them so the suite
+can be driven from the CLI without importing every harness up front.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import FigureResult
+from repro.experiments.config import ExperimentConfig
+from repro.parallel import CellSpec, GridError, resolve, run_grid
+
+#: experiment name -> ("module:cells", "module:assemble")
+GRID_EXPERIMENTS: Dict[str, Tuple[str, str]] = {
+    "fig2": ("repro.experiments.fig2:cells", "repro.experiments.fig2:assemble"),
+    "fig3": ("repro.experiments.fig3:cells", "repro.experiments.fig3:assemble"),
+    "fig4": ("repro.experiments.fig4:cells", "repro.experiments.fig4:assemble"),
+    "fig5": ("repro.experiments.fig5:cells", "repro.experiments.fig5:assemble"),
+    "fig6": ("repro.experiments.fig6:cells", "repro.experiments.fig6:assemble"),
+    "alpha-sweep": (
+        "repro.experiments.ablations:alpha_cells",
+        "repro.experiments.ablations:alpha_assemble",
+    ),
+    "segment-ablation": (
+        "repro.experiments.ablations:segment_cells",
+        "repro.experiments.ablations:segment_assemble",
+    ),
+    "cache-ablation": (
+        "repro.experiments.ablations:cache_cells",
+        "repro.experiments.ablations:cache_assemble",
+    ),
+    "related-work": (
+        "repro.experiments.extensions:related_cells",
+        "repro.experiments.extensions:related_assemble",
+    ),
+    "gc-study": (
+        "repro.experiments.extensions:gc_cells",
+        "repro.experiments.extensions:gc_assemble",
+    ),
+}
+
+#: what ``repro all`` runs, in print order
+ALL_FIGURES: Tuple[str, ...] = ("fig2", "fig3", "fig4", "fig5", "fig6")
+
+
+def run_suite(
+    names: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    *,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+) -> Tuple[Dict[str, FigureResult], Dict[str, str]]:
+    """Run several experiments over one deduplicated cell grid.
+
+    Returns ``(results, errors)``: per-experiment figure results (which
+    may carry per-cell ``failures``) and per-experiment fatal errors
+    (every cell an experiment needed failed, so nothing was assembled).
+    """
+    config = config if config is not None else ExperimentConfig.default()
+    specs: List[CellSpec] = []
+    per_name: Dict[str, Tuple[str, str]] = {}
+    for name in names:
+        if name not in GRID_EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {name!r}; pick from {sorted(GRID_EXPERIMENTS)}"
+            )
+        cells_ref, assemble_ref = GRID_EXPERIMENTS[name]
+        per_name[name] = (cells_ref, assemble_ref)
+        specs.extend(resolve(cells_ref)(config))
+    grid = run_grid(specs, jobs=jobs, timeout_s=timeout_s)
+    results: Dict[str, FigureResult] = {}
+    errors: Dict[str, str] = {}
+    for name in names:
+        _, assemble_ref = per_name[name]
+        try:
+            results[name] = resolve(assemble_ref)(config, grid)
+        except GridError as exc:
+            errors[name] = str(exc)
+    return results, errors
+
+
+def suite_failed(
+    results: Dict[str, FigureResult], errors: Dict[str, str]
+) -> bool:
+    """True when any experiment had a failed cell or failed outright."""
+    return bool(errors) or any(r.failures for r in results.values())

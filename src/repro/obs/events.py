@@ -37,6 +37,14 @@ class EventSink:
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
 
+    def flush(self) -> None:
+        """Push buffered events to their destination (idempotent).
+
+        The grid runner flushes the parent sink before forking workers so
+        a child process can never exit holding (and re-writing) a copy of
+        the parent's buffered output.
+        """
+
 
 class NullEventSink(EventSink):
     """Discards everything; ``enabled`` is False so instrumentation
@@ -89,6 +97,10 @@ class JsonlEventSink(EventSink):
         json.dump(fields, self._fh, separators=(",", ":"))
         self._fh.write("\n")
         self.n_events += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None:

@@ -17,7 +17,7 @@ n_edges) with no allocation.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -213,6 +213,30 @@ class MetricsRegistry:
             else:
                 out["spans"][name] = {"count": m.count, "sim_seconds": m.sim_seconds}
         return out
+
+    def merge(self, snapshot: Dict) -> None:
+        """Fold a :meth:`snapshot` dict from another registry into this one.
+
+        The parallel grid runner uses this to re-assemble per-cell worker
+        registries into the parent session: counters and spans add, histogram
+        bucket counts/sums add (edges must match), and gauges are
+        last-write-wins — so merge order must be the stable cell order for
+        gauge determinism. Merging the snapshots of disjoint registries in
+        execution order reproduces exactly what serial recording into one
+        registry would have produced.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, h in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, h["edges"])
+            for i, n in enumerate(h["counts"]):
+                hist.counts[i] += n
+            hist.count += h["count"]
+            hist.sum += h["sum"]
+        for name, s in snapshot.get("spans", {}).items():
+            self.span(name).record(s["sim_seconds"], count=s["count"])
 
     def render(self) -> str:
         """Human-readable text dump (``repro stats``)."""

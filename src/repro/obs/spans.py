@@ -30,7 +30,7 @@ invariant.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.obs.registry import (
     FRACTION_EDGES,

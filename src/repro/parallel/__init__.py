@@ -1,0 +1,33 @@
+"""``repro.parallel`` — deterministic parallel grid execution.
+
+Every paper figure and ablation is a grid of independent *cells* (one
+engine x config x alpha point each). This package decomposes such grids
+into :class:`CellSpec` units, executes them across N worker processes
+with deterministic per-cell RNG seeding derived from the cell key, and
+merges the results — including ``repro.obs`` metric snapshots and event
+streams — back into the parent session in stable cell order, so
+``--jobs N`` output is byte-identical to serial (``--jobs 1``) output.
+
+See DESIGN.md §9 for the cell decomposition and the RNG-derivation
+scheme.
+"""
+
+from repro.parallel.grid import (
+    CellKey,
+    CellResult,
+    CellSpec,
+    GridError,
+    cell_seed,
+    resolve,
+    run_grid,
+)
+
+__all__ = [
+    "CellKey",
+    "CellResult",
+    "CellSpec",
+    "GridError",
+    "cell_seed",
+    "resolve",
+    "run_grid",
+]

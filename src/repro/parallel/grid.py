@@ -1,0 +1,460 @@
+"""Process-pool grid runner with deterministic merge semantics.
+
+A *cell* is one independent unit of an experiment grid: typically one
+(engine, config, alpha) point. Cells are described by :class:`CellSpec`
+— the cell function is named by ``"module:function"`` so it resolves in
+the executing process by reference, never by pickling code — and
+executed by :func:`run_grid`, which guarantees:
+
+* **Determinism.** Before a cell function runs, the global RNGs
+  (``random`` and ``numpy``) are seeded from :func:`cell_seed`, a
+  SHA-256 derivation of the cell key and the config seed. The seeding
+  happens identically in inline (``jobs=1``) and worker execution, so a
+  cell's result can never depend on which venue ran it or on what ran
+  before it. The simulation itself draws only from config-seeded
+  generators; the per-cell seeding pins down any incidental global-RNG
+  use so it cannot introduce venue-dependence.
+* **Stable merge order.** Results, metric snapshots, and event streams
+  are merged in *spec order* (the order cells were submitted), never in
+  completion order. Serial execution processes cells in spec order, so
+  a parallel run's merged observability output is byte-identical to the
+  serial run's.
+* **Failure isolation.** A cell that raises, dies, or exceeds the
+  per-cell timeout is retried once (configurable) and then recorded as
+  a failed :class:`CellResult` — the grid keeps going and the failure
+  is surfaced in the figure table rather than aborting the run.
+* **Workload-cache fan-out.** A spec may name a ``warm`` hook that the
+  parent calls once per distinct config *before* forking, so the
+  engine-independent workload preparation memo (`` _prepared_group``)
+  is inherited by every worker instead of being recomputed per cell.
+
+Observability: when the ambient ``repro.obs`` session is enabled, each
+cell — inline or worker — runs under a fresh capture session whose
+registry snapshot and event list ride back with the result; the parent
+merges them in spec order (:meth:`MetricsRegistry.merge` + re-emission
+into the parent sink). When the ambient session is disabled (the
+default), capture is skipped entirely and workers return payloads only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import logging
+import multiprocessing as mp
+import multiprocessing.connection
+import random
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+log = logging.getLogger(__name__)
+
+__all__ = [
+    "CellKey",
+    "CellSpec",
+    "CellResult",
+    "GridError",
+    "cell_seed",
+    "resolve",
+    "run_grid",
+]
+
+#: A cell's identity: a tuple of strings, stable across runs and
+#: sortable (tests normalize streams by stable-sorting on it).
+CellKey = Tuple[str, ...]
+
+
+class GridError(RuntimeError):
+    """Every cell a figure needs failed; nothing to assemble."""
+
+
+def resolve(spec: str) -> Callable:
+    """Resolve a ``"module:function"`` reference in this process."""
+    modname, _, funcname = spec.partition(":")
+    if not funcname:
+        raise ValueError(f"cell function spec {spec!r} is not 'module:function'")
+    return getattr(importlib.import_module(modname), funcname)
+
+
+def cell_seed(key: Sequence[str], base_seed: int = 0) -> int:
+    """Deterministic 64-bit seed for a cell, derived from its key.
+
+    SHA-256 over ``(base_seed, *key)`` — stable across processes,
+    platforms, and Python versions (no reliance on ``hash()``), and
+    distinct for distinct cells, so two cells can never share incidental
+    RNG streams no matter how the grid schedules them.
+    """
+    text = repr((int(base_seed),) + tuple(str(k) for k in key))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class CellSpec:
+    """One grid cell: a function reference plus its inputs.
+
+    Attributes:
+        key: stable identity; cells with equal keys are deduplicated
+            (their fn/config/kwargs must match) and computed once.
+        fn: ``"module:function"`` executed as ``fn(config, **kwargs)``;
+            must be importable in the worker (a top-level function).
+        config: first positional argument (the experiment config); must
+            be picklable for non-fork start methods.
+        kwargs: extra keyword arguments (picklable).
+        warm: optional ``"module:function"`` called as ``warm(config)``
+            in the parent before workers fork — the shared-workload
+            precompute hook.
+    """
+
+    key: CellKey
+    fn: str
+    config: Any = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    warm: Optional[str] = None
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: a payload, or a recorded failure."""
+
+    key: CellKey
+    value: Optional[Any] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    elapsed_s: float = 0.0
+    #: captured observability (present only when the ambient session was
+    #: enabled and the cell succeeded); merged by the runner, kept for
+    #: tests and tooling
+    snapshot: Optional[Dict] = None
+    events: Optional[List[Dict]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def describe_failure(self) -> str:
+        head = (self.error or "").strip().splitlines()
+        return f"{'/'.join(self.key)}: {head[-1] if head else 'unknown error'}"
+
+
+def _seed_cell(spec: CellSpec) -> None:
+    base = getattr(spec.config, "seed", 0) or 0
+    seed = cell_seed(spec.key, base_seed=base)
+    random.seed(seed)
+    np.random.seed(seed % 2**32)
+
+
+def _execute(spec: CellSpec, capture: bool):
+    """Run one cell in this process; returns (payload, snapshot, events)."""
+    _seed_cell(spec)
+    fn = resolve(spec.fn)
+    if not capture:
+        return fn(spec.config, **spec.kwargs), None, None
+    from repro.obs import ListEventSink, Observability, obs_session
+
+    sink = ListEventSink()
+    with obs_session(Observability(events=sink)) as cell_obs:
+        payload = fn(spec.config, **spec.kwargs)
+    return payload, cell_obs.registry.snapshot(), sink.events
+
+
+def _worker_main(conn, spec: CellSpec, capture: bool) -> None:
+    """Child-process entry: run the cell, ship the result over the pipe."""
+    try:
+        # drop any ambient obs session forked in from the parent — the
+        # cell either captures into its own fresh session or records
+        # nothing; it must never write into a forked copy of the
+        # parent's registry/sink
+        import repro.obs as obs_mod
+
+        obs_mod._active = obs_mod.NULL_OBS
+        if spec.warm is not None:
+            # memo hit when fork-inherited; recompute under spawn
+            resolve(spec.warm)(spec.config)
+        payload, snapshot, events = _execute(spec, capture)
+        conn.send(("ok", payload, snapshot, events))
+    except BaseException:
+        try:
+            conn.send(("err", traceback.format_exc(limit=20)))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _dedupe(specs: Sequence[CellSpec]) -> List[CellSpec]:
+    """First spec per key wins; conflicting duplicates are an error."""
+    seen: Dict[CellKey, CellSpec] = {}
+    out: List[CellSpec] = []
+    for spec in specs:
+        prev = seen.get(spec.key)
+        if prev is None:
+            seen[spec.key] = spec
+            out.append(spec)
+        elif (prev.fn, prev.config, prev.kwargs) != (spec.fn, spec.config, spec.kwargs):
+            raise ValueError(
+                f"cell key {spec.key!r} submitted twice with different work"
+            )
+    return out
+
+
+@dataclass
+class _Running:
+    spec: CellSpec
+    attempt: int
+    proc: Any
+    conn: Any
+    deadline: Optional[float]
+    started: float
+
+
+def _spawn(ctx, spec: CellSpec, attempt: int, capture: bool, timeout_s) -> _Running:
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_worker_main, args=(child_conn, spec, capture), daemon=True
+    )
+    proc.start()
+    child_conn.close()
+    now = time.monotonic()
+    deadline = now + timeout_s if timeout_s is not None else None
+    return _Running(spec, attempt, proc, parent_conn, deadline, now)
+
+
+def _finish(run: _Running) -> None:
+    try:
+        run.conn.close()
+    except Exception:
+        pass
+    run.proc.join(timeout=5)
+    if run.proc.is_alive():  # pragma: no cover - stuck worker
+        run.proc.kill()
+        run.proc.join()
+
+
+def _run_cells_processes(
+    specs: List[CellSpec],
+    results: Dict[CellKey, CellResult],
+    *,
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+    capture: bool,
+) -> None:
+    """Execute ``specs`` across ``jobs`` worker processes (one process
+    per cell attempt, so a timed-out cell can be killed cleanly)."""
+    ctx = (
+        mp.get_context("fork")
+        if "fork" in mp.get_all_start_methods()
+        else mp.get_context()
+    )
+    pending: List[Tuple[CellSpec, int]] = [(s, 1) for s in specs]
+    running: List[_Running] = []
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                spec, attempt = pending.pop(0)
+                running.append(_spawn(ctx, spec, attempt, capture, timeout_s))
+            now = time.monotonic()
+            wait_for = 0.5
+            if timeout_s is not None and running:
+                wait_for = max(
+                    0.01, min(r.deadline - now for r in running if r.deadline)
+                )
+            ready = multiprocessing.connection.wait(
+                [r.conn for r in running], timeout=min(wait_for, 0.5)
+            )
+            done: List[_Running] = []
+            for run in running:
+                failure: Optional[str] = None
+                if run.conn in ready:
+                    try:
+                        msg = run.conn.recv()
+                    except EOFError:
+                        msg = None
+                    if msg is not None and msg[0] == "ok":
+                        _, payload, snapshot, events = msg
+                        results[run.spec.key] = CellResult(
+                            key=run.spec.key,
+                            value=payload,
+                            attempts=run.attempt,
+                            elapsed_s=time.monotonic() - run.started,
+                            snapshot=snapshot,
+                            events=events,
+                        )
+                        done.append(run)
+                        continue
+                    if msg is not None:
+                        failure = msg[1]
+                    else:
+                        failure = (
+                            f"worker died without a result "
+                            f"(exitcode {run.proc.exitcode})"
+                        )
+                elif run.deadline is not None and time.monotonic() > run.deadline:
+                    run.proc.terminate()
+                    failure = f"cell timed out after {timeout_s:g}s"
+                else:
+                    continue
+                done.append(run)
+                if run.attempt <= retries:
+                    log.warning(
+                        "cell %s attempt %d failed (%s); retrying",
+                        "/".join(run.spec.key),
+                        run.attempt,
+                        failure.strip().splitlines()[-1],
+                    )
+                    pending.append((run.spec, run.attempt + 1))
+                else:
+                    log.error(
+                        "cell %s failed after %d attempts",
+                        "/".join(run.spec.key),
+                        run.attempt,
+                    )
+                    results[run.spec.key] = CellResult(
+                        key=run.spec.key,
+                        error=failure,
+                        attempts=run.attempt,
+                        elapsed_s=time.monotonic() - run.started,
+                    )
+            for run in done:
+                _finish(run)
+                running.remove(run)
+    finally:
+        for run in running:  # pragma: no cover - cleanup on error paths
+            run.proc.terminate()
+            _finish(run)
+
+
+def _run_cells_inline(
+    specs: List[CellSpec],
+    results: Dict[CellKey, CellResult],
+    *,
+    retries: int,
+    capture: bool,
+) -> None:
+    """Serial execution in this process — the ``jobs=1`` reference path.
+
+    Uses the same per-cell seeding and (when enabled) the same per-cell
+    observability capture as workers, so the merged output is the same
+    bytes regardless of venue. Timeouts are not enforced inline.
+    """
+    for spec in specs:
+        attempt = 0
+        while True:
+            attempt += 1
+            started = time.monotonic()
+            try:
+                payload, snapshot, events = _execute(spec, capture)
+            except Exception:
+                failure = traceback.format_exc(limit=20)
+                if attempt <= retries:
+                    log.warning(
+                        "cell %s attempt %d failed; retrying",
+                        "/".join(spec.key),
+                        attempt,
+                    )
+                    continue
+                results[spec.key] = CellResult(
+                    key=spec.key,
+                    error=failure,
+                    attempts=attempt,
+                    elapsed_s=time.monotonic() - started,
+                )
+                break
+            results[spec.key] = CellResult(
+                key=spec.key,
+                value=payload,
+                attempts=attempt,
+                elapsed_s=time.monotonic() - started,
+                snapshot=snapshot,
+                events=events,
+            )
+            break
+
+
+def _warm_parent(specs: Sequence[CellSpec]) -> None:
+    """Run each distinct warm hook once in the parent, pre-fork, so the
+    prepared-workload memo is inherited read-only by every worker."""
+    done = set()
+    for spec in specs:
+        if spec.warm is None:
+            continue
+        key = (spec.warm, repr(spec.config))
+        if key in done:
+            continue
+        done.add(key)
+        resolve(spec.warm)(spec.config)
+
+
+def _merge_obs(obs, specs: Sequence[CellSpec], results: Dict[CellKey, CellResult]):
+    """Fold captured per-cell observability into the parent session, in
+    stable spec order (never completion order)."""
+    for spec in specs:
+        result = results.get(spec.key)
+        if result is None or not result.ok:
+            continue
+        if result.snapshot is not None:
+            obs.registry.merge(result.snapshot)
+        if result.events:
+            for event in result.events:
+                fields = dict(event)
+                etype = fields.pop("type")
+                obs.events.emit(etype, **fields)
+
+
+def run_grid(
+    specs: Sequence[CellSpec],
+    *,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    obs=None,
+) -> Dict[CellKey, CellResult]:
+    """Execute a grid of cells and return results keyed by cell key.
+
+    Args:
+        specs: cells in stable order; duplicate keys are computed once.
+        jobs: worker processes; ``1`` runs inline (the serial reference).
+        timeout_s: per-cell wall-clock budget (workers only; inline
+            execution is not interruptible).
+        retries: extra attempts after a failed one (default 1 → at most
+            two attempts per cell).
+        obs: observability session to merge into (default: the ambient
+            session). Capture is skipped when it is disabled.
+
+    Returns:
+        ``{key: CellResult}`` — a failed cell has ``.error`` set and
+        ``.value = None``; the grid never raises for cell failures.
+    """
+    from repro.obs import get_active
+
+    if obs is None:
+        obs = get_active()
+    capture = bool(obs.enabled)
+    unique = _dedupe(specs)
+    results: Dict[CellKey, CellResult] = {}
+    if jobs <= 1 or len(unique) <= 1:
+        _run_cells_inline(unique, results, retries=retries, capture=capture)
+    else:
+        _warm_parent(unique)
+        # flush the parent sink pre-fork: a child must never inherit (and
+        # on exit re-write) buffered parent output
+        obs.events.flush()
+        _run_cells_processes(
+            unique,
+            results,
+            jobs=jobs,
+            timeout_s=timeout_s,
+            retries=retries,
+            capture=capture,
+        )
+    if capture:
+        _merge_obs(obs, unique, results)
+    return results

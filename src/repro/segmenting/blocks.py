@@ -11,7 +11,7 @@ exactly what placement de-linearization erodes (paper Fig. 3/5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

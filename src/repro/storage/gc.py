@@ -21,10 +21,9 @@ generations expire) versus permanent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 from typing import TYPE_CHECKING
 

@@ -12,7 +12,7 @@ the restore reader (container reads), all priced on one
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np

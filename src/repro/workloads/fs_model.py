@@ -22,12 +22,12 @@ bijection) while still uniformly distributed for the index structures.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
-from repro._util import KIB, MIB, check_fraction, check_positive, rng_from
+from repro._util import KIB, check_fraction, check_positive, rng_from
 from repro.chunking.base import ChunkStream
 from repro.chunking.fingerprint import splitmix64_array
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import logging
 from typing import Iterator, NamedTuple, Optional
 
-from repro._util import KIB, MIB, check_positive, rng_from
+from repro._util import KIB, MIB, check_positive
 from repro.chunking.base import ChunkStream
 from repro.chunking.fingerprint import splitmix64_array
 from repro.workloads.fs_model import ChunkIdAllocator, ChurnProfile, FileSystemModel

@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.core.defrag import DeFragEngine
 from repro.core.policy import (

@@ -25,7 +25,6 @@ def fresh_resources():
 @pytest.fixture(scope="module")
 def all_runs(request):
     """Run the small workload through every engine once per module."""
-    import tests.conftest as c
     from repro._util import MIB
     from repro.segmenting.segmenter import ContentDefinedSegmenter
     from repro.workloads.fs_model import ChurnProfile

@@ -9,7 +9,6 @@ from repro.dedup.base import CostModel, EngineResources
 from repro.dedup.ddfs import DDFSEngine
 from repro.dedup.exact import ExactEngine
 from repro.dedup.pipeline import run_backup
-from repro.index.bloom import BloomFilter
 from repro.segmenting.segmenter import ContentDefinedSegmenter
 from repro.workloads.generators import BackupJob
 

@@ -6,11 +6,11 @@ import pytest
 
 from repro.chunking.base import ChunkStream
 from repro.core.defrag import DeFragEngine
-from repro.core.policy import NeverRewritePolicy, SPLThresholdPolicy
-from repro.dedup.base import CostModel, EngineResources
+from repro.core.policy import SPLThresholdPolicy
+from repro.dedup.base import EngineResources
 from repro.dedup.ddfs import DDFSEngine
 from repro.dedup.exact import ExactEngine
-from repro.dedup.pipeline import GroundTruth, run_backup, run_workload
+from repro.dedup.pipeline import run_backup
 from repro.dedup.silo import SiLoEngine
 from repro.workloads.generators import BackupJob
 

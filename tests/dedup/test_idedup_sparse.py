@@ -1,6 +1,5 @@
 """Tests for the extended related-work engines: iDedup and SparseIndex."""
 
-import numpy as np
 import pytest
 
 from repro.chunking.base import ChunkStream

@@ -3,7 +3,6 @@ import pytest
 
 from repro.chunking.base import ChunkStream
 from repro.dedup.base import EngineResources
-from repro.dedup.ddfs import DDFSEngine
 from repro.dedup.exact import ExactEngine
 from repro.dedup.pipeline import GroundTruth, run_backup, run_workload
 from repro.workloads.generators import BackupJob

@@ -29,6 +29,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_jobs_and_cell_timeout(self):
+        args = build_parser().parse_args(["all", "--jobs", "4", "--cell-timeout", "30"])
+        assert args.jobs == 4
+        assert args.cell_timeout == 30.0
+
+    def test_jobs_defaults_to_serial(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.jobs == 1
+        assert args.cell_timeout is None
+
 
 class TestTraceParser:
     def test_trace_takes_target_and_events(self):
@@ -106,3 +116,43 @@ class TestMain:
         main(["fig2", "--scale", "small", "--seed", "2"])
         b = capsys.readouterr().out
         assert a != b
+
+    def test_jobs2_output_identical_to_serial(self, capsys):
+        assert main(["fig4", "--scale", "small"]) == 0
+        serial = capsys.readouterr().out
+        clear_memo()
+        assert main(["fig4", "--scale", "small", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestMainFailurePaths:
+    def test_failed_cell_marks_table_and_exit_nonzero(self, monkeypatch, capsys):
+        """A cell raising mid-run must surface as a marked-failed row and
+        a nonzero exit from `repro all`, not an exception."""
+        from repro.experiments import common, suite
+
+        real = common.group_cell
+
+        def defrag_fails(config, engine):
+            if engine == "DeFrag":
+                raise RuntimeError("injected mid-cell failure")
+            return real(config, engine)
+
+        monkeypatch.setattr(common, "group_cell", defrag_fails)
+        monkeypatch.setattr(suite, "ALL_FIGURES", ("fig4",))
+        assert main(["all", "--scale", "small"]) == 1
+        out = capsys.readouterr().out
+        assert "# FAILED cell" in out
+
+    def test_every_cell_failing_reports_experiment_failed(
+        self, monkeypatch, capsys
+    ):
+        from repro.experiments import common, suite
+
+        def always_fails(config, engine):
+            raise RuntimeError("nothing works")
+
+        monkeypatch.setattr(common, "group_cell", always_fails)
+        monkeypatch.setattr(suite, "ALL_FIGURES", ("fig4",))
+        assert main(["all", "--scale", "small"]) == 1
+        assert "FAILED fig4" in capsys.readouterr().out

@@ -26,6 +26,14 @@ class TestDeterminism:
         b = fig2.run(ExperimentConfig.small().with_(seed=2))
         assert a.series != b.series
 
+    def test_parallel_jobs_identical_series(self):
+        cfg = ExperimentConfig.small()
+        a = fig2.run(cfg)
+        clear_memo()
+        b = fig2.run(cfg, jobs=2)
+        assert a.series == b.series
+        assert a.notes == b.notes
+
 
 class TestFigureResult:
     def make(self):

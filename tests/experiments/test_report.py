@@ -84,7 +84,7 @@ class TestDiagnosticsSection:
     def test_phase_rows_are_numeric(self, report_text):
         start = report_text.index("### Per-phase simulated time")
         lines = report_text[start:].splitlines()
-        rows = [l for l in lines if l.startswith("| DeFrag |")]
+        rows = [ln for ln in lines if ln.startswith("| DeFrag |")]
         assert rows
         cells = [c.strip() for c in rows[0].strip("|").split("|")][1:]
         values = [float(c) for c in cells]

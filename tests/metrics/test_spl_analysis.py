@@ -1,4 +1,3 @@
-import numpy as np
 import pytest
 
 from repro.metrics.spl_analysis import (

@@ -128,3 +128,49 @@ class TestRegistry:
         reg.counter("c").inc()
         reg.reset()
         assert len(reg) == 0
+
+
+class TestMerge:
+    def make_source(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", (1.0, 2.0)).observe(0.5)
+        reg.histogram("h", (1.0, 2.0)).observe(5.0)
+        reg.span("s").record(2.0, count=4)
+        return reg
+
+    def test_merge_into_empty_equals_source(self):
+        src = self.make_source()
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_merge_accumulates(self):
+        src = self.make_source()
+        dst = self.make_source()
+        dst.merge(src.snapshot())
+        assert dst.counter("c").value == 6
+        assert dst.gauge("g").value == 1.5  # last write wins
+        h = dst.get("h")
+        assert h.count == 4
+        assert h.counts == [2, 0, 2]
+        assert h.sum == pytest.approx(11.0)
+        s = dst.get("s")
+        assert s.count == 8
+        assert s.sim_seconds == pytest.approx(4.0)
+
+    def test_merge_of_split_halves_matches_single_registry(self):
+        """Merging per-cell snapshots reproduces what one registry
+        recording everything would hold — the parallel-runner invariant."""
+        whole = MetricsRegistry()
+        half1, half2 = MetricsRegistry(), MetricsRegistry()
+        for i, reg in ((1, half1), (2, half2)):
+            for target in (whole, reg):
+                target.counter("n").inc(i)
+                target.histogram("h", (1.0,)).observe(float(i))
+                target.span("s").record(0.25 * i)
+        merged = MetricsRegistry()
+        merged.merge(half1.snapshot())
+        merged.merge(half2.snapshot())
+        assert merged.snapshot() == whole.snapshot()

@@ -1,7 +1,6 @@
 """Property-based tests for garbage collection: whatever the retention
 window and threshold, retained backups stay bit-for-bit restorable."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.defrag import DeFragEngine

@@ -1,7 +1,5 @@
 """File-level restore: the paper's Fig. 1 / Eq. 1 per-file scenario."""
 
-import pytest
-
 from repro._util import MIB
 from repro.dedup.base import EngineResources
 from repro.dedup.exact import ExactEngine

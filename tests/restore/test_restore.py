@@ -2,7 +2,7 @@ import pytest
 
 from repro.dedup.base import EngineResources
 from repro.dedup.exact import ExactEngine
-from repro.dedup.pipeline import run_backup, run_workload
+from repro.dedup.pipeline import run_backup
 from repro.restore.model import read_rate_eq1, read_time_eq1
 from repro.restore.reader import RestoreReader
 from repro.storage.disk import DiskProfile, HDD_2012

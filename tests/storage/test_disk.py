@@ -1,6 +1,6 @@
 import pytest
 
-from repro.storage.disk import DiskModel, DiskProfile, DiskStats, HDD_2012, SSD_SATA
+from repro.storage.disk import DiskProfile, DiskStats, HDD_2012, SSD_SATA
 
 
 class TestDiskProfile:
