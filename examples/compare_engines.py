@@ -12,14 +12,8 @@ Run:
 
 import argparse
 
-from repro import (
-    ContentDefinedSegmenter,
-    RestoreReader,
-    author_fs_20_full,
-    run_workload,
-)
+from repro import BackupSession, author_fs_20_full
 from repro._util import MIB
-from repro.experiments.common import build_engine, build_resources
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.efficiency import cumulative_efficiency
 from repro.metrics.storage import storage_summary
@@ -35,20 +29,18 @@ def main() -> None:
     config = ExperimentConfig.default().with_(
         fs_bytes=args.fs_mib * MIB, n_generations=args.generations
     )
-    segmenter = ContentDefinedSegmenter()
 
     print(f"{'engine':>10} {'ingest MB/s':>12} {'efficiency':>11} "
           f"{'compression':>12} {'restore MB/s':>13} {'reads':>6}")
     for name in ("Exact", "DDFS-Like", "SiLo-Like", "DeFrag"):
-        res = build_resources(config)
-        engine = build_engine(name, config, res)
+        session = BackupSession(name, config)
         jobs = author_fs_20_full(
             fs_bytes=config.fs_bytes,
             n_generations=config.n_generations,
             churn=config.churn_full,
         )
-        reports = run_workload(engine, jobs, segmenter)
-        restore = RestoreReader(res.store).restore(reports[-1].recipe)
+        reports = session.run(jobs)
+        restore = session.restore()
         print(
             f"{name:>10} "
             f"{mean_throughput(reports) / 1e6:>12.1f} "

@@ -10,50 +10,37 @@ Run:
     python examples/quickstart.py
 """
 
-from repro import (
-    ContentDefinedSegmenter,
-    DeFragEngine,
-    EngineResources,
-    RestoreReader,
-    author_fs_20_full,
-    run_workload,
-)
+from repro import BackupSession, author_fs_20_full
 from repro._util import MIB, format_rate
 
 
 def main() -> None:
-    # One simulated disk + container store + on-disk index, shared by the
-    # engine and (later) the restore reader.
-    resources = EngineResources.create()
+    # One backup system — engine + container store + restore reader over
+    # a shared simulated disk. "DeFrag" resolves to the paper's engine
+    # with its published configuration (SPL threshold alpha = 0.1,
+    # 0.5-2 MB content-defined segments).
+    with BackupSession("DeFrag") as session:
+        # 20 full backups of an evolving 64 MiB file system.
+        jobs = author_fs_20_full(fs_bytes=64 * MIB, n_generations=20)
+        reports = session.run(jobs)
 
-    # DeFrag with the paper's configuration: SPL threshold alpha = 0.1,
-    # 0.5-2 MB content-defined segments.
-    engine = DeFragEngine(resources)
-    segmenter = ContentDefinedSegmenter()
+        print(f"{'gen':>4} {'logical':>10} {'throughput':>14} {'eff':>6} {'rewritten':>10}")
+        for r in reports:
+            print(
+                f"{r.generation:>4} {r.logical_bytes / MIB:>8.1f} M "
+                f"{format_rate(r.throughput):>14} "
+                f"{r.efficiency:>6.3f} {r.rewritten_dup_bytes / MIB:>8.2f} M"
+            )
 
-    # 20 full backups of an evolving 64 MiB file system.
-    jobs = author_fs_20_full(fs_bytes=64 * MIB, n_generations=20)
+        total_logical = sum(r.logical_bytes for r in reports)
+        total_stored = sum(r.stored_bytes for r in reports)
+        print(f"\ncompression: {total_logical / total_stored:.1f}x "
+              f"({total_logical / MIB:.0f} MiB logical -> {total_stored / MIB:.0f} MiB stored)")
 
-    reports = run_workload(engine, jobs, segmenter)
-
-    print(f"{'gen':>4} {'logical':>10} {'throughput':>14} {'eff':>6} {'rewritten':>10}")
-    for r in reports:
-        print(
-            f"{r.generation:>4} {r.logical_bytes / MIB:>8.1f} M "
-            f"{format_rate(r.throughput):>14} "
-            f"{r.efficiency:>6.3f} {r.rewritten_dup_bytes / MIB:>8.2f} M"
-        )
-
-    total_logical = sum(r.logical_bytes for r in reports)
-    total_stored = sum(r.stored_bytes for r in reports)
-    print(f"\ncompression: {total_logical / total_stored:.1f}x "
-          f"({total_logical / MIB:.0f} MiB logical -> {total_stored / MIB:.0f} MiB stored)")
-
-    # Restore the final backup and report the read rate (Fig. 6's metric).
-    reader = RestoreReader(resources.store)
-    rr = reader.restore(reports[-1].recipe)
-    print(f"restore of gen {rr.generation}: {format_rate(rr.read_rate)} "
-          f"({rr.container_reads} container reads)")
+        # Restore the final backup and report the read rate (Fig. 6's metric).
+        rr = session.restore()
+        print(f"restore of gen {rr.generation}: {format_rate(rr.read_rate)} "
+              f"({rr.container_reads} container reads)")
 
 
 if __name__ == "__main__":

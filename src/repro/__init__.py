@@ -19,6 +19,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
+from repro.api import (
+    BackupSession,
+    create_engine,
+    create_resources,
+    engine_names,
+    register_engine,
+)
 from repro.chunking import (
     Chunk,
     ChunkStream,
@@ -63,7 +70,10 @@ from repro.storage import (
     HDD_2012,
     LayoutReport,
     NEARLINE_HDD,
+    RecoveryReport,
+    RecoveryScanner,
     SSD_SATA,
+    StoreConfig,
     analyze_recipe,
 )
 from repro.workloads import (
@@ -78,6 +88,11 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackupSession",
+    "create_engine",
+    "create_resources",
+    "engine_names",
+    "register_engine",
     "Chunk",
     "ChunkStream",
     "FixedChunker",
@@ -119,6 +134,9 @@ __all__ = [
     "HDD_2012",
     "NEARLINE_HDD",
     "SSD_SATA",
+    "StoreConfig",
+    "RecoveryReport",
+    "RecoveryScanner",
     "LayoutReport",
     "analyze_recipe",
     "BackupJob",

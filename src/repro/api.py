@@ -1,0 +1,296 @@
+"""``repro.api`` — the stable public facade.
+
+One import point for embedding the reproduction as a library:
+
+* :func:`create_engine` — build any registered engine by display name
+  from an :class:`~repro.experiments.config.ExperimentConfig` (engines
+  self-register via :func:`register_engine`; the ladder of constructor
+  keywords lives next to each engine, not in a central if/elif chain).
+* :func:`create_resources` — a fresh disk/store/index substrate wired
+  per the config, honoring its :class:`~repro.storage.store.StoreConfig`
+  (durability journal, retry policy) when one is set.
+* :class:`BackupSession` — a context manager bundling engine, container
+  store, and restore reader for the common ingest-then-restore loop.
+
+Everything here is re-exported from :mod:`repro`; the older
+``repro.experiments.common.build_engine`` ladder delegates to this
+module and is deprecated.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dedup.base import BackupReport, DedupEngine, EngineResources
+    from repro.dedup.pipeline import GroundTruth
+    from repro.experiments.config import ExperimentConfig
+    from repro.restore.reader import RestoreReader, RestoreReport
+    from repro.segmenting.segmenter import Segmenter
+    from repro.storage.disk import DiskModel
+    from repro.storage.recipe import BackupRecipe
+    from repro.workloads.generators import BackupJob
+
+__all__ = [
+    "register_engine",
+    "engine_names",
+    "create_resources",
+    "create_engine",
+    "BackupSession",
+]
+
+#: factory signature: (resources, config) -> engine
+EngineFactory = Callable[["EngineResources", "ExperimentConfig"], "DedupEngine"]
+
+_REGISTRY: Dict[str, EngineFactory] = {}
+
+#: built-in engines self-register when their module is imported; this
+#: map lets :func:`create_engine` trigger that import lazily, so using
+#: one engine never pays for importing the other five
+_BUILTIN_MODULES: Dict[str, str] = {
+    "DeFrag": "repro.core.defrag",
+    "DDFS-Like": "repro.dedup.ddfs",
+    "SiLo-Like": "repro.dedup.silo",
+    "Exact": "repro.dedup.exact",
+    "iDedup": "repro.dedup.idedup",
+    "SparseIndex": "repro.dedup.sparse",
+}
+
+
+def register_engine(name: str, factory: Optional[EngineFactory] = None):
+    """Register an engine factory under a display name.
+
+    Usable directly (``register_engine("Mine", build_mine)``) or as a
+    decorator::
+
+        @register_engine("Mine")
+        def build_mine(resources, config):
+            return MyEngine(resources, batch=config.batch)
+
+    Re-registering a name replaces the factory (latest wins), so tests
+    and downstream packages can shadow a built-in.
+    """
+    if factory is None:
+
+        def _decorator(f: EngineFactory) -> EngineFactory:
+            _REGISTRY[name] = f
+            return f
+
+        return _decorator
+    _REGISTRY[name] = factory
+    return factory
+
+
+def engine_names() -> Tuple[str, ...]:
+    """Every registerable engine name (built-ins plus registrations)."""
+    return tuple(sorted(set(_BUILTIN_MODULES) | set(_REGISTRY)))
+
+
+def _factory_for(name: str) -> EngineFactory:
+    factory = _REGISTRY.get(name)
+    if factory is None and name in _BUILTIN_MODULES:
+        importlib.import_module(_BUILTIN_MODULES[name])
+        factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown engine {name!r}; pick one of {', '.join(engine_names())}"
+        )
+    return factory
+
+
+def create_resources(
+    config: "Optional[ExperimentConfig]" = None,
+    *,
+    disk: "Optional[DiskModel]" = None,
+) -> "EngineResources":
+    """A fresh disk/store/index substrate wired per the config.
+
+    The store inherits ``config.store`` (a
+    :class:`~repro.storage.store.StoreConfig`) when set — that is how
+    the durability journal and retry policy reach the stack. When unset,
+    the experiment convention applies: the container log is append-only,
+    so seals are pure sequential transfer (``seal_seeks=0``) and the
+    restore reader's cache is ``config.restore_cache_containers``.
+
+    Args:
+        config: experiment knobs (defaults to
+            ``ExperimentConfig.default()``).
+        disk: substitute a pre-built disk, e.g. a
+            :class:`~repro.faults.FaultyDisk` (overrides
+            ``config.disk``).
+    """
+    from repro.dedup.base import EngineResources
+    from repro.experiments.config import ExperimentConfig
+    from repro.storage.store import StoreConfig
+
+    if config is None:
+        config = ExperimentConfig.default()
+    store_config = config.store
+    if store_config is None:
+        store_config = StoreConfig(
+            container_bytes=config.container_bytes,
+            seal_seeks=0,
+            cache_containers=config.restore_cache_containers,
+        )
+    return EngineResources.create(
+        profile=config.disk,
+        expected_entries=config.bloom_capacity,
+        index_page_cache_pages=config.index_page_cache_pages,
+        store_config=store_config,
+        disk=disk,
+    )
+
+
+def create_engine(
+    name: str,
+    config: "Optional[ExperimentConfig]" = None,
+    resources: "Optional[EngineResources]" = None,
+) -> "DedupEngine":
+    """Construct an engine by display name with the config's calibrated
+    parameters (a fresh resource set is created unless one is passed)."""
+    from repro.experiments.config import ExperimentConfig
+
+    if config is None:
+        config = ExperimentConfig.default()
+    res = resources if resources is not None else create_resources(config)
+    return _factory_for(name)(res, config)
+
+
+class BackupSession:
+    """One backup system's lifetime: engine + store + restore reader.
+
+    The session owns a resource set and drives the ingest/restore loop::
+
+        with BackupSession("DeFrag") as session:
+            for job in author_fs_20_full():
+                session.backup(job)
+            report = session.restore()   # the latest backup
+
+    Args:
+        engine: display name (resolved via :func:`create_engine`) or an
+            already-built :class:`~repro.dedup.base.DedupEngine`.
+        config: experiment knobs (defaults to
+            ``ExperimentConfig.default()``); carries the
+            :class:`~repro.storage.store.StoreConfig` when durability
+            matters.
+        resources: substitute a pre-built substrate (e.g. one whose
+            disk is a :class:`~repro.faults.FaultyDisk`).
+        segmenter: defaults to the paper's 0.5–2 MB content-defined
+            segmenter.
+        ground_truth: annotate reports with the exact redundancy oracle
+            (adds RAM/CPU proportional to unique fingerprints).
+    """
+
+    def __init__(
+        self,
+        engine: "Union[str, DedupEngine]" = "DeFrag",
+        config: "Optional[ExperimentConfig]" = None,
+        resources: "Optional[EngineResources]" = None,
+        *,
+        segmenter: "Optional[Segmenter]" = None,
+        ground_truth: bool = True,
+    ) -> None:
+        from repro.dedup.pipeline import GroundTruth
+        from repro.experiments.config import ExperimentConfig
+        from repro.segmenting.segmenter import ContentDefinedSegmenter
+
+        if config is None:
+            config = ExperimentConfig.default()
+        self.config = config
+        if isinstance(engine, str):
+            if resources is None:
+                resources = create_resources(config)
+            engine = create_engine(engine, config, resources)
+        elif resources is None:
+            resources = engine.res
+        self.engine = engine
+        self.resources = resources
+        self.segmenter = (
+            segmenter if segmenter is not None else ContentDefinedSegmenter()
+        )
+        self._ground_truth: "Optional[GroundTruth]" = (
+            GroundTruth() if ground_truth else None
+        )
+        self.reports: "List[BackupReport]" = []
+        self._reader: "Optional[RestoreReader]" = None
+
+    # -- the bundled components ----------------------------------------
+
+    @property
+    def store(self):
+        """The shared container store."""
+        return self.resources.store
+
+    @property
+    def index(self):
+        """The shared on-disk chunk index."""
+        return self.resources.index
+
+    @property
+    def disk(self):
+        """The simulated disk all costs are charged to."""
+        return self.resources.disk
+
+    @property
+    def reader(self) -> "RestoreReader":
+        """The restore reader (cache sized from the store's config)."""
+        if self._reader is None:
+            from repro.restore.reader import RestoreReader
+
+            self._reader = RestoreReader(self.store)
+        return self._reader
+
+    @property
+    def recipes(self) -> "List[BackupRecipe]":
+        """One recipe per completed backup, in ingest order."""
+        return [r.recipe for r in self.reports]
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "BackupSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # engine.end_backup already sealed/flushed per stream; nothing
+        # is held open between backups, so exit is bookkeeping only
+        return None
+
+    def backup(self, job: "BackupJob") -> "BackupReport":
+        """Ingest one backup job; the report is also kept in
+        :attr:`reports`."""
+        from repro.dedup.pipeline import run_backup
+
+        report = run_backup(self.engine, job, self.segmenter, self._ground_truth)
+        self.reports.append(report)
+        return report
+
+    def run(self, jobs: "Sequence[BackupJob]") -> "List[BackupReport]":
+        """Ingest a sequence of jobs; returns their reports in order."""
+        return [self.backup(job) for job in jobs]
+
+    def restore(
+        self, backup: "Union[int, BackupRecipe]" = -1
+    ) -> "RestoreReport":
+        """Restore a completed backup.
+
+        Args:
+            backup: an index into :attr:`reports` (default: the latest)
+                or an explicit recipe.
+        """
+        if isinstance(backup, int):
+            if not self.reports:
+                raise RuntimeError("no completed backups to restore")
+            recipe = self.reports[backup].recipe
+        else:
+            recipe = backup
+        return self.reader.restore(recipe)

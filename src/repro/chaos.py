@@ -1,0 +1,523 @@
+"""``repro.chaos`` — the seeded crash-recovery sweep.
+
+The harness proves the durability story end to end: for hundreds of
+deterministically chosen crash points it runs a realistic scenario
+(multi-generation DeFrag ingest with periodic garbage collection on a
+journaled, retry-wrapped, fault-injected store), kills the machine at
+the chosen disk operation, recovers with the
+:class:`~repro.storage.recovery.RecoveryScanner`, and then proves **zero
+data loss**:
+
+* every retained backup restores byte-identically (recipe signature
+  over fingerprints + sizes matches the workload's ground truth),
+* every retained recipe is *intact* — each referenced container exists
+  and physically holds the chunk (so GC never collected live data),
+* the scenario then resumes from the interrupted step with a fresh
+  engine over the recovered state and finishes with the same retained
+  guarantees.
+
+Crash points are chosen from a fault-free *reference* run's operation
+census (the injector's ``record`` mode), spread round-robin across crash
+site classes — mid-seal, mid-commit-marker, mid-index-flush, mid-GC, and
+plain ingest IO — so the sweep always exercises every window of the
+commit protocol. A deterministic subset of points additionally injects
+transient IO-error bursts (exercising the retry/backoff path) and
+dropped index flushes (exercising the rebuild-from-metadata path).
+
+Run it via ``python -m repro chaos --crash-points 200 --seed 7``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import KIB, MIB
+from repro._util.rng import rng_from
+from repro.api import create_engine, create_resources
+from repro.dedup.base import EngineResources
+from repro.dedup.pipeline import PreparedBackup, prepare_workload, run_prepared_backup
+from repro.experiments.config import ExperimentConfig
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyDisk,
+    RetryPolicy,
+    SimulatedCrash,
+)
+from repro.restore.reader import RestoreReader
+from repro.segmenting.segmenter import ContentDefinedSegmenter
+from repro.storage.gc import GarbageCollector
+from repro.storage.recipe import BackupRecipe
+from repro.storage.recovery import RecoveryScanner
+from repro.storage.store import ContainerStore, StoreConfig
+from repro.workloads.generators import single_user_stream
+
+#: crash-site classes the sweep stratifies over (and reports coverage of)
+CRASH_CLASSES = ("gc", "seal_marker", "seal", "index_flush", "ingest")
+
+
+def classify_tags(tags: Sequence[str]) -> str:
+    """Map an injector context-tag stack to its crash-site class."""
+    if "gc" in tags:
+        return "gc"
+    if "seal_marker" in tags:
+        return "seal_marker"
+    if "seal" in tags:
+        return "seal"
+    if "index_flush" in tags:
+        return "index_flush"
+    return "ingest"
+
+
+def recipe_signature(recipe: BackupRecipe) -> str:
+    """Content signature of a backup: its chunk fingerprints and sizes.
+
+    Container ids are deliberately excluded — GC and crash recovery may
+    legally remap *where* chunks live, never *what* the backup contains.
+    """
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(recipe.fingerprints, dtype=np.uint64).tobytes())
+    h.update(np.ascontiguousarray(recipe.sizes, dtype=np.int64).tobytes())
+    return h.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# scenario
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """The workload the sweep replays around every crash point.
+
+    Small enough that one run takes tens of milliseconds, rich enough to
+    exercise every durability window: multiple container seals per
+    backup, an index flush per backup, and periodic two-phase GC over a
+    sliding retention window.
+    """
+
+    engine: str = "DeFrag"
+    n_generations: int = 8
+    fs_bytes: int = 3 * MIB
+    container_bytes: int = 256 * KIB
+    gc_every: int = 3
+    retain: int = 4
+    min_utilization: float = 0.6
+    seed: int = 2012
+
+    def experiment_config(self) -> ExperimentConfig:
+        """The experiment config for this scenario, journal + retry on."""
+        return ExperimentConfig.small().with_(
+            seed=self.seed,
+            fs_bytes=self.fs_bytes,
+            n_generations=self.n_generations,
+            container_bytes=self.container_bytes,
+            bloom_capacity=100_000,
+            store=StoreConfig(
+                container_bytes=self.container_bytes,
+                seal_seeks=0,
+                cache_containers=4,
+                journal=True,
+                retry=RetryPolicy(),
+            ),
+        )
+
+    def steps(self) -> List[Tuple[str, int]]:
+        """The step list: one ``("backup", gen)`` per generation, with a
+        ``("gc", gen)`` after every ``gc_every``-th backup."""
+        out: List[Tuple[str, int]] = []
+        for gen in range(self.n_generations):
+            out.append(("backup", gen))
+            if (gen + 1) % self.gc_every == 0:
+                out.append(("gc", gen))
+        return out
+
+    def prepare(self) -> List[PreparedBackup]:
+        """Generate + segment the workload once (shared by every run)."""
+        jobs = single_user_stream(
+            n_generations=self.n_generations,
+            fs_bytes=self.fs_bytes,
+            seed=self.seed,
+            label="chaos",
+        )
+        return prepare_workload(jobs, ContentDefinedSegmenter())
+
+
+@dataclass
+class _RunState:
+    """Mutable state of one scenario execution."""
+
+    resources: EngineResources
+    engine: object
+    retained: List[BackupRecipe] = field(default_factory=list)
+
+    @property
+    def store(self) -> ContainerStore:
+        return self.resources.store
+
+
+class _ScenarioRunner:
+    """Executes a :class:`ChaosScenario` step list over one machine."""
+
+    def __init__(self, scenario: ChaosScenario, prepared: List[PreparedBackup]):
+        self.scenario = scenario
+        self.prepared = prepared
+        self.config = scenario.experiment_config()
+        # ground truth: what each generation's backup must contain,
+        # derived from the workload stream (engine-independent)
+        self.truth_sigs: Dict[int, str] = {}
+        for prep in prepared:
+            h = hashlib.sha256()
+            h.update(np.ascontiguousarray(prep.job.stream.fps, np.uint64).tobytes())
+            h.update(
+                np.ascontiguousarray(
+                    prep.job.stream.sizes.astype(np.int64)
+                ).tobytes()
+            )
+            self.truth_sigs[prep.job.generation] = h.hexdigest()[:16]
+
+    def new_state(self, injector: FaultInjector) -> _RunState:
+        disk = FaultyDisk(profile=self.config.disk, injector=injector)
+        resources = create_resources(self.config, disk=disk)
+        engine = create_engine(self.scenario.engine, self.config, resources)
+        return _RunState(resources=resources, engine=engine)
+
+    def fresh_engine(self, state: _RunState) -> None:
+        """Post-recovery: a rebooted machine has a fresh engine (RAM
+        caches, bloom filter, stream state all lost) over the recovered
+        store/index."""
+        state.engine = create_engine(
+            self.scenario.engine, self.config, state.resources
+        )
+
+    def run_steps(self, state: _RunState, start: int = 0) -> None:
+        """Execute the step list from ``start``; SimulatedCrash (or a
+        FatalIOError) propagates to the caller with the interrupted step
+        index attached."""
+        steps = self.scenario.steps()
+        for si in range(start, len(steps)):
+            kind, gen = steps[si]
+            try:
+                if kind == "backup":
+                    report = run_prepared_backup(state.engine, self.prepared[gen])
+                    state.retained.append(report.recipe)
+                    del state.retained[: -self.scenario.retain]
+                else:
+                    gc = GarbageCollector(state.store, state.resources.index)
+                    _, state.retained = gc.collect(
+                        state.retained,
+                        min_utilization=self.scenario.min_utilization,
+                    )
+            except SimulatedCrash as crash:
+                crash.step = si  # type: ignore[attr-defined]
+                raise
+
+    # -- verification ---------------------------------------------------
+
+    def verify(self, state: _RunState, context: str) -> List[str]:
+        """Zero-data-loss check over the retained window.
+
+        Returns a list of human-readable violations (empty = all good).
+        """
+        errors: List[str] = []
+        store = state.store
+        member: Dict[int, frozenset] = {}
+        reader = RestoreReader(store)
+        for recipe in state.retained:
+            gen = recipe.generation
+            sig = recipe_signature(recipe)
+            want = self.truth_sigs.get(gen)
+            if sig != want:
+                errors.append(
+                    f"{context}: gen {gen} recipe signature {sig} != truth {want}"
+                )
+                continue
+            for fp, cid in zip(recipe.fingerprints, recipe.containers):
+                cid = int(cid)
+                if not store.has(cid):
+                    errors.append(
+                        f"{context}: gen {gen} references missing container {cid}"
+                    )
+                    break
+                fps = member.get(cid)
+                if fps is None:
+                    fps = member[cid] = frozenset(
+                        int(x) for x in store.get(cid).fingerprints
+                    )
+                if int(fp) not in fps:
+                    errors.append(
+                        f"{context}: gen {gen} chunk {int(fp)} not in container {cid}"
+                    )
+                    break
+            else:
+                # physically intact -> the restore must also succeed
+                restored = reader.restore(recipe)
+                if restored.logical_bytes != recipe.total_bytes:
+                    errors.append(
+                        f"{context}: gen {gen} restored "
+                        f"{restored.logical_bytes} != {recipe.total_bytes} bytes"
+                    )
+        return errors
+
+
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CrashPointResult:
+    """Outcome of one crash-point run."""
+
+    crash_at: int
+    planned_class: str
+    fired: bool
+    crash_class: str = ""
+    crash_tags: str = ""
+    interrupted_step: int = -1
+    torn_truncated: int = 0
+    index_entries_rebuilt: int = 0
+    gc_rolled_back: bool = False
+    gc_rolled_forward: bool = False
+    retries: int = 0
+    io_errors_injected: int = 0
+    flushes_dropped: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+@dataclass
+class ChaosReport:
+    """The sweep's aggregate verdict."""
+
+    seed: int
+    n_points: int
+    scenario: ChaosScenario
+    results: List[CrashPointResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def fired(self) -> int:
+        return sum(1 for r in self.results if r.fired)
+
+    def class_counts(self) -> Dict[str, int]:
+        """Actual crash-site coverage (fired points only)."""
+        counts = {c: 0 for c in CRASH_CLASSES}
+        for r in self.results:
+            if r.fired:
+                counts[r.crash_class] = counts.get(r.crash_class, 0) + 1
+        return counts
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.results)
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "n_points": self.n_points,
+            "ok": self.ok,
+            "fired": self.fired,
+            "class_counts": self.class_counts(),
+            "total_retries": self.total_retries,
+            "scenario": asdict(self.scenario),
+            "results": [asdict(r) for r in self.results],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human summary for the CLI."""
+        counts = self.class_counts()
+        lines = [
+            f"== chaos sweep: {self.n_points} crash points, seed {self.seed} ==",
+            f"scenario: {self.scenario.engine}, "
+            f"{self.scenario.n_generations} generations, "
+            f"GC every {self.scenario.gc_every}, retain {self.scenario.retain}",
+            f"crash sites: "
+            + ", ".join(f"{c}={counts.get(c, 0)}" for c in CRASH_CLASSES),
+            f"fired: {self.fired}/{self.n_points} "
+            f"(unfired points completed fault-free)",
+            f"transient IO errors retried: {self.total_retries}; "
+            f"index flushes dropped: "
+            f"{sum(r.flushes_dropped for r in self.results)}",
+            f"torn tails truncated: "
+            f"{sum(r.torn_truncated for r in self.results)}; "
+            f"GC rollbacks: {sum(r.gc_rolled_back for r in self.results)}; "
+            f"GC roll-forwards: {sum(r.gc_rolled_forward for r in self.results)}",
+        ]
+        failures = [r for r in self.results if not r.ok]
+        if failures:
+            lines.append(f"FAILED at {len(failures)} points:")
+            for r in failures[:20]:
+                lines.append(f"  crash_at={r.crash_at} [{r.crash_class}]:")
+                for e in r.errors[:3]:
+                    lines.append(f"    {e}")
+        else:
+            lines.append(
+                "OK: every crash point recovered with zero data loss"
+            )
+        return "\n".join(lines)
+
+
+def select_crash_points(
+    census: Sequence[Tuple[str, Sequence[str]]], n_points: int, seed: int
+) -> List[Tuple[int, str]]:
+    """Pick ``n_points`` operation indices from a reference op census,
+    stratified round-robin across crash-site classes so every durability
+    window is exercised even at small sweep sizes.
+
+    Returns ``(op_index, planned_class)`` pairs, deterministically. When
+    ``n_points`` exceeds the census, the sweep laps it: the same crash
+    op under a different per-point fault plan is still a distinct trial.
+    """
+    by_class: Dict[str, List[int]] = {}
+    for op, (_kind, tags) in enumerate(census, 1):
+        by_class.setdefault(classify_tags(tags), []).append(op)
+    if not by_class:
+        return []
+    rng = rng_from(seed, "chaos-points")
+    shuffled: Dict[str, List[int]] = {
+        cls: [int(ops[i]) for i in rng.permutation(len(ops))]
+        for cls, ops in sorted(by_class.items())
+    }
+    picks: List[Tuple[int, str]] = []
+    while len(picks) < n_points:
+        order = [c for c in CRASH_CLASSES if c in shuffled]
+        cursor = {c: 0 for c in order}
+        while len(picks) < n_points and order:
+            for cls in list(order):
+                ops = shuffled[cls]
+                i = cursor[cls]
+                if i >= len(ops):
+                    order.remove(cls)
+                    continue
+                cursor[cls] = i + 1
+                picks.append((ops[i], cls))
+                if len(picks) == n_points:
+                    break
+    return picks
+
+
+def run_chaos(
+    n_points: int = 200,
+    seed: int = 2012,
+    scenario: Optional[ChaosScenario] = None,
+) -> ChaosReport:
+    """Run the full sweep: reference run, stratified crash points, one
+    crash/recover/resume/verify cycle per point."""
+    if scenario is None:
+        scenario = ChaosScenario(seed=seed)
+    prepared = scenario.prepare()
+    runner = _ScenarioRunner(scenario, prepared)
+
+    # reference run: the op census crash points are chosen from, plus a
+    # sanity check that the fault-free scenario itself verifies clean
+    ref_inj = FaultInjector(record=True)
+    ref_state = runner.new_state(ref_inj)
+    runner.run_steps(ref_state)
+    # snapshot the census BEFORE verifying: verification restores charge
+    # ops too, and those never occur inside a crash run's step phase
+    census = list(ref_inj.op_log or [])
+    n_flushes = ref_inj.flush_count
+    ref_errors = runner.verify(ref_state, "reference")
+    if ref_errors:
+        raise AssertionError(
+            "fault-free reference run failed verification: " + "; ".join(ref_errors)
+        )
+
+    points = select_crash_points(census, n_points, seed)
+    results: List[CrashPointResult] = []
+    for i, (crash_at, planned) in enumerate(points):
+        results.append(
+            _run_crash_point(
+                runner,
+                crash_at,
+                planned,
+                point_seed=seed * 100_003 + i,
+                spice=i % 4 == 0,
+                n_ops=len(census),
+                n_flushes=n_flushes,
+            )
+        )
+    return ChaosReport(
+        seed=seed, n_points=len(points), scenario=scenario, results=results
+    )
+
+
+def _run_crash_point(
+    runner: _ScenarioRunner,
+    crash_at: int,
+    planned_class: str,
+    point_seed: int,
+    spice: bool,
+    n_ops: int,
+    n_flushes: int,
+) -> CrashPointResult:
+    """One cycle: run until the crash fires, recover, resume, verify."""
+    plan = FaultPlan.seeded(
+        seed=point_seed,
+        n_ops=n_ops,
+        crash_at=crash_at,
+        # every 4th point also exercises the retry ladder and the
+        # dropped-flush window on the way to its crash
+        n_io_errors=1 if spice else 0,
+        n_drop_flushes=1 if spice else 0,
+        n_flushes=n_flushes,
+    )
+    inj = FaultInjector(plan)
+    state = runner.new_state(inj)
+    result = CrashPointResult(
+        crash_at=crash_at, planned_class=planned_class, fired=False
+    )
+    try:
+        runner.run_steps(state)
+    except SimulatedCrash as crash:
+        result.fired = True
+        result.crash_tags = ".".join(crash.tags)
+        result.crash_class = classify_tags(crash.tags)
+        result.interrupted_step = getattr(crash, "step", -1)
+
+        # power loss: volatile state is gone
+        state.store.crash()
+        state.resources.index.crash()
+
+        # recovery replays the container log back to consistency
+        scanner = RecoveryScanner(state.store, state.resources.index)
+        report, state.retained = scanner.recover(state.retained)
+        result.torn_truncated = report.torn_truncated
+        result.index_entries_rebuilt = report.index_entries_rebuilt
+        result.gc_rolled_back = report.gc_rolled_back
+        result.gc_rolled_forward = report.gc_rolled_forward
+
+        # the retained window must already be whole before any resume
+        result.errors += runner.verify(state, f"post-recovery@{crash_at}")
+
+        # reboot: fresh engine over the recovered store/index, then
+        # finish the scenario from the interrupted step
+        runner.fresh_engine(state)
+        try:
+            runner.run_steps(state, start=max(0, result.interrupted_step))
+        except SimulatedCrash:  # pragma: no cover - plans crash once
+            result.errors.append("second crash from a single-crash plan")
+    # verification is an offline audit of the surviving state, not part
+    # of the faulted timeline (a dropped flush can shorten the run so an
+    # unfired crash_at would otherwise land inside a verification read)
+    inj.plan = FaultPlan()
+    result.errors += runner.verify(state, f"final@{crash_at}")
+    result.retries = inj.retries
+    result.io_errors_injected = inj.injected_io_errors
+    result.flushes_dropped = inj.dropped_flushes
+    return result

@@ -9,6 +9,7 @@ Usage::
     python -m repro bench --quick
     python -m repro trace fig4 --scale small --events out.jsonl
     python -m repro stats --last
+    python -m repro chaos --crash-points 200 --seed 7
     defrag-repro fig6            # console script, same thing
 
 ``--jobs N`` fans the experiment's independent cells (one engine x
@@ -61,12 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_FIGURES) + ["all", "report", "bench", "trace", "stats"],
+        choices=sorted(_FIGURES)
+        + ["all", "report", "bench", "trace", "stats", "chaos"],
         help="which figure/ablation to regenerate ('all' runs fig2..fig6; "
         "'report' renders everything as one markdown document; 'bench' "
         "times the ingest path against the committed baseline; 'trace' "
         "reruns one figure with observability on; 'stats' prints the "
-        "last trace's metrics snapshot)",
+        "last trace's metrics snapshot; 'chaos' sweeps seeded crash "
+        "points through the fault-injection/recovery subsystem)",
     )
     parser.add_argument(
         "target",
@@ -139,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bench: skip the regression gate against the committed "
         "BENCH_ingest.json",
+    )
+    chaos = parser.add_argument_group("chaos options")
+    chaos.add_argument(
+        "--crash-points",
+        type=int,
+        default=200,
+        metavar="N",
+        help="chaos: number of seeded crash points to sweep (default 200)",
     )
     obs = parser.add_argument_group("observability options")
     obs.add_argument(
@@ -256,6 +267,24 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    """``python -m repro chaos``: crash-recovery sweep — N seeded crash
+    points, each recovered and verified for zero data loss. Exits 0 only
+    if every point recovers cleanly."""
+    from repro.chaos import run_chaos
+
+    seed = args.seed if args.seed is not None else 2012
+    report = run_chaos(n_points=args.crash_points, seed=seed)
+    print(report.render())
+    if args.save is not None:
+        outdir = Path(args.save)
+        outdir.mkdir(parents=True, exist_ok=True)
+        out = outdir / "chaos.json"
+        out.write_text(report.to_json())
+        print(f"chaos report saved to {out}")
+    return 0 if report.ok else 1
+
+
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
     config = ExperimentConfig.by_name(args.scale)
     if args.seed is not None:
@@ -278,6 +307,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace(args, parser)
     if args.experiment == "stats":
         return _run_stats(args)
+    if args.experiment == "chaos":
+        return _run_chaos(args)
     config = _make_config(args)
     if args.experiment == "report":
         from repro.experiments.report import generate_markdown

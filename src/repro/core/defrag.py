@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.api import register_engine
 from repro.core.policy import RewritePolicy, SPLThresholdPolicy
 from repro.core.spl import SPLProfile, spl_profile
 from repro.dedup.base import CostModel, EngineResources, SegmentOutcome
@@ -354,3 +355,17 @@ class DeFragEngine(DDFSEngine):
         self.total_rewritten_bytes += size
         self.total_rewritten_chunks += 1
         return cid
+
+
+@register_engine("DeFrag")
+def _build_defrag(resources, config) -> "DeFragEngine":
+    """repro.api factory: DeFrag with the paper's SPL threshold policy."""
+    return DeFragEngine(
+        resources,
+        policy=SPLThresholdPolicy(alpha=config.alpha),
+        bloom_capacity=config.bloom_capacity,
+        bloom_fp_rate=config.bloom_fp_rate,
+        cache_containers=config.cache_containers,
+        prefetch_ahead=config.prefetch_ahead,
+        batch=config.batch,
+    )

@@ -27,7 +27,7 @@ from repro.obs.spans import EngineScope
 from repro.segmenting.segmenter import Segment
 from repro.storage.disk import DiskModel, DiskStats
 from repro.storage.recipe import BackupRecipe, RecipeBuilder
-from repro.storage.store import ContainerStore
+from repro.storage.store import ContainerStore, StoreConfig
 
 log = logging.getLogger(__name__)
 
@@ -175,6 +175,21 @@ class EngineResources:
     store: ContainerStore
     index: DiskChunkIndex
 
+    def __post_init__(self) -> None:
+        # Engine-side disk charges (metadata prefetch, similarity-block
+        # IO) share the store's retry policy so no charged operation is
+        # left outside the fault-tolerance boundary. Without a policy
+        # these are the raw disk methods — zero overhead.
+        retry = self.store.config.retry
+        if retry is None:
+            self.read = self.disk.read
+            self.write = self.disk.write
+        else:
+            from repro.faults import with_retry
+
+            self.read = with_retry(self.disk, retry, self.disk.read, "engine.read")
+            self.write = with_retry(self.disk, retry, self.disk.write, "engine.write")
+
     @classmethod
     def create(
         cls,
@@ -182,16 +197,29 @@ class EngineResources:
         container_bytes: int = 4 * MIB,
         expected_entries: int = 4_000_000,
         index_page_cache_pages: int = 256,
+        store_config: Optional[StoreConfig] = None,
+        disk: Optional[DiskModel] = None,
     ) -> "EngineResources":
-        """Convenience constructor wiring a fresh disk/store/index."""
+        """Convenience constructor wiring a fresh disk/store/index.
+
+        ``store_config`` carries the durability knobs (journal, retry);
+        when given, its ``container_bytes`` wins over the legacy
+        parameter. ``disk`` substitutes a pre-built disk (e.g. a
+        :class:`~repro.faults.FaultyDisk`) for the default model.
+        """
         from repro.storage.disk import HDD_2012
 
-        disk = DiskModel(profile=profile if profile is not None else HDD_2012)
-        store = ContainerStore(disk, container_bytes=container_bytes)
+        if disk is None:
+            disk = DiskModel(profile=profile if profile is not None else HDD_2012)
+        if store_config is None:
+            store_config = StoreConfig(container_bytes=container_bytes)
+        store = ContainerStore(disk, config=store_config)
         index = DiskChunkIndex(
             disk,
             expected_entries=expected_entries,
             page_cache_pages=index_page_cache_pages,
+            journaled=store_config.journal,
+            retry=store_config.retry,
         )
         return cls(disk=disk, store=store, index=index)
 
@@ -279,6 +307,7 @@ class DedupEngine(abc.ABC):
             raise RuntimeError("call begin_backup first")
         self._on_end_backup()
         self.res.store.flush()
+        self.res.index.flush()  # free no-op unless the index is journaled
         recipe = self._recipe.finalize()
         elapsed = self.res.disk.clock.now - self._backup_t0
         report = BackupReport(

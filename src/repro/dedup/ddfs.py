@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.api import register_engine
 from repro._util import check_positive
 from repro.dedup.base import CostModel, DedupEngine, EngineResources, SegmentOutcome
 from repro.index.bloom import BloomFilter
@@ -156,7 +157,7 @@ class DDFSEngine(DedupEngine):
         first = True
         for c in run:
             sealed = store.get(c)
-            self.res.disk.read(sealed.metadata_bytes, seeks=1 if first else 0)
+            self.res.read(sealed.metadata_bytes, seeks=1 if first else 0)
             store.stats.meta_prefetches += 1
             first = False
             units.append((c, sealed.fingerprints))
@@ -421,3 +422,16 @@ class DDFSEngine(DedupEngine):
         cache.count_hits(hits)
         cache.count_probes(n)
         return locations
+
+
+@register_engine("DDFS-Like")
+def _build_ddfs(resources, config) -> "DDFSEngine":
+    """repro.api factory: DDFS with the config's calibrated parameters."""
+    return DDFSEngine(
+        resources,
+        bloom_capacity=config.bloom_capacity,
+        bloom_fp_rate=config.bloom_fp_rate,
+        cache_containers=config.cache_containers,
+        prefetch_ahead=config.prefetch_ahead,
+        batch=config.batch,
+    )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.api import register_engine
 from repro.dedup.base import CostModel, DedupEngine, EngineResources, SegmentOutcome
 from repro.index.full_index import ChunkLocation
 from repro.segmenting.segmenter import Segment
@@ -126,3 +127,9 @@ class ExactEngine(DedupEngine):
         outcome.removed_dup = removed
         self._recipe.add_many(fps, sizes, cids)
         return outcome
+
+
+@register_engine("Exact")
+def _build_exact(resources, config) -> "ExactEngine":
+    """repro.api factory: the naive full-index baseline."""
+    return ExactEngine(resources, batch=config.batch)

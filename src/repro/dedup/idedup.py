@@ -22,6 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.api import register_engine
 from repro._util import check_positive
 from repro.dedup.base import CostModel, EngineResources, SegmentOutcome
 from repro.dedup.ddfs import DDFSEngine
@@ -201,3 +202,17 @@ class IDedupEngine(DDFSEngine):
         outcome.rewritten_dup = rewritten
         self._recipe.add_many(fps, sizes, cids)
         return outcome
+
+
+@register_engine("iDedup")
+def _build_idedup(resources, config) -> "IDedupEngine":
+    """repro.api factory: iDedup with the config's calibrated parameters."""
+    return IDedupEngine(
+        resources,
+        min_sequence=8,
+        bloom_capacity=config.bloom_capacity,
+        bloom_fp_rate=config.bloom_fp_rate,
+        cache_containers=config.cache_containers,
+        prefetch_ahead=config.prefetch_ahead,
+        batch=config.batch,
+    )

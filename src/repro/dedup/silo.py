@@ -28,6 +28,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.api import register_engine
 from repro._util import MIB, check_positive
 from repro.dedup.base import CostModel, DedupEngine, EngineResources, SegmentOutcome
 from repro.index.cache import FingerprintPrefetchCache
@@ -108,7 +109,7 @@ class SiLoEngine(DedupEngine):
         # the block's fingerprint index is written with it: sequential
         # metadata transfer (its payload was already charged by the
         # container store as chunks were appended)
-        self.res.disk.write(block.metadata_bytes)
+        self.res.write(block.metadata_bytes)
         for rep in block.segment_reps:
             self.similarity.insert(int(rep), block.bid)
 
@@ -117,7 +118,7 @@ class SiLoEngine(DedupEngine):
         if self.cache.has_unit(bid):
             return
         block = self._blocks[bid]
-        self.res.disk.read(block.metadata_bytes, seeks=1)
+        self.res.read(block.metadata_bytes, seeks=1)
         self.cache.insert_unit(bid, block.fingerprints)
 
     def _process_segment(self, segment: Segment) -> SegmentOutcome:
@@ -252,3 +253,15 @@ class SiLoEngine(DedupEngine):
         if self._builder.should_seal():
             self._seal_block()
         return outcome
+
+
+@register_engine("SiLo-Like")
+def _build_silo(resources, config) -> "SiLoEngine":
+    """repro.api factory: SiLo with the config's calibrated parameters."""
+    return SiLoEngine(
+        resources,
+        block_bytes=config.silo_block_bytes,
+        cache_blocks=config.silo_cache_blocks,
+        similarity_capacity=config.silo_similarity_capacity,
+        batch=config.batch,
+    )

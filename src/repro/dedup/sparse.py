@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.api import register_engine
 from repro._util import check_positive
 from repro.dedup.base import CostModel, DedupEngine, EngineResources, SegmentOutcome
 from repro.index.cache import FingerprintPrefetchCache
@@ -91,7 +92,7 @@ class SparseIndexEngine(DedupEngine):
         if self.cache.has_unit(mid):
             return
         fps = self._manifests[mid]
-        self.res.disk.read(len(fps) * CHUNK_METADATA_BYTES, seeks=1)
+        self.res.read(len(fps) * CHUNK_METADATA_BYTES, seeks=1)
         self.manifest_loads += 1
         self.cache.insert_unit(mid, fps)
 
@@ -145,3 +146,11 @@ class SparseIndexEngine(DedupEngine):
             "manifest_loads": float(self.manifest_loads - self._loads_t0),
             "hook_index_entries": float(len(self._hooks)),
         }
+
+
+@register_engine("SparseIndex")
+def _build_sparse(resources, config) -> "SparseIndexEngine":
+    """repro.api factory: sparse indexing sized from the SiLo knobs."""
+    return SparseIndexEngine(
+        resources, cache_manifests=config.silo_cache_blocks * 4, batch=config.batch
+    )

@@ -18,10 +18,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.dedup.pipeline import run_workload
+from repro.api import create_engine, create_resources
 from repro.experiments.common import (
     FigureResult,
-    build_engine,
-    build_resources,
     cell_values,
     config_fingerprint,
     paper_segmenter,
@@ -59,10 +58,10 @@ def _author_jobs(config: ExperimentConfig):
 
 def alpha_cell(config: ExperimentConfig) -> Dict:
     """Grid cell: DeFrag at one α (the α is baked into ``config``)."""
-    res = build_resources(config)
-    engine = build_engine("DeFrag", config, res)
+    res = create_resources(config)
+    engine = create_engine("DeFrag", config, res)
     reports = run_workload(engine, _author_jobs(config), paper_segmenter())
-    reader = RestoreReader(res.store, cache_containers=config.restore_cache_containers)
+    reader = RestoreReader(res.store)
     return {
         "ingest_mbps": mean_throughput(reports) / 1e6,
         "kept_pct": 100.0 * (1.0 - cumulative_efficiency(reports)[-1]),
@@ -139,8 +138,8 @@ _SEGMENTER_KINDS = ("content-defined", "fixed-1MiB")
 def segment_cell(config: ExperimentConfig, kind: str) -> Dict:
     """Grid cell: DeFrag under one segmenting strategy."""
     segmenter = paper_segmenter() if kind == "content-defined" else FixedSegmenter()
-    res = build_resources(config)
-    engine = build_engine("DeFrag", config, res)
+    res = create_resources(config)
+    engine = create_engine("DeFrag", config, res)
     reports = run_workload(engine, _author_jobs(config), segmenter)
     return {
         "ingest_mbps": mean_throughput(reports) / 1e6,
@@ -206,8 +205,8 @@ def segment_ablation(
 def cache_cell(config: ExperimentConfig) -> Dict:
     """Grid cell: DDFS decay at one prefetch-cache capacity (baked into
     ``config.cache_containers``)."""
-    res = build_resources(config)
-    engine = build_engine("DDFS-Like", config, res)
+    res = create_resources(config)
+    engine = create_engine("DDFS-Like", config, res)
     reports = run_workload(engine, _author_jobs(config), paper_segmenter())
     t = [r.throughput / 1e6 for r in reports]
     return {

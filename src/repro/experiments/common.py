@@ -9,15 +9,12 @@ minutes of simulation.
 from __future__ import annotations
 
 import hashlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.defrag import DeFragEngine
-from repro.core.policy import SPLThresholdPolicy
+from repro.api import create_engine, create_resources
 from repro.dedup.base import BackupReport, DedupEngine, EngineResources
-from repro.dedup.ddfs import DDFSEngine
-from repro.dedup.exact import ExactEngine
-from repro.dedup.idedup import IDedupEngine
 from repro.dedup.pipeline import (
     PreparedBackup,
     TruthTriple,
@@ -25,8 +22,6 @@ from repro.dedup.pipeline import (
     run_prepared_backup,
     truth_annotations,
 )
-from repro.dedup.silo import SiLoEngine
-from repro.dedup.sparse import SparseIndexEngine
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.efficiency import partial_segment_efficiency
 from repro.metrics.throughput import throughput_series
@@ -42,69 +37,29 @@ ENGINE_NAMES = ("DeFrag", "DDFS-Like", "SiLo-Like", "Exact", "iDedup", "SparseIn
 
 
 def build_resources(config: ExperimentConfig) -> EngineResources:
-    """A fresh disk/store/index wired per the config."""
-    res = EngineResources.create(
-        profile=config.disk,
-        container_bytes=config.container_bytes,
-        expected_entries=config.bloom_capacity,
-        index_page_cache_pages=config.index_page_cache_pages,
+    """Deprecated alias of :func:`repro.api.create_resources`."""
+    warnings.warn(
+        "repro.experiments.common.build_resources is deprecated; "
+        "use repro.api.create_resources",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    # the container log is append-only: seals are pure sequential transfer
-    res.store.seal_seeks = 0
-    return res
+    return create_resources(config)
 
 
 def build_engine(
     name: str, config: ExperimentConfig, resources: Optional[EngineResources] = None
 ) -> DedupEngine:
-    """Construct an engine by display name with the config's calibrated
-    parameters (a fresh resource set is created unless one is passed)."""
-    res = resources if resources is not None else build_resources(config)
-    batch = config.batch
-    if name == "DDFS-Like":
-        return DDFSEngine(
-            res,
-            bloom_capacity=config.bloom_capacity,
-            bloom_fp_rate=config.bloom_fp_rate,
-            cache_containers=config.cache_containers,
-            prefetch_ahead=config.prefetch_ahead,
-            batch=batch,
-        )
-    if name == "SiLo-Like":
-        return SiLoEngine(
-            res,
-            block_bytes=config.silo_block_bytes,
-            cache_blocks=config.silo_cache_blocks,
-            similarity_capacity=config.silo_similarity_capacity,
-            batch=batch,
-        )
-    if name == "DeFrag":
-        return DeFragEngine(
-            res,
-            policy=SPLThresholdPolicy(alpha=config.alpha),
-            bloom_capacity=config.bloom_capacity,
-            bloom_fp_rate=config.bloom_fp_rate,
-            cache_containers=config.cache_containers,
-            prefetch_ahead=config.prefetch_ahead,
-            batch=batch,
-        )
-    if name == "Exact":
-        return ExactEngine(res, batch=batch)
-    if name == "iDedup":
-        return IDedupEngine(
-            res,
-            min_sequence=8,
-            bloom_capacity=config.bloom_capacity,
-            bloom_fp_rate=config.bloom_fp_rate,
-            cache_containers=config.cache_containers,
-            prefetch_ahead=config.prefetch_ahead,
-            batch=batch,
-        )
-    if name == "SparseIndex":
-        return SparseIndexEngine(
-            res, cache_manifests=config.silo_cache_blocks * 4, batch=batch
-        )
-    raise ValueError(f"unknown engine {name!r}; pick one of {ENGINE_NAMES}")
+    """Deprecated alias of :func:`repro.api.create_engine` (the engine
+    constructor ladder now lives with each engine via
+    :func:`repro.api.register_engine`)."""
+    warnings.warn(
+        "repro.experiments.common.build_engine is deprecated; "
+        "use repro.api.create_engine",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return create_engine(name, config, resources)
 
 
 def paper_segmenter() -> ContentDefinedSegmenter:
@@ -198,7 +153,7 @@ def _config_key(config: ExperimentConfig) -> Tuple:
         c.disk.name, c.container_bytes, c.cache_containers, c.prefetch_ahead,
         c.silo_block_bytes, c.silo_cache_blocks, c.silo_similarity_capacity,
         c.index_page_cache_pages,
-        c.bloom_capacity, c.bloom_fp_rate, c.churn_full, c.batch,
+        c.bloom_capacity, c.bloom_fp_rate, c.churn_full, c.batch, c.store,
     )
 
 
@@ -215,8 +170,8 @@ def run_group_workload(
     for name in engines:
         if name in cached:
             continue
-        res = build_resources(config)
-        engine = build_engine(name, config, res)
+        res = create_resources(config)
+        engine = create_engine(name, config, res)
         prepared, truths = _prepared_group(config)
         reports = [
             run_prepared_backup(engine, prep, truth)

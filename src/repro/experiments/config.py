@@ -22,9 +22,11 @@ Calibration notes (see EXPERIMENTS.md for measured outcomes):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro._util import MIB
 from repro.storage.disk import DiskProfile
+from repro.storage.store import StoreConfig
 from repro.workloads.fs_model import ChurnProfile
 
 #: The simulated backup appliance disk used by all recorded experiments.
@@ -101,6 +103,12 @@ class ExperimentConfig:
     #: chunk-at-a-time reference ladder — results are byte-identical,
     #: only wall-clock differs (the bench harness A/Bs this switch)
     batch: bool = True
+    #: explicit container-log configuration (durability journal, retry
+    #: policy, cache sizes). None keeps the experiment convention:
+    #: append-only log (seal_seeks=0), ``container_bytes`` capacity,
+    #: ``restore_cache_containers`` reader cache, no journal — exactly
+    #: what the recorded figures were measured with.
+    store: Optional[StoreConfig] = None
 
     # -- scale presets --------------------------------------------------
 

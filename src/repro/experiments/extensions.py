@@ -18,10 +18,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.dedup.pipeline import run_workload
+from repro.api import create_engine, create_resources
 from repro.experiments.common import (
     FigureResult,
-    build_engine,
-    build_resources,
     cell_values,
     config_fingerprint,
     paper_segmenter,
@@ -56,12 +55,10 @@ def _author_jobs(config: ExperimentConfig):
 
 def related_cell(config: ExperimentConfig, engine: str) -> Dict:
     """Grid cell: one engine's full scorecard on the author workload."""
-    res = build_resources(config)
-    eng = build_engine(engine, config, res)
+    res = create_resources(config)
+    eng = create_engine(engine, config, res)
     reports = run_workload(eng, _author_jobs(config), paper_segmenter())
-    restore = RestoreReader(
-        res.store, cache_containers=config.restore_cache_containers
-    ).restore(reports[-1].recipe)
+    restore = RestoreReader(res.store).restore(reports[-1].recipe)
     return {
         "row": [
             mean_throughput(reports) / 1e6,
@@ -140,12 +137,12 @@ def gc_cell(
 ) -> Dict:
     """Grid cell: the whole ingest → expire → collect → re-restore
     pipeline (one live store end to end)."""
-    res = build_resources(config)
-    engine = build_engine("DeFrag", config, res)
+    res = create_resources(config)
+    engine = create_engine("DeFrag", config, res)
     reports = run_workload(engine, _author_jobs(config), paper_segmenter())
 
     retained = [r.recipe for r in reports[-retain_last:]]
-    reader = RestoreReader(res.store, cache_containers=config.restore_cache_containers)
+    reader = RestoreReader(res.store)
     rate_before = reader.restore(retained[-1]).read_rate / 1e6
     physical_before = res.store.stats.physical_bytes
 

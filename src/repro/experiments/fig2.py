@@ -18,10 +18,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.dedup.pipeline import run_workload
+from repro.api import create_engine, create_resources
 from repro.experiments.common import (
     FigureResult,
-    build_engine,
-    build_resources,
     cell_values,
     config_fingerprint,
     paper_segmenter,
@@ -36,8 +35,8 @@ from repro.workloads.generators import author_fs_20_full
 def author_full_cell(config: ExperimentConfig, engine: str = "DDFS-Like") -> Dict:
     """Grid cell: one engine over the 20-generation full-backup author
     workload; returns the throughput and locality series Fig. 2 plots."""
-    res = build_resources(config)
-    eng = build_engine(engine, config, res)
+    res = create_resources(config)
+    eng = create_engine(engine, config, res)
     jobs = author_fs_20_full(
         fs_bytes=config.fs_bytes,
         seed=config.seed,

@@ -18,10 +18,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.dedup.pipeline import run_workload
+from repro.api import create_engine, create_resources
 from repro.experiments.common import (
     FigureResult,
-    build_engine,
-    build_resources,
     cell_values,
     config_fingerprint,
     paper_segmenter,
@@ -38,8 +37,8 @@ def author_incremental_cell(
 ) -> Dict:
     """Grid cell: one engine over the 20-generation incremental author
     workload; returns the efficiency and locality series Fig. 3 plots."""
-    res = build_resources(config)
-    eng = build_engine(engine, config, res)
+    res = create_resources(config)
+    eng = create_engine(engine, config, res)
     jobs = author_fs_20_incremental(
         fs_bytes=config.fs_bytes,
         seed=config.seed,

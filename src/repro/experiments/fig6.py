@@ -18,10 +18,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.dedup.pipeline import run_workload
+from repro.api import create_engine, create_resources
 from repro.experiments.common import (
     FigureResult,
-    build_engine,
-    build_resources,
     cell_values,
     config_fingerprint,
     paper_segmenter,
@@ -38,8 +37,8 @@ ENGINES = ("DeFrag", "DDFS-Like")
 def restore_cell(config: ExperimentConfig, engine: str) -> Dict:
     """Grid cell: ingest the author workload through one engine, then
     restore every generation from that engine's own store."""
-    res = build_resources(config)
-    eng = build_engine(engine, config, res)
+    res = create_resources(config)
+    eng = create_engine(engine, config, res)
     jobs = author_fs_20_full(
         fs_bytes=config.fs_bytes,
         seed=config.seed,
@@ -47,7 +46,7 @@ def restore_cell(config: ExperimentConfig, engine: str) -> Dict:
         churn=config.churn_full,
     )
     reports = run_workload(eng, jobs, paper_segmenter())
-    reader = RestoreReader(res.store, cache_containers=config.restore_cache_containers)
+    reader = RestoreReader(res.store)
     rates, nreads = [], []
     for report in reports:
         rr = reader.restore(report.recipe)

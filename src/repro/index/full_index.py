@@ -52,6 +52,8 @@ class IndexStats:
     inserts: int = 0
     updates: int = 0
     negative_lookups: int = 0
+    flushes: int = 0
+    entries_flushed: int = 0
 
     @property
     def fault_rate(self) -> float:
@@ -69,6 +71,12 @@ class DiskChunkIndex:
         page_bytes: bucket page size transferred per fault (default 4 KiB).
         entry_bytes: on-disk bytes per index entry (fingerprint + location).
         page_cache_pages: RAM page-cache capacity, in pages (0 disables).
+        journaled: track which entries are merely *buffered* (not yet
+            flushed to disk) so a simulated crash can lose them; off by
+            default — the tracking is the fault layer's cost, and the
+            default path must stay zero-overhead.
+        retry: transient-IO retry policy for bucket reads and flushes
+            (only meaningful with a :class:`~repro.faults.FaultyDisk`).
     """
 
     def __init__(
@@ -78,6 +86,8 @@ class DiskChunkIndex:
         page_bytes: int = 4 * KIB,
         entry_bytes: int = 40,
         page_cache_pages: int = 256,
+        journaled: bool = False,
+        retry=None,
     ) -> None:
         check_positive("expected_entries", expected_entries)
         check_positive("page_bytes", page_bytes)
@@ -92,6 +102,23 @@ class DiskChunkIndex:
             LRUCache(page_cache_pages) if page_cache_pages > 0 else None
         )
         self.stats = IndexStats()
+        # journaled mode: fp -> value before the first unflushed write
+        # (None if absent), so a crash can roll the RAM image back to the
+        # last durable flush. None disables all tracking.
+        self._unflushed: Optional[Dict[int, Optional[ChunkLocation]]] = (
+            {} if journaled else None
+        )
+        if retry is not None:
+            from repro.faults import with_retry
+
+            self._disk_read = with_retry(disk, retry, disk.read, "index.read")
+            self._disk_write = with_retry(disk, retry, disk.write, "index.flush")
+        else:
+            self._disk_read = disk.read
+            self._disk_write = disk.write
+        from repro.faults import injector_of
+
+        self._inj = injector_of(disk)
 
     # ------------------------------------------------------------------
 
@@ -126,7 +153,7 @@ class DiskChunkIndex:
             self.stats.page_hits += 1
         else:
             self.stats.page_faults += 1
-            self.disk.read(self.page_bytes, seeks=1)
+            self._disk_read(self.page_bytes, seeks=1)
             if self._page_cache is not None:
                 self._page_cache.put(page, True)
         loc = self._map.get(fp)
@@ -155,7 +182,7 @@ class DiskChunkIndex:
         map_get = self._map.get
         n_pages = self.n_pages
         page_bytes = self.page_bytes
-        disk_read = self.disk.read
+        disk_read = self._disk_read
         out: List[Optional[ChunkLocation]] = []
         append = out.append
         lookups = hits = faults = negatives = 0
@@ -180,14 +207,27 @@ class DiskChunkIndex:
         stats.negative_lookups += negatives
         return out
 
+    def _track(self, fp: int) -> None:
+        """Journaled mode: remember the pre-write value so a crash can
+        roll the RAM image back to the last durable flush."""
+        unflushed = self._unflushed
+        if fp not in unflushed:  # type: ignore[operator]
+            unflushed[fp] = self._map.get(fp)  # type: ignore[index]
+
     def insert(self, fp: int, location: ChunkLocation) -> None:
         """Record a newly written chunk (batched write; no disk charge)."""
-        self._map[int(fp)] = location
+        fp = int(fp)
+        if self._unflushed is not None:
+            self._track(fp)
+        self._map[fp] = location
         self.stats.inserts += 1
 
     def insert_many(self, fps, locations) -> None:
         """Record a run of newly written chunks — ``insert`` pairwise,
         batched (no disk charge either way). ``fps`` must be plain ints."""
+        if self._unflushed is not None:
+            for fp in fps:
+                self._track(fp)
         self._map.update(zip(fps, locations))
         self.stats.inserts += len(locations)
 
@@ -195,14 +235,79 @@ class DiskChunkIndex:
         """Re-point a run of existing fingerprints — ``update`` pairwise,
         batched. Later pairs win on a repeated fingerprint, exactly as
         sequential calls would. ``fps`` must be plain ints."""
+        if self._unflushed is not None:
+            for fp in fps:
+                self._track(fp)
         self._map.update(zip(fps, locations))
         self.stats.updates += len(locations)
 
     def update(self, fp: int, location: ChunkLocation) -> None:
         """Re-point an existing fingerprint at a fresher physical copy
         (DeFrag's rewrite path). Batched like :meth:`insert`."""
-        self._map[int(fp)] = location
+        fp = int(fp)
+        if self._unflushed is not None:
+            self._track(fp)
+        self._map[fp] = location
         self.stats.updates += 1
+
+    # ------------------------------------------------------------------
+    # durability (journaled mode) + crash/recovery support
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Persist the buffered inserts/updates (the per-backup index
+        merge DDFS batches). Returns the number of entries made durable.
+
+        In the default (non-journaled) mode this is a free no-op: the
+        amortized merge cost is already folded into the engine's
+        per-chunk CPU constant, and there is no fault model to observe a
+        lost flush. In journaled mode the merge is charged as one
+        sequential write, and the fault plan may *drop* it — the caller
+        believes it succeeded, but the entries stay volatile and a later
+        crash loses them (which is why recovery rebuilds the index from
+        container metadata instead of trusting the flush watermark).
+        """
+        if self._unflushed is None:
+            return 0
+        n = len(self._unflushed)
+        if n == 0:
+            return 0
+        if self._inj is not None:
+            with self._inj.tagged("index_flush"):
+                self._disk_write(n * self.entry_bytes, seeks=1)
+            if self._inj.take_flush_drop():
+                return 0
+        else:
+            self._disk_write(n * self.entry_bytes, seeks=1)
+        self._unflushed.clear()
+        self.stats.flushes += 1
+        self.stats.entries_flushed += n
+        return n
+
+    def crash(self) -> None:
+        """Simulate power loss: every entry written since the last
+        *successful* flush reverts to its pre-write value (dropped
+        flushes never cleared the buffer, so their entries are lost here
+        too — exactly the failure the recovery rebuild heals)."""
+        if self._unflushed is None:
+            return
+        for fp, old in self._unflushed.items():
+            if old is None:
+                self._map.pop(fp, None)
+            else:
+                self._map[fp] = old
+        self._unflushed.clear()
+
+    def load_recovered(self, entries: Dict[int, ChunkLocation]) -> int:
+        """Replace the whole map with a recovery-scanner rebuild.
+
+        Bookkeeping only — the scanner charges the container-log scan
+        and the rebuilt-index write itself. The rebuilt entries count as
+        flushed (they were just written durably)."""
+        self._map = dict(entries)
+        if self._unflushed is not None:
+            self._unflushed.clear()
+        return len(self._map)
 
     def peek(self, fp: int) -> Optional[ChunkLocation]:
         """Location without any disk charge (oracle/bookkeeping use)."""

@@ -15,6 +15,20 @@ Event vocabulary emitted by the engines (see DESIGN.md):
 * ``prefetch_yield`` — per backup: cache hits bought per prefetched unit.
 * ``segment_span`` — per segment: simulated-clock phase attribution.
 * ``backup`` / ``restore`` / ``gc_pass`` — lifecycle summaries.
+
+And by the fault/recovery subsystem (``repro.faults``,
+``repro.storage.recovery``):
+
+* ``fault_injected`` — the injector fired a planned fault: the kind
+  (``crash``, ``io_error``, ``drop_flush``), the 1-based disk op, and
+  the context tags (``seal``, ``seal_marker``, ``index_flush``,
+  ``journal``, ``gc``) naming the durability window it landed in.
+* ``retry`` — a transient IO error was absorbed by the retry policy:
+  which wrapped op, which attempt, and the backoff delay charged to the
+  simulated clock.
+* ``recovery_pass`` — one :class:`~repro.storage.recovery.RecoveryScanner`
+  run: containers scanned, torn tails truncated, index entries rebuilt,
+  GC rollback/roll-forward decisions, recipes remapped.
 """
 
 from __future__ import annotations

@@ -15,11 +15,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import check_positive
+from typing import Optional
+
+from repro._util import MIB, check_positive
 from repro.restore.model import read_time_eq1
 from repro.storage.layout import container_run_lengths
 from repro.storage.recipe import BackupRecipe
-from repro.storage.store import ContainerStore
+from repro.storage.store import ContainerStore, StoreConfig, _deprecated_kwarg
 
 
 @dataclass(frozen=True)
@@ -57,8 +59,6 @@ class RestoreReport:
 
     @property
     def seeks_per_mib(self) -> float:
-        from repro._util import MIB
-
         if not self.logical_bytes:
             return 0.0
         return self.container_reads / (self.logical_bytes / MIB)
@@ -70,15 +70,32 @@ class RestoreReader:
     Args:
         store: the container store holding the physical data (and the
             disk model all costs are charged to).
-        cache_containers: LRU container-payload cache capacity. The
-            default (32, i.e. 128 MiB of 4 MiB containers) models a
-            restore client's read buffer.
+        config: a :class:`~repro.storage.store.StoreConfig` supplying
+            ``cache_containers`` (the LRU container-payload cache
+            capacity — a restore client's read buffer). Defaults to the
+            store's own config, so reader and store are sized together.
+        cache_containers: deprecated alias for the config field (one
+            release).
     """
 
-    def __init__(self, store: ContainerStore, cache_containers: int = 32) -> None:
-        check_positive("cache_containers", cache_containers)
+    def __init__(
+        self,
+        store: ContainerStore,
+        cache_containers: Optional[int] = None,
+        *,
+        config: Optional[StoreConfig] = None,
+    ) -> None:
+        if config is None:
+            config = store.config
+        if cache_containers is not None:
+            _deprecated_kwarg("cache_containers")
+            from dataclasses import replace
+
+            config = replace(config, cache_containers=int(cache_containers))
+        check_positive("cache_containers", config.cache_containers)
         self.store = store
-        self.cache_containers = int(cache_containers)
+        self.config = config
+        self.cache_containers = int(config.cache_containers)
 
     def restore(self, recipe: BackupRecipe) -> RestoreReport:
         """Reconstruct one backup; returns the performance report."""
@@ -158,5 +175,18 @@ class RestoreReader:
     def restore_file(self, recipe: BackupRecipe, start: int, n_chunks: int) -> RestoreReport:
         """Restore a single file (a chunk extent of the backup) — the
         paper's Fig. 1 / Eq. 1 scenario: an N-fragment file costs ~N
-        positionings."""
+        positionings.
+
+        Raises:
+            ValueError: if the extent falls outside the recipe
+                (previously an out-of-range extent was silently clamped
+                by the slice, restoring fewer chunks than asked for).
+        """
+        start = int(start)
+        n_chunks = int(n_chunks)
+        if start < 0 or n_chunks < 0 or start + n_chunks > recipe.n_chunks:
+            raise ValueError(
+                f"file extent [{start}, {start + n_chunks}) out of bounds "
+                f"for a recipe of {recipe.n_chunks} chunks"
+            )
         return self.restore(recipe.slice(start, start + n_chunks))

@@ -19,10 +19,11 @@ way DDFS (Zhu et al., FAST'08) organizes it:
 
 from repro.storage.disk import DiskModel, DiskProfile, DiskStats, HDD_2012, NEARLINE_HDD, SSD_SATA
 from repro.storage.container import Container, SealedContainer
-from repro.storage.store import ContainerStore, StoreStats
+from repro.storage.store import ContainerStore, StoreConfig, StoreStats
 from repro.storage.recipe import BackupRecipe, RecipeBuilder
 from repro.storage.layout import LayoutReport, analyze_recipe, container_run_lengths
 from repro.storage.gc import GarbageCollector, GCReport
+from repro.storage.recovery import RecoveryReport, RecoveryScanner
 
 __all__ = [
     "DiskModel",
@@ -34,7 +35,10 @@ __all__ = [
     "Container",
     "SealedContainer",
     "ContainerStore",
+    "StoreConfig",
     "StoreStats",
+    "RecoveryReport",
+    "RecoveryScanner",
     "BackupRecipe",
     "RecipeBuilder",
     "LayoutReport",

@@ -21,6 +21,7 @@ generations expire) versus permanent.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -34,6 +35,9 @@ from repro.storage.store import ContainerStore
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle:
     # repro.storage -> gc -> repro.index -> repro.storage)
     from repro.index.full_index import DiskChunkIndex
+
+#: shared no-op context for fault-free runs (no per-pass allocation)
+_NULL_CTX = contextlib.nullcontext()
 
 
 @dataclass(frozen=True)
@@ -71,6 +75,12 @@ class GarbageCollector:
     def __init__(self, store: ContainerStore, index: "Optional[DiskChunkIndex]" = None) -> None:
         self.store = store
         self.index = index
+
+    def _injector(self):
+        """The disk's fault injector, if one is attached."""
+        from repro.faults import injector_of
+
+        return injector_of(self.store.disk)
 
     # ------------------------------------------------------------------
 
@@ -143,37 +153,64 @@ class GarbageCollector:
             if live_by_cid.get(cid, 0) / data < min_utilization:
                 victims.append(cid)
 
-        moved: Dict[Tuple[int, int], int] = {}  # (fp, old_cid) -> new_cid
-        moved_fp: Dict[int, int] = {}  # fp -> new_cid (move each copy once)
-        bytes_reclaimed = 0
-        bytes_moved = 0
-        for cid in victims:
-            sealed_container = self.store.read_container(cid)  # charged read
-            for fp, size in zip(
-                sealed_container.fingerprints, sealed_container.sizes
-            ):
-                fp, size = int(fp), int(size)
-                if fp in live_fps:
-                    new_cid = moved_fp.get(fp)
-                    if new_cid is None:
-                        new_cid = self.store.append(fp, size)  # charged on seal
-                        moved_fp[fp] = new_cid
-                        bytes_moved += size
-                        if self.index is not None:
-                            from repro.index.full_index import ChunkLocation
+        # The pass is two-phase so a crash can roll either direction
+        # (journaled stores only; the journal is free-of-charge off):
+        #   mark   — persist the victim set (intent) before touching data.
+        #   sweep  — copy live chunks to the open log end and seal them;
+        #            victims are NOT removed yet, so a crash anywhere in
+        #            the sweep rolls back (copies become dead garbage, the
+        #            dangling mark record is dropped by recovery).
+        #   commit — persist the move map; only then are victims removed
+        #            and recipes remapped, atomically with the commit
+        #            (recovery rolls an applied-but-interrupted commit
+        #            forward from the journal record).
+        inj = self._injector()
+        gc_ctx = inj.tagged("gc") if inj is not None else _NULL_CTX
+        with gc_ctx:
+            if self.store.journaled:
+                self.store.journal_append({"kind": "gc_mark", "victims": list(victims)})
 
-                            old = self.index.peek(fp)
-                            sid = old.sid if old is not None else -1
-                            self.index.update(fp, ChunkLocation(new_cid, sid))
+            moved: Dict[Tuple[int, int], int] = {}  # (fp, old_cid) -> new_cid
+            moved_fp: Dict[int, int] = {}  # fp -> new_cid (move each copy once)
+            bytes_reclaimed = 0
+            bytes_moved = 0
+            for cid in victims:
+                sealed_container = self.store.read_container(cid)  # charged read
+                for fp, size in zip(
+                    sealed_container.fingerprints, sealed_container.sizes
+                ):
+                    fp, size = int(fp), int(size)
+                    if fp in live_fps:
+                        new_cid = moved_fp.get(fp)
+                        if new_cid is None:
+                            new_cid = self.store.append(fp, size)  # charged on seal
+                            moved_fp[fp] = new_cid
+                            bytes_moved += size
+                            if self.index is not None:
+                                from repro.index.full_index import ChunkLocation
+
+                                old = self.index.peek(fp)
+                                sid = old.sid if old is not None else -1
+                                self.index.update(fp, ChunkLocation(new_cid, sid))
+                        else:
+                            # a second dead-duplicate copy of a live chunk:
+                            # the already-moved copy serves it
+                            bytes_reclaimed += size
+                        moved[(fp, cid)] = new_cid
                     else:
-                        # a second dead-duplicate copy of a live chunk:
-                        # the already-moved copy serves it
                         bytes_reclaimed += size
-                    moved[(fp, cid)] = new_cid
-                else:
-                    bytes_reclaimed += size
-            self.store.remove(cid)
-        self.store.flush()
+            self.store.flush()
+
+            if self.store.journaled:
+                self.store.journal_append(
+                    {
+                        "kind": "gc_commit",
+                        "victims": list(victims),
+                        "moved": dict(moved),
+                    }
+                )
+            for cid in victims:
+                self.store.remove(cid)
 
         remapped = [self._remap(recipe, moved) for recipe in retained]
         util_after = self.log_utilization(remapped)

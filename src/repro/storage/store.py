@@ -12,8 +12,10 @@ the restore reader (container reads), all priced on one
 
 from __future__ import annotations
 
+import contextlib
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 import numpy as np
 
@@ -24,6 +26,57 @@ from repro.storage.container import (
     SealedContainer,
 )
 from repro.storage.disk import DiskModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.faults imports
+    # repro.storage.disk; keeping this lazy avoids the cycle at import time)
+    from repro.faults import RetryPolicy
+
+#: Bytes of the per-container commit marker (journaled mode only): a
+#: cid + checksum record appended after the payload and metadata so a
+#: torn seal is detectable by the recovery scanner.
+COMMIT_MARKER_BYTES = 16
+
+#: Bytes charged per journaled GC record entry (victim cid or move).
+JOURNAL_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """All knobs of the container log and its readers, in one place.
+
+    Consolidates the keyword sprawl (``container_bytes``, ``seal_seeks``,
+    ``cache_containers``) that used to travel loose through
+    :class:`ContainerStore`, :class:`~repro.restore.reader.RestoreReader`
+    and :class:`~repro.experiments.config.ExperimentConfig`; the old
+    kwargs remain as deprecated aliases for one release.
+
+    Attributes:
+        container_bytes: payload capacity per container.
+        seal_seeks: positionings charged when sealing.
+        cache_containers: the restore reader's LRU container cache.
+        journal: enable the durability protocol — per-seal commit
+            markers and the GC mark/commit journal are written (and
+            charged). Off by default: the fault layer is zero-cost when
+            disabled.
+        retry: transient-IO retry policy for store/index disk
+            operations (None = fail fast; only meaningful with a
+            :class:`~repro.faults.FaultyDisk`).
+    """
+
+    container_bytes: int = DEFAULT_CONTAINER_BYTES
+    seal_seeks: int = 1
+    cache_containers: int = 32
+    journal: bool = False
+    retry: "Optional[RetryPolicy]" = None
+
+
+def _deprecated_kwarg(name: str) -> None:
+    warnings.warn(
+        f"ContainerStore/RestoreReader keyword {name!r} is deprecated; "
+        f"pass config=StoreConfig({name}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -49,24 +102,71 @@ class ContainerStore:
 
     Args:
         disk: the disk model charged for seals, prefetches and reads.
-        container_bytes: payload capacity per container.
-        seal_seeks: positionings charged when sealing (returning the head
-            to the log after random index/metadata reads). Default 1.
+        config: a :class:`StoreConfig`; the default models the classic
+            append-only log with no durability journal.
+        container_bytes / seal_seeks: deprecated aliases for the
+            corresponding :class:`StoreConfig` fields (one release).
     """
 
     def __init__(
         self,
         disk: DiskModel,
-        container_bytes: int = DEFAULT_CONTAINER_BYTES,
-        seal_seeks: int = 1,
+        container_bytes: Optional[int] = None,
+        seal_seeks: Optional[int] = None,
+        *,
+        config: Optional[StoreConfig] = None,
     ) -> None:
+        if config is None:
+            config = StoreConfig()
+        if container_bytes is not None:
+            _deprecated_kwarg("container_bytes")
+            config = StoreConfig(
+                container_bytes=int(container_bytes),
+                seal_seeks=config.seal_seeks,
+                cache_containers=config.cache_containers,
+                journal=config.journal,
+                retry=config.retry,
+            )
+        if seal_seeks is not None:
+            _deprecated_kwarg("seal_seeks")
+            config = StoreConfig(
+                container_bytes=config.container_bytes,
+                seal_seeks=int(seal_seeks),
+                cache_containers=config.cache_containers,
+                journal=config.journal,
+                retry=config.retry,
+            )
         self.disk = disk
-        self.container_bytes = int(container_bytes)
-        self.seal_seeks = int(seal_seeks)
+        self.config = config
+        self.container_bytes = int(config.container_bytes)
+        self.seal_seeks = int(config.seal_seeks)
+        self.journaled = bool(config.journal)
         self.stats = StoreStats()
         self._sealed: Dict[int, SealedContainer] = {}
         self._open: Optional[Container] = None
         self._next_cid = 0
+        # durability protocol state (journaled mode)
+        self._committed: Set[int] = set()
+        self._journal: List[Dict] = []
+        # retry-wrapped disk ops (bound once: the default path binds the
+        # raw methods, so fault-free runs pay nothing extra)
+        if config.retry is not None:
+            from repro.faults import with_retry
+
+            self._read = with_retry(disk, config.retry, disk.read, "store.read")
+            self._write = with_retry(disk, config.retry, disk.write, "store.write")
+        else:
+            self._read = disk.read
+            self._write = disk.write
+        from repro.faults import injector_of
+
+        self._inj = injector_of(disk)
+
+    def _tagged(self, tag: str):
+        """Injector context for classifying fault sites (no-op disk)."""
+        if self._inj is None:
+            return contextlib.nullcontext()
+        return self._inj.tagged(tag)
 
     # ------------------------------------------------------------------
     # write path
@@ -169,12 +269,30 @@ class ContainerStore:
     def _seal_open(self) -> None:
         assert self._open is not None
         sealed = self._open.seal()
-        self._sealed[sealed.cid] = sealed
         nbytes = sealed.data_bytes + sealed.metadata_bytes
+        if self.journaled:
+            # commit protocol: (1) payload + metadata, (2) commit marker.
+            # A crash during (1) loses the container entirely (it never
+            # reaches the sealed log); a crash during (2) leaves a *torn*
+            # tail — durable payload with no marker — which the recovery
+            # scanner detects and truncates.
+            with self._tagged("seal"):
+                self._write(nbytes, seeks=self.seal_seeks)
+            self._sealed[sealed.cid] = sealed
+            self.stats.containers_sealed += 1
+            self.stats.payload_bytes += sealed.data_bytes
+            self.stats.metadata_bytes += sealed.metadata_bytes
+            self._open = None
+            with self._tagged("seal_marker"):
+                self._write(COMMIT_MARKER_BYTES, seeks=0)
+            self._committed.add(sealed.cid)
+            return
+        self._sealed[sealed.cid] = sealed
         self.disk.write(nbytes, seeks=self.seal_seeks)
         self.stats.containers_sealed += 1
         self.stats.payload_bytes += sealed.data_bytes
         self.stats.metadata_bytes += sealed.metadata_bytes
+        self._committed.add(sealed.cid)
         self._open = None
 
     # ------------------------------------------------------------------
@@ -195,7 +313,7 @@ class ContainerStore:
         disk — the DDFS locality prefetch. Charges one seek plus the
         metadata transfer; returns the fingerprint array."""
         sealed = self._sealed[cid]
-        self.disk.read(sealed.metadata_bytes, seeks=1)
+        self._read(sealed.metadata_bytes, seeks=1)
         self.stats.meta_prefetches += 1
         return sealed.fingerprints
 
@@ -203,7 +321,7 @@ class ContainerStore:
         """Read a whole container (restore path): one seek + full payload
         and metadata transfer."""
         sealed = self._sealed[cid]
-        self.disk.read(sealed.data_bytes + sealed.metadata_bytes, seeks=1)
+        self._read(sealed.data_bytes + sealed.metadata_bytes, seeks=1)
         self.stats.container_reads += 1
         return sealed
 
@@ -218,6 +336,63 @@ class ContainerStore:
         self.stats.metadata_bytes -= sealed.metadata_bytes
         self.stats.containers_removed += 1
         return freed
+
+    # ------------------------------------------------------------------
+    # durability protocol (journaled mode) + crash/recovery support
+    # ------------------------------------------------------------------
+
+    def journal_append(self, record: Dict) -> None:
+        """Durably append one metadata-journal record (GC mark/commit).
+
+        The record only becomes durable once the charged write returns;
+        an injected crash mid-write leaves the journal without it —
+        exactly the window the recovery scanner's rollback covers.
+        """
+        if self.journaled:
+            entries = len(record.get("victims", ())) + len(record.get("moved", ()))
+            with self._tagged("journal"):
+                self._write(max(1, entries) * JOURNAL_ENTRY_BYTES, seeks=1)
+        self._journal.append(dict(record))
+
+    def journal_records(self) -> List[Dict]:
+        """The metadata journal, oldest first (a copy)."""
+        return [dict(r) for r in self._journal]
+
+    def journal_pop(self, record: Dict) -> None:
+        """Drop one journal record (recovery rollback of a dangling
+        mark). Bookkeeping only."""
+        self._journal.remove(record)
+
+    def is_committed(self, cid: int) -> bool:
+        """True if ``cid``'s seal reached its commit marker."""
+        return cid in self._committed
+
+    def uncommitted_cids(self) -> List[int]:
+        """Sealed containers whose commit marker never became durable —
+        the torn tail a crash mid-seal leaves behind."""
+        return sorted(cid for cid in self._sealed if cid not in self._committed)
+
+    def crash(self) -> None:
+        """Simulate power loss: the open (unsealed) container is gone;
+        the sealed log, commit markers, and journal survive. Torn
+        containers stay visible until :meth:`truncate_torn` (the
+        recovery scanner's first act) removes them."""
+        self._open = None
+
+    def truncate_torn(self) -> List[int]:
+        """Remove every sealed-but-uncommitted container (recovery's
+        torn-tail truncation). Returns the truncated cids. Bookkeeping
+        only — the scanner charges the log scan that found them."""
+        torn = self.uncommitted_cids()
+        for cid in torn:
+            sealed = self._sealed.pop(cid)
+            self.stats.payload_bytes -= sealed.data_bytes
+            self.stats.metadata_bytes -= sealed.metadata_bytes
+        return torn
+
+    def cids(self) -> List[int]:
+        """Sorted ids of all sealed containers."""
+        return sorted(self._sealed)
 
     # ------------------------------------------------------------------
     # introspection

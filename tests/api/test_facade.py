@@ -1,0 +1,134 @@
+"""The public ``repro.api`` facade: registry, resources, BackupSession."""
+
+import warnings
+
+import pytest
+
+from repro._util import MIB
+from repro.api import (
+    BackupSession,
+    create_engine,
+    create_resources,
+    engine_names,
+    register_engine,
+)
+from repro.core.defrag import DeFragEngine
+from repro.dedup.ddfs import DDFSEngine
+from repro.dedup.exact import ExactEngine
+from repro.experiments.config import ExperimentConfig
+from repro.faults import RetryPolicy
+from repro.storage.store import StoreConfig
+from repro.workloads.generators import author_fs_20_full
+
+SMALL = ExperimentConfig.small().with_(fs_bytes=2 * MIB, n_generations=3)
+
+
+class TestRegistry:
+    def test_builtin_engines_are_registered(self):
+        names = engine_names()
+        for expected in (
+            "DeFrag",
+            "DDFS-Like",
+            "SiLo-Like",
+            "Exact",
+            "iDedup",
+            "SparseIndex",
+        ):
+            assert expected in names
+
+    def test_create_engine_builds_the_right_classes(self):
+        assert isinstance(create_engine("DeFrag", SMALL), DeFragEngine)
+        assert isinstance(create_engine("DDFS-Like", SMALL), DDFSEngine)
+        assert isinstance(create_engine("Exact", SMALL), ExactEngine)
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError):
+            create_engine("NoSuchEngine", SMALL)
+
+    def test_register_engine_decorator(self):
+        @register_engine("test-only-exact")
+        def build(resources, config):
+            return ExactEngine(resources)
+
+        try:
+            assert "test-only-exact" in engine_names()
+            eng = create_engine("test-only-exact", SMALL)
+            assert isinstance(eng, ExactEngine)
+        finally:
+            from repro import api
+
+            api._REGISTRY.pop("test-only-exact", None)
+
+
+class TestCreateResources:
+    def test_default_follows_the_experiment_convention(self):
+        res = create_resources(SMALL)
+        assert res.store.config.seal_seeks == 0
+        assert res.store.config.container_bytes == SMALL.container_bytes
+        assert res.store.config.journal is False
+
+    def test_explicit_store_config_wins(self):
+        cfg = SMALL.with_(
+            store=StoreConfig(
+                container_bytes=1 * MIB, journal=True, retry=RetryPolicy()
+            )
+        )
+        res = create_resources(cfg)
+        assert res.store.config.journal is True
+        assert res.store.config.container_bytes == 1 * MIB
+        assert res.index._unflushed is not None
+
+
+class TestBackupSession:
+    def test_backup_restore_round_trip(self):
+        with BackupSession("DeFrag", SMALL) as session:
+            jobs = list(
+                author_fs_20_full(
+                    fs_bytes=SMALL.fs_bytes, n_generations=SMALL.n_generations
+                )
+            )
+            reports = session.run(jobs)
+            assert len(reports) == SMALL.n_generations
+            rr = session.restore()
+            assert rr.logical_bytes == reports[-1].recipe.total_bytes
+            first = session.restore(0)
+            assert first.logical_bytes == reports[0].recipe.total_bytes
+
+    def test_restore_without_backups_raises(self):
+        session = BackupSession("Exact", SMALL)
+        with pytest.raises(RuntimeError):
+            session.restore()
+
+    def test_session_shares_one_substrate(self):
+        session = BackupSession("Exact", SMALL)
+        assert session.store is session.engine.res.store
+        assert session.reader.store is session.store
+        assert session.disk is session.store.disk
+
+
+class TestDeprecatedShims:
+    def test_build_engine_warns_and_delegates(self):
+        from repro.experiments.common import build_engine, build_resources
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            res = build_resources(SMALL)
+            eng = build_engine("DeFrag", SMALL, res)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert isinstance(eng, DeFragEngine)
+
+    def test_store_kwargs_warn_and_map(self):
+        from repro.storage.disk import DiskModel
+        from repro.storage.store import ContainerStore
+        from tests.conftest import TEST_PROFILE
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store = ContainerStore(
+                DiskModel(profile=TEST_PROFILE),
+                container_bytes=123_456,
+                seal_seeks=0,
+            )
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert store.config.container_bytes == 123_456
+        assert store.config.seal_seeks == 0

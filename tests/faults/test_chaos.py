@@ -1,0 +1,79 @@
+"""Chaos harness: stratified crash-point selection and small sweeps."""
+
+from repro.chaos import (
+    CRASH_CLASSES,
+    ChaosScenario,
+    classify_tags,
+    run_chaos,
+    select_crash_points,
+)
+
+
+class TestClassify:
+    def test_gc_context_wins(self):
+        assert classify_tags(("gc", "seal")) == "gc"
+        assert classify_tags(("gc", "journal")) == "gc"
+
+    def test_commit_protocol_windows(self):
+        assert classify_tags(("seal",)) == "seal"
+        assert classify_tags(("seal_marker",)) == "seal_marker"
+        assert classify_tags(("index_flush",)) == "index_flush"
+
+    def test_plain_io_is_ingest(self):
+        assert classify_tags(()) == "ingest"
+
+
+class TestSelection:
+    CENSUS = (
+        [("read", ())] * 10
+        + [("write", ("seal",))] * 3
+        + [("write", ("seal_marker",))] * 3
+        + [("write", ("index_flush",))] * 2
+        + [("write", ("gc", "journal"))] * 2
+    )
+
+    def test_deterministic(self):
+        a = select_crash_points(self.CENSUS, 10, seed=3)
+        b = select_crash_points(self.CENSUS, 10, seed=3)
+        assert a == b
+
+    def test_stratified_across_classes(self):
+        picks = select_crash_points(self.CENSUS, 10, seed=3)
+        classes = {cls for _, cls in picks}
+        assert classes == set(CRASH_CLASSES)
+
+    def test_no_duplicate_ops(self):
+        picks = select_crash_points(self.CENSUS, len(self.CENSUS), seed=3)
+        ops = [op for op, _ in picks]
+        assert len(ops) == len(set(ops)) == len(self.CENSUS)
+
+    def test_laps_when_census_is_smaller_than_the_sweep(self):
+        picks = select_crash_points(self.CENSUS, 50, seed=3)
+        assert len(picks) == 50
+        # one full lap covers every op before any repeats
+        first_lap = {op for op, _ in picks[: len(self.CENSUS)]}
+        assert len(first_lap) == len(self.CENSUS)
+
+
+class TestSweep:
+    # one small scenario shared by the sweep tests (class-level cache)
+    SCENARIO = ChaosScenario(
+        n_generations=4, fs_bytes=1 * 1024 * 1024, gc_every=2, retain=2, seed=11
+    )
+
+    def test_small_sweep_recovers_everywhere(self):
+        report = run_chaos(n_points=8, seed=11, scenario=self.SCENARIO)
+        assert report.ok
+        assert report.fired == 8
+        # the stratified picks must include commit-protocol windows
+        counts = report.class_counts()
+        assert counts["seal"] > 0
+        assert counts["seal_marker"] > 0
+
+    def test_report_is_deterministic_and_serializable(self):
+        a = run_chaos(n_points=4, seed=11, scenario=self.SCENARIO).to_dict()
+        b = run_chaos(n_points=4, seed=11, scenario=self.SCENARIO).to_dict()
+        assert a == b
+        import json
+
+        json.dumps(a)  # JSON-serializable without custom encoders

@@ -1,0 +1,159 @@
+"""Fault-injection layer: plans, the injector, the faulty disk, retries."""
+
+import pytest
+
+from repro.faults import (
+    FatalIOError,
+    FaultInjector,
+    FaultPlan,
+    FaultyDisk,
+    RetryPolicy,
+    SimulatedCrash,
+    injector_of,
+    with_retry,
+)
+from repro.obs import ListEventSink, Observability, obs_session
+from repro.storage.disk import DiskModel
+from repro.storage.store import ContainerStore, StoreConfig
+
+from tests.conftest import TEST_PROFILE
+
+
+def faulty(plan=None, record=False):
+    inj = FaultInjector(plan, record=record)
+    return FaultyDisk(profile=TEST_PROFILE, injector=inj), inj
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(5, n_ops=100, n_io_errors=3, n_drop_flushes=2, n_flushes=10)
+        b = FaultPlan.seeded(5, n_ops=100, n_io_errors=3, n_drop_flushes=2, n_flushes=10)
+        assert a == b
+        assert a.io_errors and a.drop_flushes
+
+    def test_seeded_varies_with_seed(self):
+        a = FaultPlan.seeded(5, n_ops=500, n_io_errors=5)
+        b = FaultPlan.seeded(6, n_ops=500, n_io_errors=5)
+        assert a.io_errors != b.io_errors
+
+    def test_bursts_are_consecutive(self):
+        plan = FaultPlan.seeded(9, n_ops=1000, n_io_errors=1, burst=3)
+        ops = sorted(plan.io_errors)
+        assert len(ops) == 3
+        assert ops[2] - ops[0] == 2
+
+
+class TestInjector:
+    def test_ops_are_one_based_and_crash_fires_once(self):
+        disk, inj = faulty(FaultPlan(crash_at=2))
+        disk.read(100)
+        with pytest.raises(SimulatedCrash) as exc:
+            disk.write(100)
+        assert exc.value.op == 2
+        # the plan crashes once; the machine that replaced it runs on
+        disk.read(100)
+        assert inj.op_count == 3
+        assert inj.injected_crashes == 1
+
+    def test_charge_happens_before_the_crash(self):
+        disk, _ = faulty(FaultPlan(crash_at=1))
+        with pytest.raises(SimulatedCrash):
+            disk.read(200_000_000, seeks=1)
+        expected = TEST_PROFILE.seek_time_s + 200_000_000 / TEST_PROFILE.seq_bandwidth
+        assert disk.clock.now == pytest.approx(expected)
+
+    def test_tags_stack_and_label_the_crash(self):
+        disk, inj = faulty(FaultPlan(crash_at=1))
+        with inj.tagged("gc"):
+            with inj.tagged("seal"):
+                assert inj.tags == ("gc", "seal")
+                with pytest.raises(SimulatedCrash) as exc:
+                    disk.write(10)
+        assert exc.value.tags == ("gc", "seal")
+        assert inj.tags == ()
+
+    def test_record_mode_keeps_the_census(self):
+        disk, inj = faulty(record=True)
+        disk.read(10)
+        with inj.tagged("seal"):
+            disk.write(20)
+        assert inj.op_log == [("read", ()), ("write", ("seal",))]
+
+    def test_flush_drops(self):
+        _, inj = faulty(FaultPlan(drop_flushes=frozenset({2})))
+        assert [inj.take_flush_drop() for _ in range(3)] == [False, True, False]
+        assert inj.dropped_flushes == 1
+
+    def test_injector_of(self):
+        disk, inj = faulty()
+        assert injector_of(disk) is inj
+        assert injector_of(DiskModel(profile=TEST_PROFILE)) is None
+
+
+class TestRetry:
+    def test_backoff_is_priced_on_the_simulated_clock(self):
+        disk, inj = faulty(FaultPlan(io_errors=frozenset({1, 2})))
+        policy = RetryPolicy(max_attempts=4, base_delay_s=1e-3, multiplier=4.0)
+        read = with_retry(disk, policy, disk.read, "t.read")
+        read(1000, seeks=0)
+        # three attempts charged transfer time, two backoff pauses
+        io_time = 3 * 1000 / TEST_PROFILE.seq_bandwidth
+        assert disk.clock.now == pytest.approx(io_time + 1e-3 + 4e-3)
+        assert inj.retries == 2
+        assert inj.injected_io_errors == 2
+
+    def test_exhaustion_is_fatal(self):
+        disk, inj = faulty(FaultPlan(io_errors=frozenset(range(1, 10))))
+        policy = RetryPolicy(max_attempts=3, base_delay_s=1e-3)
+        write = with_retry(disk, policy, disk.write, "t.write")
+        with pytest.raises(FatalIOError):
+            write(100)
+        assert inj.injected_io_errors == 3
+
+    def test_crash_is_never_retried(self):
+        disk, _ = faulty(FaultPlan(crash_at=1))
+        policy = RetryPolicy()
+        read = with_retry(disk, policy, disk.read, "t.read")
+        with pytest.raises(SimulatedCrash):
+            read(100)
+
+    def test_events_and_counters(self):
+        disk, _ = faulty(FaultPlan(io_errors=frozenset({1})))
+        read = with_retry(disk, RetryPolicy(), disk.read, "t.read")
+        sink = ListEventSink()
+        with obs_session(Observability(events=sink)) as obs:
+            read(100)
+        kinds = [e["type"] for e in sink.events]
+        assert "fault_injected" in kinds and "retry" in kinds
+        assert obs.registry.counter("faults.retries").value == 1
+
+
+class TestZeroCostWhenDisabled:
+    def test_store_binds_raw_disk_methods_without_a_policy(self):
+        disk = DiskModel(profile=TEST_PROFILE)
+        store = ContainerStore(disk, config=StoreConfig())
+        assert store._read == disk.read
+        assert store._write == disk.write
+
+    def test_store_binds_retrying_wrappers_with_a_policy(self):
+        disk, _ = faulty()
+        store = ContainerStore(
+            disk, config=StoreConfig(journal=True, retry=RetryPolicy())
+        )
+        assert store._read.__name__ == "retrying_store.read"
+        assert store._write.__name__ == "retrying_store.write"
+
+    def test_unjournaled_store_charges_no_marker_writes(self):
+        plain = ContainerStore(
+            DiskModel(profile=TEST_PROFILE),
+            config=StoreConfig(container_bytes=1000, seal_seeks=0),
+        )
+        journaled = ContainerStore(
+            DiskModel(profile=TEST_PROFILE),
+            config=StoreConfig(container_bytes=1000, seal_seeks=0, journal=True),
+        )
+        for store in (plain, journaled):
+            for fp in range(5):
+                store.append(fp, 300)
+            store.flush()
+        assert plain.disk.stats.bytes_written < journaled.disk.stats.bytes_written

@@ -1,0 +1,46 @@
+"""``restore_file`` extent validation (was: silent clamping by the slice)."""
+
+import pytest
+
+from repro.restore.reader import RestoreReader
+from repro.storage.disk import DiskModel
+from repro.storage.recipe import RecipeBuilder
+from repro.storage.store import ContainerStore, StoreConfig
+
+from tests.conftest import TEST_PROFILE
+
+
+@pytest.fixture
+def store_and_recipe():
+    store = ContainerStore(
+        DiskModel(profile=TEST_PROFILE),
+        config=StoreConfig(container_bytes=64 * 1024, seal_seeks=0),
+    )
+    builder = RecipeBuilder(generation=0)
+    for fp in range(10):
+        cid = store.append(fp, 1024)
+        builder.add(fp, 1024, cid)
+    store.flush()
+    return store, builder.finalize()
+
+
+def test_valid_extent_restores(store_and_recipe):
+    store, recipe = store_and_recipe
+    report = RestoreReader(store).restore_file(recipe, 2, 5)
+    assert report.logical_bytes == 5 * 1024
+
+
+def test_full_extent_restores(store_and_recipe):
+    store, recipe = store_and_recipe
+    report = RestoreReader(store).restore_file(recipe, 0, recipe.n_chunks)
+    assert report.logical_bytes == recipe.total_bytes
+
+
+@pytest.mark.parametrize(
+    "start,n_chunks",
+    [(-1, 3), (0, -1), (8, 3), (0, 11), (10, 1), (100, 0)],
+)
+def test_out_of_bounds_extent_raises(store_and_recipe, start, n_chunks):
+    store, recipe = store_and_recipe
+    with pytest.raises(ValueError, match="out of bounds"):
+        RestoreReader(store).restore_file(recipe, start, n_chunks)

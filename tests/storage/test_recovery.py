@@ -1,0 +1,186 @@
+"""Recovery scanner: torn-tail truncation, GC reconciliation, index rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, FaultyDisk, SimulatedCrash
+from repro.index.full_index import ChunkLocation, DiskChunkIndex
+from repro.obs import ListEventSink, Observability, obs_session
+from repro.storage.recipe import BackupRecipe
+from repro.storage.recovery import RecoveryScanner
+from repro.storage.store import ContainerStore, StoreConfig
+
+from tests.conftest import TEST_PROFILE
+
+
+def journaled_machine(container_bytes=1000, plan=None):
+    inj = FaultInjector(plan)
+    disk = FaultyDisk(profile=TEST_PROFILE, injector=inj)
+    store = ContainerStore(
+        disk,
+        config=StoreConfig(container_bytes=container_bytes, seal_seeks=0, journal=True),
+    )
+    index = DiskChunkIndex(disk, expected_entries=10_000, journaled=True)
+    return disk, store, index
+
+
+def fill_container(store, index, fps, size=300):
+    """Append chunks, then seal + commit by flushing."""
+    for fp in fps:
+        cid = store.append(fp, size)
+        index.insert(fp, ChunkLocation(cid, 0))
+    store.flush()
+    index.flush()
+
+
+def recipe_for(store, fps, size=300, generation=0):
+    cids = []
+    for fp in fps:
+        # find the container holding fp
+        cids.append(
+            next(c for c in store.cids() if fp in set(store.get(c).fingerprints))
+        )
+    return BackupRecipe(
+        generation=generation,
+        fingerprints=np.asarray(fps, dtype=np.uint64),
+        sizes=np.full(len(fps), size, dtype=np.uint32),
+        containers=np.asarray(cids, dtype=np.int64),
+    )
+
+
+class TestTornTail:
+    def test_crash_between_seal_and_marker_is_truncated(self):
+        # journaled seal = payload write (op 1) then marker write (op 2)
+        _, store, index = journaled_machine(plan=FaultPlan(crash_at=2))
+        with pytest.raises(SimulatedCrash):
+            fill_container(store, index, fps=[1, 2, 3])
+        torn = store.uncommitted_cids()
+        assert len(torn) == 1
+
+        store.crash()
+        index.crash()
+        report, _ = RecoveryScanner(store, index).recover()
+        assert report.torn_truncated == 1
+        assert store.cids() == []
+        assert report.index_entries_rebuilt == 0
+
+    def test_committed_containers_survive(self):
+        _, store, index = journaled_machine()
+        fill_container(store, index, fps=[1, 2, 3])
+        store.crash()
+        index.crash()
+        report, _ = RecoveryScanner(store, index).recover()
+        assert report.torn_truncated == 0
+        assert report.containers_scanned == 1
+        assert len(store.cids()) == 1
+
+
+class TestIndexRebuild:
+    def test_rebuild_covers_every_committed_chunk(self):
+        _, store, index = journaled_machine(container_bytes=900)
+        fill_container(store, index, fps=[1, 2, 3])
+        fill_container(store, index, fps=[4, 5, 6])
+        store.crash()
+        index.crash()
+        report, _ = RecoveryScanner(store, index).recover()
+        assert report.index_entries_rebuilt == 6
+        for fp in range(1, 7):
+            loc = index.peek(fp)
+            assert loc is not None
+            assert fp in set(store.get(loc.cid).fingerprints)
+            # segment identity is not persisted in container metadata
+            assert loc.sid == -1
+
+    def test_dropped_flush_entries_are_recovered(self):
+        # the second index flush is silently lost; after a crash those
+        # entries are gone from the index until recovery rebuilds it
+        _, store, index = journaled_machine(
+            container_bytes=900, plan=FaultPlan(drop_flushes=frozenset({2}))
+        )
+        fill_container(store, index, fps=[1, 2, 3])
+        fill_container(store, index, fps=[4, 5, 6])  # this flush is dropped
+        store.crash()
+        index.crash()
+        assert index.peek(1) is not None
+        assert index.peek(4) is None  # lost with the dropped flush
+        report, _ = RecoveryScanner(store, index).recover()
+        assert report.index_entries_rebuilt == 6
+        assert index.peek(4) is not None
+
+    def test_recovery_charges_simulated_time(self):
+        disk, store, index = journaled_machine()
+        fill_container(store, index, fps=[1, 2, 3])
+        store.crash()
+        index.crash()
+        t0 = disk.clock.now
+        report, _ = RecoveryScanner(store, index).recover()
+        assert report.sim_seconds > 0
+        assert disk.clock.now > t0
+
+
+class TestGCReconciliation:
+    def test_dangling_mark_rolls_back(self):
+        _, store, index = journaled_machine()
+        fill_container(store, index, fps=[1, 2, 3])
+        store.journal_append({"kind": "gc_mark", "victims": [0]})
+        store.crash()
+        index.crash()
+        report, _ = RecoveryScanner(store, index).recover()
+        assert report.gc_rolled_back
+        assert not report.gc_rolled_forward
+        # the victims were never removed; the mark is gone
+        assert len(store.cids()) == 1
+        kinds = [r["kind"] for r in store.journal_records()]
+        assert "gc_mark" not in kinds
+
+    def test_durable_commit_rolls_forward(self):
+        _, store, index = journaled_machine(container_bytes=900)
+        fill_container(store, index, fps=[1, 2, 3])  # cid 0: the victim
+        fill_container(store, index, fps=[1, 2, 3])  # cid 1: moved copies
+        old_cid, new_cid = store.cids()
+        moved = {(fp, old_cid): new_cid for fp in (1, 2, 3)}
+        store.journal_append({"kind": "gc_mark", "victims": [old_cid]})
+        store.journal_append(
+            {"kind": "gc_commit", "victims": [old_cid], "moved": moved}
+        )
+        # crash before the removals/remap were applied
+        store.crash()
+        index.crash()
+        retained = [recipe_for(store, [1, 2, 3])]
+        # the pre-crash recipe still points at the victim
+        retained[0].containers[:] = old_cid
+        report, remapped = RecoveryScanner(store, index).recover(retained)
+        assert report.gc_rolled_forward
+        assert report.recipes_remapped == 1
+        assert not store.has(old_cid)
+        assert list(remapped[0].containers) == [new_cid] * 3
+        # the rebuilt index points at the surviving copy
+        assert index.peek(1).cid == new_cid
+
+    def test_applied_commit_is_a_noop(self):
+        _, store, index = journaled_machine()
+        fill_container(store, index, fps=[1, 2, 3])
+        store.journal_append({"kind": "gc_mark", "victims": [99]})
+        store.journal_append({"kind": "gc_commit", "victims": [99], "moved": {}})
+        store.crash()
+        index.crash()
+        report, _ = RecoveryScanner(store, index).recover()
+        assert not report.gc_rolled_back
+        assert not report.gc_rolled_forward
+
+
+class TestObservability:
+    def test_recovery_pass_event_and_counters(self):
+        _, store, index = journaled_machine(plan=FaultPlan(crash_at=2))
+        with pytest.raises(SimulatedCrash):
+            fill_container(store, index, fps=[1, 2, 3])
+        store.crash()
+        index.crash()
+        sink = ListEventSink()
+        with obs_session(Observability(events=sink)) as obs:
+            RecoveryScanner(store, index).recover()
+        assert obs.registry.counter("recovery.passes").value == 1
+        assert obs.registry.counter("recovery.torn_truncated").value == 1
+        events = [e for e in sink.events if e["type"] == "recovery_pass"]
+        assert len(events) == 1
+        assert events[0]["torn_truncated"] == 1
