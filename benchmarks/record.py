@@ -1,4 +1,4 @@
-"""Record the ingest-path benchmark into BENCH_ingest.json.
+"""Record the ingest and restore benchmarks into BENCH_*.json.
 
 Run from the repo root::
 
@@ -7,10 +7,13 @@ Run from the repo root::
 Measures, in one sitting:
 
 * the in-process three-engine group ingest (fig4's body) through the
-  vectorized batch path and the scalar reference path, and
+  vectorized batch path and the scalar reference path,
 * the end-to-end ``python -m repro fig4 --scale small`` command both
   ways (which adds the fixed interpreter + numpy start-up floor that no
-  ingest optimization can touch).
+  ingest optimization can touch), and
+* the fig6-small all-generation restore from the DDFS-Like layout
+  through the default reader and the FAA + read-ahead reader (written
+  to ``BENCH_restore.json``).
 
 The JSON it writes is the committed baseline that ``python -m repro
 bench`` gates wall-clock regressions against.
@@ -29,7 +32,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench import BASELINE_FILENAME, run_bench  # noqa: E402
+from repro.bench import (  # noqa: E402
+    BASELINE_FILENAME,
+    RESTORE_BASELINE_FILENAME,
+    run_bench,
+    run_restore_bench,
+)
 
 
 def time_command(args, repeats: int, src: "Path | None" = None) -> float:
@@ -106,6 +114,14 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", default=str(REPO_ROOT / BASELINE_FILENAME))
     parser.add_argument(
+        "--restore-out", default=str(REPO_ROOT / RESTORE_BASELINE_FILENAME)
+    )
+    parser.add_argument(
+        "--skip-restore",
+        action="store_true",
+        help="do not (re)record the restore-path baseline",
+    )
+    parser.add_argument(
         "--skip-end-to-end",
         action="store_true",
         help="only record the in-process ingest measurement",
@@ -175,6 +191,18 @@ def main() -> int:
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
     print(f"\nwrote {out}")
+
+    if not args.skip_restore:
+        restore_record = {
+            "recorded_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "restore": run_restore_bench(repeats=args.repeats),
+        }
+        restore_out = Path(args.restore_out)
+        restore_out.write_text(json.dumps(restore_record, indent=2) + "\n")
+        print(json.dumps(restore_record, indent=2))
+        print(f"\nwrote {restore_out}")
     return 0
 
 

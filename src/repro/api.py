@@ -46,6 +46,7 @@ __all__ = [
     "engine_names",
     "create_resources",
     "create_engine",
+    "create_reader",
     "BackupSession",
 ]
 
@@ -166,6 +167,27 @@ def create_engine(
     return _factory_for(name)(res, config)
 
 
+def create_reader(
+    store,
+    config: "Optional[ExperimentConfig]" = None,
+) -> "RestoreReader":
+    """Build a :class:`~repro.restore.reader.RestoreReader` wired per the
+    config's restore knobs (cache policy, forward-assembly window,
+    read-ahead). With a default config this is exactly the classic LRU
+    run-at-a-time reader the recorded figures used."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.restore.reader import RestoreReader
+
+    if config is None:
+        config = ExperimentConfig.default()
+    return RestoreReader(
+        store,
+        policy=config.restore_policy,
+        faa_window=config.restore_faa_window,
+        readahead=config.restore_readahead,
+    )
+
+
 class BackupSession:
     """One backup system's lifetime: engine + store + restore reader.
 
@@ -243,11 +265,11 @@ class BackupSession:
 
     @property
     def reader(self) -> "RestoreReader":
-        """The restore reader (cache sized from the store's config)."""
+        """The restore reader (cache sized from the store's config,
+        policy/FAA/read-ahead wired from the session's experiment
+        config)."""
         if self._reader is None:
-            from repro.restore.reader import RestoreReader
-
-            self._reader = RestoreReader(self.store)
+            self._reader = create_reader(self.store, self.config)
         return self._reader
 
     @property

@@ -1,15 +1,20 @@
-"""Wall-clock benchmark of the ingest path (batch vs scalar).
+"""Wall-clock benchmarks of the ingest and restore paths.
 
 The simulator's *reported* numbers are simulated time and cannot change
 with Python-level optimizations; this module tracks the one thing that
 does change — how long the simulator itself takes to run. It measures
-the fig4 three-engine group workload at the ``small`` scale through both
-ingest paths (the vectorized batch default and the chunk-at-a-time
-scalar reference) and compares against a committed baseline so
-regressions fail loudly.
 
-Used by ``python -m repro bench`` and ``benchmarks/record.py``; the
-committed record lives in ``BENCH_ingest.json`` at the repo root.
+* the fig4 three-engine group workload at the ``small`` scale through
+  both ingest paths (the vectorized batch default and the
+  chunk-at-a-time scalar reference), and
+* the fig6 all-generation restore from a pre-ingested DDFS-Like store
+  (the most fragmented layout) through the default reader and the
+  FAA + read-ahead reader,
+
+and compares each against a committed baseline so regressions fail
+loudly. Used by ``python -m repro bench`` and ``benchmarks/record.py``;
+the committed records live in ``BENCH_ingest.json`` and
+``BENCH_restore.json`` at the repo root.
 """
 
 from __future__ import annotations
@@ -25,6 +30,9 @@ from repro.experiments.config import ExperimentConfig
 
 #: default committed-baseline location (repo root)
 BASELINE_FILENAME = "BENCH_ingest.json"
+
+#: committed baseline for the restore-path measurement
+RESTORE_BASELINE_FILENAME = "BENCH_restore.json"
 
 #: a fresh measurement this many times slower than the committed
 #: baseline's batch time fails the bench gate (2x absorbs machine noise;
@@ -133,6 +141,125 @@ def run_bench(
         )
     result["phase_seconds"] = measure_phases(config)
     return result
+
+
+def restore_fixture(config: Optional[ExperimentConfig] = None):
+    """Ingest the fig6 author workload through DDFS-Like once; returns
+    ``(store, recipes)`` for the restore measurements (ingest cost is
+    deliberately outside the timed region)."""
+    from repro.api import create_engine, create_resources
+    from repro.dedup.pipeline import run_workload
+    from repro.experiments.common import paper_segmenter
+    from repro.workloads.generators import author_fs_20_full
+
+    cfg = config or ExperimentConfig.small()
+    res = create_resources(cfg)
+    engine = create_engine("DDFS-Like", cfg, res)
+    jobs = author_fs_20_full(
+        fs_bytes=cfg.fs_bytes,
+        seed=cfg.seed,
+        n_generations=cfg.n_generations,
+        churn=cfg.churn_full,
+    )
+    reports = run_workload(engine, jobs, paper_segmenter())
+    return res.store, [r.recipe for r in reports]
+
+
+def measure_restore(
+    store,
+    recipes,
+    *,
+    repeats: int = 3,
+    passes: int = 20,
+    policy: str = "lru",
+    faa_window: int = 0,
+    readahead: bool = False,
+) -> Dict:
+    """Best-of-``repeats`` wall-clock seconds restoring every generation
+    ``passes`` times from a pre-ingested store, plus the simulated seek
+    total of one pass — the restore analogue of :func:`measure_ingest`.
+
+    A single all-generation restore at the small scale is ~1 ms, far too
+    small for a stable 2x gate; ``passes`` inflates the timed region
+    into tens of milliseconds without changing what is measured (each
+    restore builds a fresh client cache, so passes are independent).
+    """
+    from repro.restore.reader import RestoreReader
+
+    passes = max(1, passes)
+    best = float("inf")
+    seeks = 0
+    for _ in range(max(1, repeats)):
+        reader = RestoreReader(
+            store, policy=policy, faa_window=faa_window, readahead=readahead
+        )
+        t0 = time.perf_counter()
+        for _ in range(passes):
+            for recipe in recipes:
+                reader.restore(recipe)
+        best = min(best, time.perf_counter() - t0)
+        seeks = reader.stats.seeks // passes
+    return {"seconds": best, "sim_seeks": seeks}
+
+
+def run_restore_bench(*, repeats: int = 3, faa: bool = True) -> Dict:
+    """Measure the restore path and return the result record.
+
+    Args:
+        repeats: repetitions per measurement (best-of wins).
+        faa: also measure the FAA + read-ahead reader (the ``--quick``
+            CLI mode skips it).
+    """
+    config = ExperimentConfig.small()
+    store, recipes = restore_fixture(config)
+    default = measure_restore(store, recipes, repeats=repeats)
+    result: Dict = {
+        "benchmark": "fig6-small DDFS-Like all-generation restore",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "restore_seconds": round(default["seconds"], 4),
+        "sim_seeks": default["sim_seeks"],
+    }
+    if faa:
+        assembled = measure_restore(
+            store,
+            recipes,
+            repeats=repeats,
+            faa_window=2048,
+            readahead=True,
+        )
+        result["faa_seconds"] = round(assembled["seconds"], 4)
+        result["faa_sim_seeks"] = assembled["sim_seeks"]
+        result["sim_seek_reduction"] = round(
+            default["sim_seeks"] / max(assembled["sim_seeks"], 1), 2
+        )
+    return result
+
+
+def load_restore_baseline(path: Optional[Path] = None) -> Optional[Dict]:
+    """The committed restore baseline record, or None when absent."""
+    p = Path(path) if path is not None else Path(RESTORE_BASELINE_FILENAME)
+    if not p.is_file():
+        return None
+    return json.loads(p.read_text())
+
+
+def check_restore_regression(
+    result: Dict, baseline: Dict, factor: float = REGRESSION_FACTOR
+) -> Optional[str]:
+    """None if ``result`` is within ``factor`` of the baseline's restore
+    time, else a human-readable failure message."""
+    base = baseline.get("restore", baseline).get("restore_seconds")
+    if base is None:
+        return None
+    now = result["restore_seconds"]
+    if now > factor * base:
+        return (
+            f"restore wall-clock regressed: {now:.3f}s vs committed "
+            f"{base:.3f}s baseline (>{factor:.1f}x)"
+        )
+    return None
 
 
 def load_baseline(path: Optional[Path] = None) -> Optional[Dict]:

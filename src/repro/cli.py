@@ -6,6 +6,8 @@ Usage::
     python -m repro fig4 --alpha 0.2
     python -m repro all --scale small --jobs 4
     python -m repro alpha-sweep --jobs 5
+    python -m repro fig6 --restore-policy belady --faa-window 2048 --readahead
+    python -m repro restore-ablation --scale small --jobs 6
     python -m repro bench --quick
     python -m repro trace fig4 --scale small --events out.jsonl
     python -m repro stats --last
@@ -42,6 +44,7 @@ _FIGURES: Dict[str, str] = {
     "alpha-sweep": "repro.experiments.ablations:alpha_sweep",
     "segment-ablation": "repro.experiments.ablations:segment_ablation",
     "cache-ablation": "repro.experiments.ablations:cache_ablation",
+    "restore-ablation": "repro.experiments.restore_ablation:run",
     "related-work": "repro.experiments.extensions:related_work_comparison",
     "gc-study": "repro.experiments.extensions:gc_study",
 }
@@ -116,6 +119,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-cell wall-clock budget when --jobs > 1 (a timed-out "
         "cell is retried once, then reported as failed)",
+    )
+    restore = parser.add_argument_group("restore options")
+    restore.add_argument(
+        "--restore-policy",
+        default=None,
+        choices=["lru", "lfu", "belady"],
+        help="restore cache eviction policy (default lru; belady is the "
+        "offline optimum computed from the recipe's future references)",
+    )
+    restore.add_argument(
+        "--faa-window",
+        type=int,
+        default=None,
+        metavar="CHUNKS",
+        help="forward-assembly-area window in chunks (0 = off; each "
+        "container section is read at most once per window)",
+    )
+    restore.add_argument(
+        "--readahead",
+        action="store_true",
+        help="batch reads of physically adjacent containers into one "
+        "priced positioning plus one sequential transfer",
     )
     parser.add_argument(
         "--scalar",
@@ -233,15 +258,19 @@ def _run_stats(args: argparse.Namespace) -> int:
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    """``python -m repro bench``: time the ingest path; exit non-zero if
-    it regressed more than 2x against the committed baseline."""
+    """``python -m repro bench``: time the ingest and restore paths;
+    exit non-zero if either regressed more than 2x against its committed
+    baseline."""
     import json
 
     from repro.bench import (
         check_regression,
+        check_restore_regression,
         load_baseline,
+        load_restore_baseline,
         reference_summary,
         run_bench,
+        run_restore_bench,
     )
 
     repeats = 1 if args.quick else 3
@@ -251,20 +280,37 @@ def _run_bench(args: argparse.Namespace) -> int:
         jobs=args.jobs if args.jobs > 1 else None,
     )
     print(json.dumps(result, indent=2))
+    restore_result = run_restore_bench(repeats=repeats, faa=not args.quick)
+    print(json.dumps(restore_result, indent=2))
     if args.no_baseline:
         return 0
+    exit_code = 0
     baseline = load_baseline()
     if baseline is None:
         print("no committed BENCH_ingest.json found; skipping regression gate")
-        return 0
-    failure = check_regression(result, baseline)
-    if failure is not None:
-        print(f"FAIL: {failure}")
-        return 1
-    base = baseline.get("ingest", baseline).get("batch_seconds")
-    print(f"OK: within 2x of committed baseline ({base}s)")
-    print(reference_summary(baseline))
-    return 0
+    else:
+        failure = check_regression(result, baseline)
+        if failure is not None:
+            print(f"FAIL: {failure}")
+            exit_code = 1
+        else:
+            base = baseline.get("ingest", baseline).get("batch_seconds")
+            print(f"OK: ingest within 2x of committed baseline ({base}s)")
+            print(reference_summary(baseline))
+    restore_baseline = load_restore_baseline()
+    if restore_baseline is None:
+        print("no committed BENCH_restore.json found; skipping restore gate")
+    else:
+        failure = check_restore_regression(restore_result, restore_baseline)
+        if failure is not None:
+            print(f"FAIL: {failure}")
+            exit_code = 1
+        else:
+            base = restore_baseline.get("restore", restore_baseline).get(
+                "restore_seconds"
+            )
+            print(f"OK: restore within 2x of committed baseline ({base}s)")
+    return exit_code
 
 
 def _run_chaos(args: argparse.Namespace) -> int:
@@ -293,6 +339,12 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
         config = config.with_(alpha=args.alpha)
     if args.scalar:
         config = config.with_(batch=False)
+    if args.restore_policy is not None:
+        config = config.with_(restore_policy=args.restore_policy)
+    if args.faa_window is not None:
+        config = config.with_(restore_faa_window=args.faa_window)
+    if args.readahead:
+        config = config.with_(restore_readahead=True)
     return config
 
 

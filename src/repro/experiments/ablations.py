@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.dedup.pipeline import run_workload
-from repro.api import create_engine, create_resources
+from repro.api import create_engine, create_reader, create_resources
 from repro.experiments.common import (
     FigureResult,
     cell_values,
@@ -30,7 +30,6 @@ from repro.metrics.efficiency import cumulative_efficiency
 from repro.metrics.storage import storage_summary
 from repro.metrics.throughput import mean_throughput
 from repro.parallel import CellSpec, GridError, run_grid
-from repro.restore.reader import RestoreReader
 from repro.segmenting.segmenter import FixedSegmenter
 from repro.workloads.generators import author_fs_20_full
 
@@ -61,7 +60,7 @@ def alpha_cell(config: ExperimentConfig) -> Dict:
     res = create_resources(config)
     engine = create_engine("DeFrag", config, res)
     reports = run_workload(engine, _author_jobs(config), paper_segmenter())
-    reader = RestoreReader(res.store)
+    reader = create_reader(res.store, config)
     return {
         "ingest_mbps": mean_throughput(reports) / 1e6,
         "kept_pct": 100.0 * (1.0 - cumulative_efficiency(reports)[-1]),

@@ -80,6 +80,14 @@ class ExperimentConfig:
     bloom_capacity: int = 4_000_000
     bloom_fp_rate: float = 0.01
     restore_cache_containers: int = 8
+    #: restore-cache eviction policy: 'lru' (default, the recorded
+    #: figures' behaviour), 'lfu', or 'belady' (the offline upper bound)
+    restore_policy: str = "lru"
+    #: forward-assembly-area window in chunks (0 = off: run-at-a-time
+    #: restore, the recorded figures' behaviour)
+    restore_faa_window: int = 0
+    #: batch adjacent container reads into one priced positioning
+    restore_readahead: bool = False
     churn_full: ChurnProfile = field(
         default_factory=lambda: ChurnProfile(
             modify_frac=0.06,

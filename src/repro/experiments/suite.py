@@ -39,6 +39,10 @@ GRID_EXPERIMENTS: Dict[str, Tuple[str, str]] = {
         "repro.experiments.ablations:cache_cells",
         "repro.experiments.ablations:cache_assemble",
     ),
+    "restore-ablation": (
+        "repro.experiments.restore_ablation:cells",
+        "repro.experiments.restore_ablation:assemble",
+    ),
     "related-work": (
         "repro.experiments.extensions:related_cells",
         "repro.experiments.extensions:related_assemble",

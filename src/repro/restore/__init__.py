@@ -1,16 +1,58 @@
-"""Restore substrate: recipe-driven reads and the Eq. 1 read model.
+"""Restore subsystem: planned recipe-driven reads and the Eq. 1 model.
 
-Restoring a backup walks its recipe in logical order and pulls whole
-containers from the store through an LRU container cache. Every switch
-to a non-cached container is one positioning — the N of the paper's
+Restoring a backup walks its recipe in logical order through a
+deterministic access plan and pulls whole containers from the store
+through a policy-pluggable container cache. Every priced positioning is
+one N of the paper's
 
     F(read) = N * T_seek + f_size / W_seq          (Eq. 1)
 
 which :func:`read_time_eq1` evaluates directly and
 :class:`RestoreReader` realizes operationally on the simulated disk.
+Three mechanisms shape N (see DESIGN.md §11):
+
+* pluggable cache policies (:mod:`repro.restore.cache`) — LRU (default),
+  LFU, and the clairvoyant Belady upper bound;
+* the forward assembly area (:mod:`repro.restore.faa`) — windowed
+  in-order assembly reading each container at most once per window;
+* container read-ahead — sequential runs of adjacent containers fetched
+  as one positioning plus one long transfer.
 """
 
-from repro.restore.reader import RestoreReader, RestoreReport
-from repro.restore.model import read_time_eq1, read_rate_eq1
+from repro.restore.cache import (
+    RESTORE_POLICIES,
+    BeladyCache,
+    CacheStats,
+    LFUCache,
+    LRUCache,
+    RestoreCache,
+    make_cache,
+)
+from repro.restore.faa import AssemblyPlan, AssemblyWindow, access_trace, plan_assembly
+from repro.restore.model import read_rate_eq1, read_time_eq1
+from repro.restore.reader import (
+    READAHEAD_HORIZON,
+    RestoreReader,
+    RestoreReport,
+    RestoreStats,
+)
 
-__all__ = ["RestoreReader", "RestoreReport", "read_time_eq1", "read_rate_eq1"]
+__all__ = [
+    "RestoreReader",
+    "RestoreReport",
+    "RestoreStats",
+    "READAHEAD_HORIZON",
+    "read_time_eq1",
+    "read_rate_eq1",
+    "RESTORE_POLICIES",
+    "RestoreCache",
+    "CacheStats",
+    "LRUCache",
+    "LFUCache",
+    "BeladyCache",
+    "make_cache",
+    "AssemblyPlan",
+    "AssemblyWindow",
+    "plan_assembly",
+    "access_trace",
+]

@@ -1,0 +1,271 @@
+"""Pluggable restore-cache policies behind one small protocol.
+
+The restore reader holds whole container payloads in a bounded client
+cache; which container to evict is the one policy decision the restore
+path makes, and this module makes it pluggable:
+
+* :class:`LRUCache` — least-recently-used, the default (and the exact
+  behaviour of the original scalar reader, so the default restore path
+  stays byte-identical).
+* :class:`LFUCache` — least-frequently-used with LRU tie-breaking, the
+  classic frequency policy; wins when a few hot containers (shared base
+  data) are re-referenced across the whole stream.
+* :class:`BeladyCache` — the clairvoyant optimum: evict the cached
+  container whose next reference is farthest in the future, computed
+  from the recipe's known access trace. Not realizable online; it is
+  the upper bound every realizable policy is measured against (a backup
+  recipe *does* reveal the whole future, so a production system could
+  actually approximate this — see DESIGN.md §11).
+
+The contract (:class:`RestoreCache`) is deliberately tiny and
+deterministic: ``access(cid, pos)`` returns hit/miss and updates
+recency/frequency bookkeeping; the caller fetches on a miss and then
+``admit``\\ s what it read (possibly more than one container, when
+read-ahead batched a sequential run). ``pos`` is the index of the
+current access in the reader's precomputed trace — LRU/LFU ignore it,
+Belady uses it to locate "the future".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro._util import check_positive
+
+__all__ = [
+    "RESTORE_POLICIES",
+    "CacheStats",
+    "RestoreCache",
+    "LRUCache",
+    "LFUCache",
+    "BeladyCache",
+    "make_cache",
+]
+
+#: Registered policy names, in display order (LRU first: the default).
+RESTORE_POLICIES: Tuple[str, ...] = ("lru", "lfu", "belady")
+
+#: "Never referenced again" sentinel for Belady's next-use distance.
+_NEVER = 1 << 62
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class RestoreCache:
+    """Bounded container cache with a pluggable eviction policy.
+
+    Subclasses implement :meth:`_touch` (hit bookkeeping), :meth:`_admit`
+    (insert bookkeeping) and :meth:`_victim` (which resident cid to
+    evict). The base class owns capacity enforcement, stats, and the
+    optional ``on_evict`` callback (the reader wires it to the
+    observability event stream).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        #: eviction callback ``(cid) -> None``; None = no observer
+        self.on_evict: Optional[Callable[[int], None]] = None
+
+    # -- policy hooks ---------------------------------------------------
+
+    def _touch(self, cid: int, pos: int) -> None:
+        raise NotImplementedError
+
+    def _admit(self, cid: int, pos: int) -> None:
+        raise NotImplementedError
+
+    def _victim(self) -> int:
+        raise NotImplementedError
+
+    def _contains(self, cid: int) -> bool:
+        raise NotImplementedError
+
+    def _evict(self, cid: int) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- the reader-facing contract -------------------------------------
+
+    def __contains__(self, cid: int) -> bool:
+        return self._contains(cid)
+
+    def access(self, cid: int, pos: int) -> bool:
+        """One trace access: True on hit (bookkeeping updated), False on
+        miss (the caller must fetch and :meth:`admit`)."""
+        if self._contains(cid):
+            self.stats.hits += 1
+            self._touch(cid, pos)
+            return True
+        self.stats.misses += 1
+        return False
+
+    def admit(self, cid: int, pos: int) -> None:
+        """Insert a fetched container, evicting per policy when full.
+        Admitting a resident cid refreshes it instead (read-ahead can
+        admit a container the demand path already holds)."""
+        if self._contains(cid):
+            self._touch(cid, pos)
+            return
+        if len(self) >= self.capacity:
+            victim = self._victim()
+            self._evict(victim)
+            self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
+        self._admit(cid, pos)
+
+
+class LRUCache(RestoreCache):
+    """Least-recently-used — the original reader's OrderedDict loop."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: "OrderedDict[int, bool]" = OrderedDict()
+
+    def _contains(self, cid: int) -> bool:
+        return cid in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def _touch(self, cid: int, pos: int) -> None:
+        self._order.move_to_end(cid)
+
+    def _admit(self, cid: int, pos: int) -> None:
+        self._order[cid] = True
+
+    def _victim(self) -> int:
+        return next(iter(self._order))
+
+    def _evict(self, cid: int) -> None:
+        del self._order[cid]
+
+
+class LFUCache(RestoreCache):
+    """Least-frequently-used, ties broken least-recently-used.
+
+    Deterministic: the victim minimizes ``(frequency, last_access_seq)``.
+    Eviction scans the resident set — capacities here are tens of
+    containers, so the scan is cheaper than a frequency-bucket DLL.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._seq = 0
+        #: cid -> [frequency, last access sequence number]
+        self._entries: Dict[int, List[int]] = {}
+
+    def _contains(self, cid: int) -> bool:
+        return cid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _touch(self, cid: int, pos: int) -> None:
+        self._seq += 1
+        entry = self._entries[cid]
+        entry[0] += 1
+        entry[1] = self._seq
+
+    def _admit(self, cid: int, pos: int) -> None:
+        self._seq += 1
+        self._entries[cid] = [1, self._seq]
+
+    def _victim(self) -> int:
+        return min(self._entries, key=lambda c: tuple(self._entries[c]))
+
+    def _evict(self, cid: int) -> None:
+        del self._entries[cid]
+
+
+class BeladyCache(RestoreCache):
+    """Belady's MIN: evict the resident container re-referenced farthest
+    in the future (or never).
+
+    Built from the reader's full access trace — the sequence of cids the
+    restore will touch, which a backup recipe fully determines up front.
+    With uniform-cost, uniform-size items (whole containers), MIN is
+    optimal: no policy can miss fewer times on the same trace with the
+    same capacity, which the property suite asserts against LRU/LFU.
+    """
+
+    def __init__(self, capacity: int, trace: Sequence[int]) -> None:
+        super().__init__(capacity)
+        #: cid -> sorted positions where the trace references it
+        self._occurrences: Dict[int, List[int]] = {}
+        for i, cid in enumerate(trace):
+            self._occurrences.setdefault(int(cid), []).append(i)
+        #: resident cid -> position of its next reference (or _NEVER)
+        self._next_use: Dict[int, int] = {}
+
+    def _next_after(self, cid: int, pos: int) -> int:
+        from bisect import bisect_right
+
+        occ = self._occurrences.get(cid)
+        if not occ:
+            return _NEVER
+        i = bisect_right(occ, pos)
+        return occ[i] if i < len(occ) else _NEVER
+
+    def _contains(self, cid: int) -> bool:
+        return cid in self._next_use
+
+    def __len__(self) -> int:
+        return len(self._next_use)
+
+    def _touch(self, cid: int, pos: int) -> None:
+        self._next_use[cid] = self._next_after(cid, pos)
+
+    def _admit(self, cid: int, pos: int) -> None:
+        self._next_use[cid] = self._next_after(cid, pos)
+
+    def _victim(self) -> int:
+        # farthest next use wins; ties (two "never again" residents)
+        # break on the larger cid for determinism
+        return max(self._next_use, key=lambda c: (self._next_use[c], c))
+
+    def _evict(self, cid: int) -> None:
+        del self._next_use[cid]
+
+
+def make_cache(
+    policy: str, capacity: int, trace: Optional[Sequence[int]] = None
+) -> RestoreCache:
+    """Build a cache by policy name (``lru`` | ``lfu`` | ``belady``).
+
+    ``trace`` (the full access sequence) is required by — and only used
+    by — the Belady oracle.
+    """
+    if policy == "lru":
+        return LRUCache(capacity)
+    if policy == "lfu":
+        return LFUCache(capacity)
+    if policy == "belady":
+        if trace is None:
+            raise ValueError("belady policy needs the full access trace")
+        return BeladyCache(capacity, trace)
+    raise ValueError(
+        f"unknown restore cache policy {policy!r}; "
+        f"pick one of {', '.join(RESTORE_POLICIES)}"
+    )

@@ -1,0 +1,197 @@
+"""Forward assembly area: recipe-lookahead restore planning.
+
+A restore knows its whole future — the recipe lists every chunk in
+stream order — so the reader does not have to discover container
+references one run at a time. The forward assembly area (FAA) slices
+the logical stream into fixed windows of ``window_chunks`` chunks,
+assembles each window in memory, and reads every container section a
+window needs **at most once per window**, no matter how its chunks
+interleave (the technique of Lillibridge et al., FAST'13, at container
+granularity).
+
+:func:`plan_assembly` turns a recipe into the deterministic
+:class:`AssemblyPlan` the reader executes:
+
+* one :class:`AssemblyWindow` per ``window_chunks`` chunk extent, whose
+  ``accesses`` are the distinct containers the window touches, in
+  first-need order;
+* ``window_chunks <= 0`` disables the FAA: each maximal same-container
+  run becomes its own single-access window, which is exactly the
+  original scalar reader's access sequence (the default path's
+  byte-identity anchor).
+
+The flattened ``trace`` of a plan is the policy-independent container
+access sequence — the input to the Belady oracle and the unit the
+cache-policy property suite compares across policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.storage.layout import container_run_lengths
+from repro.storage.recipe import BackupRecipe
+
+__all__ = ["AssemblyWindow", "AssemblyPlan", "plan_assembly", "access_trace"]
+
+
+@dataclass(frozen=True)
+class AssemblyWindow:
+    """One assembly window: a chunk extent plus its container needs.
+
+    Attributes:
+        chunk_start / chunk_stop: the logical chunk range ``[start,
+            stop)`` this window assembles.
+        accesses: distinct container ids the window's chunks live in,
+            ordered by first need within the window.
+    """
+
+    chunk_start: int
+    chunk_stop: int
+    accesses: Tuple[int, ...]
+
+    @property
+    def n_chunks(self) -> int:
+        return self.chunk_stop - self.chunk_start
+
+
+@dataclass(frozen=True)
+class AssemblyPlan:
+    """The full, deterministic read plan of one restore.
+
+    Attributes:
+        window_chunks: the FAA window size the plan was built with
+            (0 = FAA off, run-granular access).
+        n_chunks: chunks the plan assembles (== the recipe's).
+        n_runs: maximal same-container runs in the recipe (Eq. 1's N at
+            container granularity; independent of the window size).
+        windows: the ordered assembly windows.
+    """
+
+    window_chunks: int
+    n_chunks: int
+    n_runs: int
+    windows: Tuple[AssemblyWindow, ...]
+
+    @property
+    def trace(self) -> List[int]:
+        """The flattened container access sequence, window by window."""
+        return [cid for w in self.windows for cid in w.accesses]
+
+    def covers(self, recipe: BackupRecipe) -> bool:
+        """Sanity invariant: the windows partition the recipe's chunk
+        range contiguously and each window's access set is exactly the
+        containers its chunk extent references — i.e. assembling window
+        by window reconstructs every logical chunk, in order."""
+        pos = 0
+        for w in self.windows:
+            if w.chunk_start != pos or w.chunk_stop <= w.chunk_start:
+                return False
+            needed = set(
+                int(c) for c in np.unique(recipe.containers[w.chunk_start : w.chunk_stop])
+            )
+            if set(w.accesses) != needed or len(w.accesses) != len(needed):
+                return False
+            pos = w.chunk_stop
+        return pos == recipe.n_chunks
+
+
+def plan_assembly(recipe: BackupRecipe, window_chunks: int = 0) -> AssemblyPlan:
+    """Build the :class:`AssemblyPlan` for one recipe.
+
+    Args:
+        recipe: the backup (or file extent) to restore.
+        window_chunks: FAA window size in chunks; ``<= 0`` disables the
+            FAA (one window per same-container run — the scalar access
+            sequence).
+    """
+    runs = container_run_lengths(recipe.containers)
+    n = recipe.n_chunks
+    n_runs = int(runs.size)
+    if n == 0:
+        return AssemblyPlan(
+            window_chunks=max(0, int(window_chunks)), n_chunks=0, n_runs=0, windows=()
+        )
+    run_starts = np.concatenate(([0], np.cumsum(runs)[:-1]))
+    run_cids = recipe.containers[run_starts]
+    if window_chunks <= 0:
+        windows = tuple(
+            AssemblyWindow(
+                chunk_start=int(s), chunk_stop=int(s + ln), accesses=(int(c),)
+            )
+            for s, ln, c in zip(run_starts, runs, run_cids)
+        )
+        return AssemblyPlan(window_chunks=0, n_chunks=n, n_runs=n_runs, windows=windows)
+
+    window_chunks = int(window_chunks)
+    run_ends = run_starts + runs
+    windows: List[AssemblyWindow] = []
+    r = 0  # first run overlapping the current window
+    for start in range(0, n, window_chunks):
+        stop = min(start + window_chunks, n)
+        accesses: List[int] = []
+        seen = set()
+        k = r
+        while k < run_starts.size and run_starts[k] < stop:
+            cid = int(run_cids[k])
+            if cid not in seen:
+                seen.add(cid)
+                accesses.append(cid)
+            k += 1
+        # runs wholly consumed by this window never overlap the next
+        while r < run_ends.size and run_ends[r] <= stop:
+            r += 1
+        windows.append(
+            AssemblyWindow(chunk_start=start, chunk_stop=stop, accesses=tuple(accesses))
+        )
+    return AssemblyPlan(
+        window_chunks=window_chunks, n_chunks=n, n_runs=n_runs, windows=tuple(windows)
+    )
+
+
+def access_trace(
+    recipe: BackupRecipe, window_chunks: int = 0
+) -> Tuple[List[int], List[int], int]:
+    """The reader's hot-path view of :func:`plan_assembly`.
+
+    Returns ``(trace, window_ends, n_runs)``: the flattened container
+    access sequence, the per-access exclusive end index of its window
+    within ``trace`` (the read-ahead scope boundary), and the recipe's
+    run count. Equivalent to flattening :func:`plan_assembly` — the
+    property suite asserts so — but skips building window objects, which
+    matters on the default per-run path where a fragmented backup has
+    tens of thousands of runs.
+    """
+    runs = container_run_lengths(recipe.containers)
+    n = recipe.n_chunks
+    n_runs = int(runs.size)
+    if n == 0:
+        return [], [], 0
+    run_starts = np.concatenate(([0], np.cumsum(runs)[:-1]))
+    run_cids = recipe.containers[run_starts]
+    if window_chunks <= 0:
+        trace = [int(c) for c in run_cids]
+        return trace, list(range(1, n_runs + 1)), n_runs
+
+    window_chunks = int(window_chunks)
+    run_ends = run_starts + runs
+    trace: List[int] = []
+    window_ends: List[int] = []
+    r = 0
+    for start in range(0, n, window_chunks):
+        stop = min(start + window_chunks, n)
+        seen = set()
+        k = r
+        while k < run_starts.size and run_starts[k] < stop:
+            cid = int(run_cids[k])
+            if cid not in seen:
+                seen.add(cid)
+                trace.append(cid)
+            k += 1
+        while r < run_ends.size and run_ends[r] <= stop:
+            r += 1
+        window_ends.extend([len(trace)] * len(seen))
+    return trace, window_ends, n_runs

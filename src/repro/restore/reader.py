@@ -1,27 +1,45 @@
-"""Recipe-driven restore with an LRU container cache.
+"""Recipe-driven restore: pluggable caches, forward assembly, read-ahead.
 
-The reader walks a backup recipe in logical order, collapsed to runs of
-consecutive chunks in the same container (vectorized via the layout
-analyzer's run decomposition). A run whose container is cached costs
-nothing extra; otherwise the whole container is read (one seek + payload
-transfer). Simulated restore bandwidth is logical bytes over elapsed
-simulated seconds — the quantity of the paper's Fig. 6.
+The reader walks a backup recipe in logical order through a
+deterministic access plan (see :mod:`repro.restore.faa`) and pulls whole
+containers from the store through a bounded, policy-pluggable container
+cache (see :mod:`repro.restore.cache`). Three independently switchable
+mechanisms shape the cost:
+
+* **cache policy** — ``lru`` (default, the original reader's exact
+  behaviour), ``lfu``, or the clairvoyant ``belady`` upper bound;
+* **forward assembly area** — with ``faa_window > 0`` the stream is
+  assembled in windows of that many chunks and each container section is
+  read at most once per window, however its chunks interleave;
+* **read-ahead** — a miss whose window (or a bounded lookahead, when the
+  FAA is off) also needs the physically *next* containers fetches the
+  whole sequential run in one positioning plus one long transfer.
+
+With everything at its default (LRU, no FAA, no read-ahead) the reader
+charges the simulated disk the identical operations in the identical
+order as the original 192-line scalar loop — the golden-output and
+property suites pin that equivalence.
+
+Simulated restore bandwidth is logical bytes over elapsed simulated
+seconds — the quantity of the paper's Fig. 6.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
-import numpy as np
+from typing import List, Optional
 
-from typing import Optional
-
-from repro._util import MIB, check_positive
+from repro._util import MIB, check_nonnegative, check_positive
+from repro.restore.cache import RESTORE_POLICIES, make_cache
+from repro.restore.faa import access_trace
 from repro.restore.model import read_time_eq1
-from repro.storage.layout import container_run_lengths
 from repro.storage.recipe import BackupRecipe
 from repro.storage.store import ContainerStore, StoreConfig, _deprecated_kwarg
+
+#: Read-ahead lookahead (in trace accesses) when the FAA is off — the
+#: FAA's window otherwise bounds how far ahead need is known.
+READAHEAD_HORIZON = 64
 
 
 @dataclass(frozen=True)
@@ -35,11 +53,22 @@ class RestoreReport:
         n_chunks: chunks reconstructed.
         n_runs: physically contiguous runs in the recipe (Eq. 1's N at
             container granularity).
-        container_reads: containers actually fetched (cache misses).
-        cache_hits: runs served from the container cache.
+        container_reads: containers actually fetched (cache misses plus
+            read-ahead prefetches).
+        cache_hits: plan accesses served from the container cache.
         elapsed_seconds: simulated time taken.
-        eq1_seconds: the analytic Eq. 1 prediction with N = container
-            fetches (for cross-checking the operational model).
+        eq1_seconds: the analytic Eq. 1 prediction with N = priced
+            positionings (for cross-checking the operational model).
+        cache_misses: plan accesses that had to touch the store.
+        cache_evictions: containers the policy pushed out of the cache.
+        seeks: positionings actually priced — one per miss, with a
+            read-ahead batch of adjacent containers costing a single
+            positioning (always == ``container_reads`` when read-ahead
+            is off).
+        readahead_batches: misses that were widened into a multi-
+            container sequential batch.
+        policy / faa_window / readahead: the reader configuration the
+            restore ran under.
     """
 
     generation: int
@@ -51,6 +80,13 @@ class RestoreReport:
     cache_hits: int
     elapsed_seconds: float
     eq1_seconds: float
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    seeks: int = 0
+    readahead_batches: int = 0
+    policy: str = "lru"
+    faa_window: int = 0
+    readahead: bool = False
 
     @property
     def read_rate(self) -> float:
@@ -59,9 +95,44 @@ class RestoreReport:
 
     @property
     def seeks_per_mib(self) -> float:
+        """Priced positionings per MiB of logical data restored."""
         if not self.logical_bytes:
             return 0.0
-        return self.container_reads / (self.logical_bytes / MIB)
+        return self.seeks / (self.logical_bytes / MIB)
+
+
+@dataclass
+class RestoreStats:
+    """Cumulative accounting across every restore a reader performed.
+
+    The twin-run suite asserts these totals are identical with
+    observability on and off — recording must never change what the
+    restore path does to the simulated disk.
+    """
+
+    restores: int = 0
+    logical_bytes: int = 0
+    n_chunks: int = 0
+    container_reads: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    seeks: int = 0
+    readahead_batches: int = 0
+    elapsed_seconds: float = 0.0
+
+    def add(self, report: RestoreReport) -> None:
+        """Fold one restore's report into the running totals."""
+        self.restores += 1
+        self.logical_bytes += report.logical_bytes
+        self.n_chunks += report.n_chunks
+        self.container_reads += report.container_reads
+        self.cache_hits += report.cache_hits
+        self.cache_misses += report.cache_misses
+        self.cache_evictions += report.cache_evictions
+        self.seeks += report.seeks
+        self.readahead_batches += report.readahead_batches
+        self.elapsed_seconds += report.elapsed_seconds
 
 
 class RestoreReader:
@@ -71,9 +142,17 @@ class RestoreReader:
         store: the container store holding the physical data (and the
             disk model all costs are charged to).
         config: a :class:`~repro.storage.store.StoreConfig` supplying
-            ``cache_containers`` (the LRU container-payload cache
-            capacity — a restore client's read buffer). Defaults to the
-            store's own config, so reader and store are sized together.
+            ``cache_containers`` (the container-payload cache capacity —
+            a restore client's read buffer). Defaults to the store's own
+            config, so reader and store are sized together.
+        policy: cache eviction policy — ``lru`` (default), ``lfu``, or
+            ``belady`` (the offline optimum computed from the recipe's
+            future references).
+        faa_window: forward-assembly window in chunks; 0 (default)
+            disables the FAA and reads run-at-a-time like the original
+            scalar reader.
+        readahead: batch a miss with the physically adjacent containers
+            the current window also needs into one priced positioning.
         cache_containers: deprecated alias for the config field (one
             release).
     """
@@ -84,6 +163,9 @@ class RestoreReader:
         cache_containers: Optional[int] = None,
         *,
         config: Optional[StoreConfig] = None,
+        policy: str = "lru",
+        faa_window: int = 0,
+        readahead: bool = False,
     ) -> None:
         if config is None:
             config = store.config
@@ -93,74 +175,131 @@ class RestoreReader:
 
             config = replace(config, cache_containers=int(cache_containers))
         check_positive("cache_containers", config.cache_containers)
+        check_nonnegative("faa_window", faa_window)
+        if policy not in RESTORE_POLICIES:
+            raise ValueError(
+                f"unknown restore cache policy {policy!r}; "
+                f"pick one of {', '.join(RESTORE_POLICIES)}"
+            )
         self.store = store
         self.config = config
         self.cache_containers = int(config.cache_containers)
+        self.policy = policy
+        self.faa_window = int(faa_window)
+        self.readahead = bool(readahead)
+        self.stats = RestoreStats()
 
     def restore(self, recipe: BackupRecipe) -> RestoreReport:
         """Reconstruct one backup; returns the performance report."""
-        disk = self.store.disk
+        from repro.obs import get_active
+
+        store = self.store
+        disk = store.disk
+        obs = get_active()
         t0 = disk.clock.now
-        cache: "OrderedDict[int, bool]" = OrderedDict()
+        d0 = disk.stats.snapshot()
+
+        trace, window_ends, n_runs = access_trace(recipe, self.faa_window)
+        cache = make_cache(self.policy, self.cache_containers, trace)
+        evicted: List[int] = []
+        if obs.enabled and obs.events.enabled:
+            cache.on_evict = evicted.append
+
+        seeks = 0
         container_reads = 0
-        cache_hits = 0
-
-        runs = container_run_lengths(recipe.containers)
-        # container id at the head of each run
-        if recipe.n_chunks:
-            run_starts = np.concatenate(([0], np.cumsum(runs)[:-1]))
-            run_cids = recipe.containers[run_starts]
-        else:
-            run_cids = np.zeros(0, dtype=np.int64)
-
-        for cid in run_cids:
-            cid = int(cid)
-            if cid in cache:
-                cache.move_to_end(cid)
-                cache_hits += 1
+        readahead_batches = 0
+        use_readahead = self.readahead
+        horizon = READAHEAD_HORIZON if self.faa_window <= 0 else 0
+        n_trace = len(trace)
+        for pos, cid in enumerate(trace):
+            if cache.access(cid, pos):
                 continue
-            self.store.read_container(cid)
-            container_reads += 1
-            cache[cid] = True
-            if len(cache) > self.cache_containers:
-                cache.popitem(last=False)
+            batch = [cid]
+            if use_readahead:
+                end = window_ends[pos] if not horizon else min(pos + 1 + horizon, n_trace)
+                if end > pos + 1:
+                    upcoming = set(trace[pos + 1 : end])
+                    nxt = cid + 1
+                    while nxt in upcoming and nxt not in cache and store.has(nxt):
+                        batch.append(nxt)
+                        nxt += 1
+            if len(batch) == 1:
+                store.read_container(cid)
+            else:
+                store.read_container_run(batch)
+                readahead_batches += 1
+            seeks += 1
+            container_reads += len(batch)
+            for fetched in batch:
+                cache.admit(fetched, pos)
 
         elapsed = disk.clock.now - t0
+        delta = disk.stats.delta_since(d0)
         report = RestoreReport(
             generation=recipe.generation,
             label=recipe.label or "",
             logical_bytes=recipe.total_bytes,
             n_chunks=recipe.n_chunks,
-            n_runs=int(runs.size),
+            n_runs=n_runs,
             container_reads=container_reads,
-            cache_hits=cache_hits,
+            cache_hits=cache.stats.hits,
             elapsed_seconds=elapsed,
-            eq1_seconds=read_time_eq1(
-                container_reads, recipe.total_bytes, disk.profile
-            ),
+            eq1_seconds=read_time_eq1(seeks, recipe.total_bytes, disk.profile),
+            cache_misses=cache.stats.misses,
+            cache_evictions=cache.stats.evictions,
+            seeks=seeks,
+            readahead_batches=readahead_batches,
+            policy=self.policy,
+            faa_window=self.faa_window,
+            readahead=self.readahead,
         )
-        self._record(report)
+        self.stats.add(report)
+        if obs.enabled:
+            self._record(
+                obs, report, seek_s=delta.seek_time_s, transfer_s=delta.read_time_s,
+                evicted=evicted,
+            )
         return report
 
-    def _record(self, report: RestoreReport) -> None:
-        """Feed the ambient observability session (no-op when disabled)."""
-        from repro.obs import YIELD_EDGES, get_active
+    def _record(
+        self,
+        obs,
+        report: RestoreReport,
+        *,
+        seek_s: float,
+        transfer_s: float,
+        evicted: List[int],
+    ) -> None:
+        """Feed the observability session (only called when enabled)."""
+        from repro.obs import YIELD_EDGES
 
-        obs = get_active()
-        if not obs.enabled:
-            return
         reg = obs.registry
         reg.counter("restore.backups").inc()
         reg.counter("restore.bytes").inc(report.logical_bytes)
         reg.counter("restore.container_reads").inc(report.container_reads)
         reg.counter("restore.cache_hits").inc(report.cache_hits)
+        reg.counter("restore.cache_misses").inc(report.cache_misses)
+        reg.counter("restore.cache_evictions").inc(report.cache_evictions)
+        reg.counter("restore.seeks").inc(report.seeks)
+        reg.counter("restore.readahead_batches").inc(report.readahead_batches)
         reg.span("restore.phase.read").record(
             report.elapsed_seconds, count=report.container_reads
+        )
+        reg.span("restore.phase.seek").record(seek_s, count=report.seeks)
+        reg.span("restore.phase.transfer").record(
+            transfer_s, count=report.container_reads
         )
         reg.histogram("restore.seeks_per_mib", YIELD_EDGES).observe(
             report.seeks_per_mib
         )
         if obs.events.enabled:
+            for cid in evicted:
+                obs.events.emit(
+                    "restore_cache_evict",
+                    generation=report.generation,
+                    cid=cid,
+                    policy=report.policy,
+                )
             obs.events.emit(
                 "restore",
                 generation=report.generation,
@@ -168,6 +307,13 @@ class RestoreReader:
                 logical_bytes=report.logical_bytes,
                 container_reads=report.container_reads,
                 cache_hits=report.cache_hits,
+                cache_misses=report.cache_misses,
+                cache_evictions=report.cache_evictions,
+                seeks=report.seeks,
+                readahead_batches=report.readahead_batches,
+                policy=report.policy,
+                faa_window=report.faa_window,
+                readahead=report.readahead,
                 sim_seconds=report.elapsed_seconds,
                 read_rate=report.read_rate,
             )
@@ -176,6 +322,11 @@ class RestoreReader:
         """Restore a single file (a chunk extent of the backup) — the
         paper's Fig. 1 / Eq. 1 scenario: an N-fragment file costs ~N
         positionings.
+
+        Seek accounting follows Eq. 1 exactly: only a distinct *uncached*
+        container visit prices a positioning; cache hits are free, and a
+        read-ahead batch prices one positioning for its whole sequential
+        run (``tests/restore/test_seek_accounting.py`` pins this).
 
         Raises:
             ValueError: if the extent falls outside the recipe

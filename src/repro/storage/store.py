@@ -15,7 +15,7 @@ from __future__ import annotations
 import contextlib
 import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -90,6 +90,7 @@ class StoreStats:
     metadata_bytes: int = 0
     meta_prefetches: int = 0
     container_reads: int = 0
+    batched_reads: int = 0
 
     @property
     def physical_bytes(self) -> int:
@@ -323,6 +324,36 @@ class ContainerStore:
         sealed = self._sealed[cid]
         self._read(sealed.data_bytes + sealed.metadata_bytes, seeks=1)
         self.stats.container_reads += 1
+        return sealed
+
+    def read_container_run(self, cids: Sequence[int]) -> List[SealedContainer]:
+        """Read a physically sequential run of containers in **one**
+        positioning (the restore read-ahead path).
+
+        The containers of consecutive cids are adjacent in the
+        append-only log, so after seeking to the first one the rest
+        stream at sequential bandwidth: the whole run is priced as one
+        seek plus the summed payload+metadata transfer — exactly Eq. 1
+        with the run counted as a single fragment.
+
+        Args:
+            cids: strictly consecutive sealed container ids
+                (``cid, cid+1, ...``); a gap means the run is not
+                physically contiguous and is rejected.
+        """
+        if not cids:
+            raise ValueError("read_container_run needs at least one cid")
+        for prev, nxt in zip(cids, cids[1:]):
+            if nxt != prev + 1:
+                raise ValueError(
+                    f"container run must be consecutive cids, got {list(cids)}"
+                )
+        sealed = [self._sealed[cid] for cid in cids]
+        nbytes = sum(s.data_bytes + s.metadata_bytes for s in sealed)
+        self._read(nbytes, seeks=1)
+        self.stats.container_reads += len(sealed)
+        if len(sealed) > 1:
+            self.stats.batched_reads += 1
         return sealed
 
     def remove(self, cid: int) -> int:

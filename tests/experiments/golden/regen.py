@@ -1,0 +1,35 @@
+"""Regenerate the golden experiment tables.
+
+Run from the repo root after an *intentional* output change::
+
+    PYTHONPATH=src python tests/experiments/golden/regen.py
+
+then review the diff and commit the updated snapshots together with the
+change that moved them. tests/experiments/test_golden_outputs.py pins
+these files byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.suite import run_suite
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+FIGURES = ("fig4", "fig6")
+
+
+def regenerate() -> None:
+    config = ExperimentConfig.small()
+    results, errors = run_suite(list(FIGURES), config, jobs=1)
+    if errors:
+        raise SystemExit(f"cannot regenerate, experiments failed: {errors}")
+    for name in FIGURES:
+        path = GOLDEN_DIR / f"{name}_small.txt"
+        path.write_text(results[name].table() + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    regenerate()

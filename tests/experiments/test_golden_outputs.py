@@ -1,0 +1,66 @@
+"""Golden-output regression: the default tables are pinned byte-for-byte.
+
+``repro all`` is the repo's headline artifact; its fig4/fig6 tables at
+the small preset are committed under ``tests/experiments/golden/`` and
+asserted byte-identical here. Any change to the default ingest or
+restore path — however well-intentioned — that moves a single digit
+fails this test.
+
+If the change is *intentional*, regenerate and commit the snapshots::
+
+    PYTHONPATH=src python tests/experiments/golden/regen.py
+
+and explain the move in the commit message.
+"""
+
+import difflib
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.suite import run_suite
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+FIGURES = ("fig4", "fig6")
+
+
+@pytest.fixture(scope="module")
+def suite_results():
+    results, errors = run_suite(list(FIGURES), ExperimentConfig.small(), jobs=1)
+    assert not errors, errors
+    return results
+
+
+class TestGoldenTables:
+    @pytest.mark.parametrize("name", FIGURES)
+    def test_table_byte_identical(self, suite_results, name):
+        golden_path = GOLDEN_DIR / f"{name}_small.txt"
+        expected = golden_path.read_text()
+        actual = suite_results[name].table() + "\n"
+        if actual != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(),
+                    actual.splitlines(),
+                    fromfile=str(golden_path),
+                    tofile=f"{name} (current)",
+                    lineterm="",
+                )
+            )
+            pytest.fail(
+                f"{name} table drifted from its golden snapshot; if the "
+                f"change is intentional run tests/experiments/golden/"
+                f"regen.py and commit the diff:\n{diff}"
+            )
+
+    def test_default_fig6_has_no_restore_columns(self, suite_results):
+        """The restore-subsystem columns only appear under non-default
+        restore knobs; the recorded default table must not grow them."""
+        table = suite_results["fig6"].table()
+        assert "seeks" not in table
+        assert "restore:" not in table
+
+    def test_golden_files_present(self):
+        for name in FIGURES:
+            assert (GOLDEN_DIR / f"{name}_small.txt").is_file()

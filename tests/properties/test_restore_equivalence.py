@@ -1,0 +1,249 @@
+"""Property suite: the restore subsystem is equivalence-locked.
+
+Three layers of invariants, all over hypothesis-generated inputs:
+
+* **plan layer** — :func:`access_trace` is exactly the flattening of
+  :func:`plan_assembly`; plans cover their recipe; FAA-off planning is
+  the scalar per-run sequence; a window never reads a container twice.
+* **policy layer** — hits + misses account for every access; Belady's
+  MIN never misses more than any realizable policy on the same trace.
+* **reader layer** — whatever the (policy, cache size, FAA window,
+  read-ahead) combination, a restore touches every container the recipe
+  references and reports the stream's exact byte/chunk totals; and the
+  default configuration issues the *identical ordered sequence* of
+  container reads as an independent reimplementation of the original
+  scalar LRU loop (the byte-identity anchor for ``repro all``).
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.base import ChunkStream
+from repro.dedup.base import EngineResources
+from repro.dedup.exact import ExactEngine
+from repro.dedup.pipeline import run_backup
+from repro.restore.cache import make_cache
+from repro.restore.faa import access_trace, plan_assembly
+from repro.restore.reader import RestoreReader
+from repro.segmenting.segmenter import ContentDefinedSegmenter
+from repro.storage.layout import container_run_lengths
+from repro.storage.recipe import RecipeBuilder
+from repro.workloads.generators import BackupJob
+
+from tests.conftest import TEST_PROFILE
+
+
+# -- strategies ---------------------------------------------------------
+
+#: container-id sequences as a restore would walk them (small alphabet
+#: forces revisits, the interesting case for caches and windows)
+cid_seq = st.lists(st.integers(min_value=0, max_value=12), min_size=0, max_size=80)
+
+windows = st.integers(min_value=0, max_value=20)
+
+capacities = st.integers(min_value=1, max_value=8)
+
+stream_strategy = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=1, max_size=150
+).map(
+    lambda fps: ChunkStream.from_pairs([(fp, 256 + (fp * 37) % 3840) for fp in fps])
+)
+
+
+def recipe_of(cids):
+    b = RecipeBuilder(0)
+    for i, cid in enumerate(cids):
+        b.add(i + 1, 512, cid)
+    return b.finalize()
+
+
+def small_segmenter():
+    return ContentDefinedSegmenter(
+        min_bytes=4096, avg_bytes=8192, max_bytes=16384, avg_chunk_bytes=1024
+    )
+
+
+def ingest(stream):
+    res = EngineResources.create(
+        profile=TEST_PROFILE, container_bytes=16 * 1024, expected_entries=50_000
+    )
+    res.store.seal_seeks = 0
+    eng = ExactEngine(res)
+    report = run_backup(eng, BackupJob(0, "p", stream), small_segmenter())
+    return res, report
+
+
+def drive(cache, trace):
+    misses = 0
+    for pos, cid in enumerate(trace):
+        if not cache.access(cid, pos):
+            misses += 1
+            cache.admit(cid, pos)
+    return misses
+
+
+def recorded_reads(store):
+    """Wrap the store so every container fetch is logged in order."""
+    reads = []
+    orig_one, orig_run = store.read_container, store.read_container_run
+
+    def one(cid):
+        reads.append(int(cid))
+        return orig_one(cid)
+
+    def run(cids):
+        reads.extend(int(c) for c in cids)
+        return orig_run(cids)
+
+    store.read_container, store.read_container_run = one, run
+    return reads
+
+
+def scalar_lru_reference(recipe, capacity):
+    """Independent reimplementation of the pre-subsystem scalar reader:
+    one access per maximal same-container run, OrderedDict LRU."""
+    runs = container_run_lengths(recipe.containers)
+    if not runs.size:
+        return []
+    starts = np.concatenate(([0], np.cumsum(runs)[:-1]))
+    cache = OrderedDict()
+    reads = []
+    for cid in (int(c) for c in recipe.containers[starts]):
+        if cid in cache:
+            cache.move_to_end(cid)
+            continue
+        reads.append(cid)
+        if len(cache) >= capacity:
+            cache.popitem(last=False)
+        cache[cid] = True
+    return reads
+
+
+# -- plan layer ---------------------------------------------------------
+
+
+class TestPlanProperties:
+    @given(cid_seq, windows)
+    @settings(max_examples=60, deadline=None)
+    def test_trace_is_plan_flattening(self, cids, window):
+        recipe = recipe_of(cids)
+        trace, window_ends, n_runs = access_trace(recipe, window)
+        plan = plan_assembly(recipe, window)
+        assert trace == plan.trace
+        assert n_runs == plan.n_runs == container_run_lengths(recipe.containers).size
+        assert len(window_ends) == len(trace)
+        assert all(e <= len(trace) for e in window_ends)
+        assert window_ends == sorted(window_ends)
+
+    @given(cid_seq, windows)
+    @settings(max_examples=60, deadline=None)
+    def test_plan_covers_recipe(self, cids, window):
+        recipe = recipe_of(cids)
+        assert plan_assembly(recipe, window).covers(recipe)
+
+    @given(cid_seq, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_no_container_read_twice_per_window(self, cids, window):
+        plan = plan_assembly(recipe_of(cids), window)
+        for w in plan.windows:
+            assert len(w.accesses) == len(set(w.accesses))
+
+    @given(cid_seq)
+    @settings(max_examples=60, deadline=None)
+    def test_faa_off_is_run_sequence(self, cids):
+        trace, _, n_runs = access_trace(recipe_of(cids), 0)
+        expected = [cid for i, cid in enumerate(cids) if i == 0 or cids[i - 1] != cid]
+        assert trace == expected
+        assert n_runs == len(expected)
+
+
+# -- policy layer -------------------------------------------------------
+
+
+class TestPolicyProperties:
+    @given(cid_seq, capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_covers_every_access(self, cids, capacity):
+        for policy in ("lru", "lfu", "belady"):
+            cache = make_cache(policy, capacity, trace=cids)
+            drive(cache, cids)
+            assert cache.stats.accesses == len(cids)
+            assert cache.stats.hits + cache.stats.misses == len(cids)
+            assert len(cache) <= capacity
+
+    @given(cid_seq, capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_belady_is_the_lower_bound_on_misses(self, cids, capacity):
+        miss = {}
+        for policy in ("lru", "lfu", "belady"):
+            cache = make_cache(policy, capacity, trace=cids)
+            miss[policy] = drive(cache, cids)
+        assert miss["belady"] <= miss["lru"]
+        assert miss["belady"] <= miss["lfu"]
+
+    @given(cid_seq, capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_infinite_cache_misses_once_per_distinct(self, cids, capacity):
+        big = len(set(cids)) + capacity
+        for policy in ("lru", "lfu", "belady"):
+            cache = make_cache(policy, big, trace=cids)
+            assert drive(cache, cids) == len(set(cids))
+            assert cache.stats.evictions == 0
+
+
+# -- reader layer -------------------------------------------------------
+
+READER_COMBOS = [
+    {"policy": p, "faa_window": w, "readahead": ra}
+    for p in ("lru", "lfu", "belady")
+    for w in (0, 16)
+    for ra in (False, True)
+]
+
+
+class TestRestoreEquivalence:
+    @given(stream_strategy, capacities)
+    @settings(max_examples=10, deadline=None)
+    def test_every_combo_restores_the_whole_stream(self, stream, capacity):
+        res, report = ingest(stream)
+        needed = set(int(c) for c in report.recipe.unique_containers())
+        for kwargs in READER_COMBOS:
+            reads = recorded_reads(res.store)
+            rr = RestoreReader(
+                res.store, cache_containers=capacity, **kwargs
+            ).restore(report.recipe)
+            assert rr.logical_bytes == stream.total_bytes
+            assert rr.n_chunks == len(stream.fps)
+            # a fresh client cache means every referenced container is
+            # actually fetched, whatever the policy/window/read-ahead
+            assert set(reads) >= needed
+            assert rr.container_reads == len(reads)
+
+    @given(stream_strategy, capacities)
+    @settings(max_examples=10, deadline=None)
+    def test_default_reader_is_the_scalar_lru_loop(self, stream, capacity):
+        res, report = ingest(stream)
+        expected = scalar_lru_reference(report.recipe, capacity)
+        reads = recorded_reads(res.store)
+        rr = RestoreReader(res.store, cache_containers=capacity).restore(report.recipe)
+        assert reads == expected, "default path must replay the scalar reader"
+        assert rr.container_reads == len(expected)
+        assert rr.seeks == len(expected)
+
+    @given(stream_strategy, capacities, st.sampled_from([0, 16]))
+    @settings(max_examples=10, deadline=None)
+    def test_belady_restore_never_misses_more(self, stream, capacity, window):
+        res, report = ingest(stream)
+        misses = {}
+        for policy in ("lru", "lfu", "belady"):
+            rr = RestoreReader(
+                res.store,
+                cache_containers=capacity,
+                policy=policy,
+                faa_window=window,
+            ).restore(report.recipe)
+            misses[policy] = rr.cache_misses
+        assert misses["belady"] <= misses["lru"]
+        assert misses["belady"] <= misses["lfu"]

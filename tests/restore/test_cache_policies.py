@@ -1,0 +1,127 @@
+"""Unit tests for the pluggable restore-cache policies."""
+
+import pytest
+
+from repro.restore.cache import (
+    RESTORE_POLICIES,
+    BeladyCache,
+    LFUCache,
+    LRUCache,
+    make_cache,
+)
+
+
+def drive(cache, trace):
+    """Run a demand-only trace through a cache; returns miss positions."""
+    misses = []
+    for pos, cid in enumerate(trace):
+        if not cache.access(cid, pos):
+            misses.append(pos)
+            cache.admit(cid, pos)
+    return misses
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        c = LRUCache(2)
+        drive(c, [1, 2, 1, 3])  # 2 is LRU when 3 arrives
+        assert 1 in c and 3 in c and 2 not in c
+
+    def test_hit_refreshes_recency(self):
+        c = LRUCache(2)
+        drive(c, [1, 2, 1])
+        c.access(3, 3)
+        c.admit(3, 3)
+        assert 2 not in c and 1 in c
+
+    def test_stats(self):
+        c = LRUCache(4)
+        drive(c, [1, 2, 1, 1, 3])
+        assert c.stats.misses == 3
+        assert c.stats.hits == 2
+        assert c.stats.accesses == 5
+        assert c.stats.hit_rate == pytest.approx(0.4)
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        c = LFUCache(2)
+        drive(c, [1, 1, 1, 2, 3])  # 2 has freq 1, 1 has freq 3
+        assert 1 in c and 3 in c and 2 not in c
+
+    def test_frequency_tie_breaks_lru(self):
+        c = LFUCache(2)
+        drive(c, [1, 2, 3])  # 1 and 2 both freq 1; 1 is older
+        assert 2 in c and 3 in c and 1 not in c
+
+
+class TestBelady:
+    def test_evicts_farthest_future_use(self):
+        trace = [1, 2, 3, 1, 2]  # at pos 2, 3 is never used again
+        c = BeladyCache(2, trace)
+        drive(c, trace[:2])
+        c.access(3, 2)
+        c.admit(3, 2)
+        # victim must be the one referenced farthest ahead: 2 (pos 4)
+        # vs 1 (pos 3) -> evict 2
+        assert 1 in c and 3 in c and 2 not in c
+
+    def test_never_again_evicted_first(self):
+        trace = [1, 2, 3, 1]
+        c = BeladyCache(2, trace)
+        drive(c, trace)
+        assert 1 in c  # re-referenced at pos 3, kept
+
+    def test_optimal_on_classic_lru_pathology(self):
+        # cyclic scan over capacity+1 items: LRU misses every access,
+        # Belady does not
+        trace = [1, 2, 3] * 4
+        lru, opt = LRUCache(2), BeladyCache(2, trace)
+        drive(lru, trace)
+        drive(opt, trace)
+        assert opt.stats.misses < lru.stats.misses
+        assert lru.stats.misses == len(trace)
+
+
+class TestContract:
+    def test_admit_resident_refreshes_not_duplicates(self):
+        c = LRUCache(2)
+        drive(c, [1, 2])
+        c.admit(1, 2)  # read-ahead re-admitting a resident cid
+        assert len(c._order) == 2
+        c.access(3, 3)
+        c.admit(3, 3)
+        assert 2 not in c  # the refresh made 1 the most recent
+
+    def test_on_evict_callback_sees_every_victim(self):
+        evicted = []
+        c = LRUCache(1)
+        c.on_evict = evicted.append
+        drive(c, [1, 2, 3])
+        assert evicted == [1, 2]
+        assert c.stats.evictions == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        for cls in (LRUCache, LFUCache):
+            with pytest.raises(ValueError):
+                cls(0)
+        with pytest.raises(ValueError):
+            BeladyCache(0, [])
+
+
+class TestMakeCache:
+    def test_builds_each_policy(self):
+        assert isinstance(make_cache("lru", 4), LRUCache)
+        assert isinstance(make_cache("lfu", 4), LFUCache)
+        assert isinstance(make_cache("belady", 4, trace=[1, 2]), BeladyCache)
+
+    def test_policy_names_registered(self):
+        assert RESTORE_POLICIES == ("lru", "lfu", "belady")
+
+    def test_belady_needs_trace(self):
+        with pytest.raises(ValueError):
+            make_cache("belady", 4)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_cache("mru", 4)

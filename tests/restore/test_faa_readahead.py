@@ -1,0 +1,200 @@
+"""Forward assembly area + read-ahead: plan semantics and seek savings.
+
+The headline acceptance claim rides here: with the FAA and read-ahead
+on, restoring the final (most fragmented) generation of the small-preset
+author workload from the DDFS-Like layout prices at least 1.5x fewer
+positionings than the default run-at-a-time reader.
+"""
+
+import pytest
+
+from repro.api import create_engine, create_resources
+from repro.dedup.pipeline import run_workload
+from repro.experiments.common import paper_segmenter
+from repro.experiments.config import ExperimentConfig
+from repro.restore.faa import access_trace, plan_assembly
+from repro.restore.reader import RestoreReader
+from repro.storage.recipe import RecipeBuilder
+from repro.workloads.generators import author_fs_20_full
+
+
+def recipe_of(cids, size=512):
+    """A recipe whose chunk i carries fingerprint i and lives in cids[i]."""
+    b = RecipeBuilder(0)
+    for i, cid in enumerate(cids):
+        b.add(i + 1, size, cid)
+    return b.finalize()
+
+
+class TestPlanAssembly:
+    def test_faa_off_one_window_per_run(self):
+        r = recipe_of([5, 5, 7, 7, 7, 5])
+        plan = plan_assembly(r, 0)
+        assert [w.accesses for w in plan.windows] == [(5,), (7,), (5,)]
+        assert plan.n_runs == 3
+        assert plan.trace == [5, 7, 5]
+
+    def test_window_dedups_interleaved_containers(self):
+        # chunks alternate containers; one window sees each cid once
+        r = recipe_of([1, 2, 1, 2, 1, 2])
+        plan = plan_assembly(r, 6)
+        assert len(plan.windows) == 1
+        assert plan.windows[0].accesses == (1, 2)
+        assert plan.n_runs == 6  # run count is window-independent
+
+    def test_windows_partition_chunk_range(self):
+        r = recipe_of([1, 2, 1, 3, 2, 1, 3])
+        plan = plan_assembly(r, 3)
+        assert [(w.chunk_start, w.chunk_stop) for w in plan.windows] == [
+            (0, 3),
+            (3, 6),
+            (6, 7),
+        ]
+        assert plan.covers(r)
+
+    def test_accesses_in_first_need_order(self):
+        r = recipe_of([9, 3, 9, 1])
+        plan = plan_assembly(r, 4)
+        assert plan.windows[0].accesses == (9, 3, 1)
+
+    def test_empty_recipe(self):
+        plan = plan_assembly(RecipeBuilder(0).finalize(), 8)
+        assert plan.windows == ()
+        assert plan.n_runs == 0
+        assert plan.covers(RecipeBuilder(0).finalize())
+
+    def test_covers_detects_wrong_access_set(self):
+        r = recipe_of([1, 2])
+        plan = plan_assembly(r, 4)
+        broken = recipe_of([1, 3])
+        assert not plan.covers(broken)
+
+
+class TestAccessTrace:
+    def test_matches_plan_flattening(self):
+        r = recipe_of([1, 2, 1, 3, 2, 1, 3, 3, 4])
+        for window in (0, 1, 2, 3, 100):
+            trace, window_ends, n_runs = access_trace(r, window)
+            plan = plan_assembly(r, window)
+            assert trace == plan.trace
+            assert n_runs == plan.n_runs
+            assert len(window_ends) == len(trace)
+
+    def test_window_ends_mark_window_boundaries(self):
+        r = recipe_of([1, 2, 3, 4])
+        trace, window_ends, _ = access_trace(r, 2)
+        # two windows of two accesses each
+        assert trace == [1, 2, 3, 4]
+        assert window_ends == [2, 2, 4, 4]
+
+    def test_faa_off_is_run_sequence(self):
+        r = recipe_of([5, 5, 7, 5])
+        trace, window_ends, n_runs = access_trace(r, 0)
+        assert trace == [5, 7, 5]
+        assert window_ends == [1, 2, 3]
+        assert n_runs == 3
+
+
+class TestReadAheadBatching:
+    def ingest(self, segmenter, cids=None):
+        """Store with containers 0..3 holding a known layout."""
+        from tests.conftest import TEST_PROFILE, make_stream
+        from repro.dedup.base import EngineResources
+        from repro.dedup.exact import ExactEngine
+        from repro.dedup.pipeline import run_backup
+        from repro.workloads.generators import BackupJob
+
+        res = EngineResources.create(
+            profile=TEST_PROFILE, container_bytes=64 * 1024, expected_entries=100_000
+        )
+        res.store.seal_seeks = 0
+        eng = ExactEngine(res)
+        report = run_backup(eng, BackupJob(0, "t", make_stream(300, seed=11)), segmenter)
+        return res, report
+
+    def test_linear_recipe_batches_into_few_seeks(self, segmenter):
+        res, report = self.ingest(segmenter)
+        n_containers = report.recipe.unique_containers().size
+        assert n_containers > 2
+        base = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        faa = RestoreReader(
+            res.store,
+            cache_containers=4,
+            faa_window=report.recipe.n_chunks,
+            readahead=True,
+        ).restore(report.recipe)
+        # a fresh linear backup is one sequential run of containers:
+        # read-ahead collapses it into a single priced positioning
+        assert faa.seeks == 1
+        assert faa.readahead_batches == 1
+        assert faa.container_reads == n_containers
+        assert base.seeks == n_containers
+
+    def test_restored_bytes_unaffected(self, segmenter):
+        res, report = self.ingest(segmenter)
+        base = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        faa = RestoreReader(
+            res.store, cache_containers=4, faa_window=128, readahead=True
+        ).restore(report.recipe)
+        assert faa.logical_bytes == base.logical_bytes
+        assert faa.n_chunks == base.n_chunks
+
+    def test_readahead_without_faa_uses_bounded_horizon(self, segmenter):
+        res, report = self.ingest(segmenter)
+        ra = RestoreReader(
+            res.store, cache_containers=4, readahead=True
+        ).restore(report.recipe)
+        base = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        assert ra.seeks <= base.seeks
+        assert ra.logical_bytes == base.logical_bytes
+
+    def test_faa_reduces_time_not_just_seeks(self, segmenter):
+        res, report = self.ingest(segmenter)
+        base = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        faa = RestoreReader(
+            res.store,
+            cache_containers=4,
+            faa_window=report.recipe.n_chunks,
+            readahead=True,
+        ).restore(report.recipe)
+        assert faa.elapsed_seconds < base.elapsed_seconds
+        assert faa.read_rate > base.read_rate
+
+    def test_rejects_negative_window(self, segmenter):
+        res, _ = self.ingest(segmenter)
+        with pytest.raises(ValueError):
+            RestoreReader(res.store, faa_window=-1)
+
+    def test_rejects_unknown_policy(self, segmenter):
+        res, _ = self.ingest(segmenter)
+        with pytest.raises(ValueError):
+            RestoreReader(res.store, policy="mru")
+
+
+class TestSmallPresetSeekReduction:
+    """The PR's acceptance claim on the fig6 quick preset."""
+
+    @pytest.fixture(scope="class")
+    def ddfs_final(self):
+        config = ExperimentConfig.small()
+        res = create_resources(config)
+        eng = create_engine("DDFS-Like", config, res)
+        jobs = author_fs_20_full(
+            fs_bytes=config.fs_bytes,
+            seed=config.seed,
+            n_generations=config.n_generations,
+            churn=config.churn_full,
+        )
+        reports = run_workload(eng, jobs, paper_segmenter())
+        return res.store, reports[-1].recipe
+
+    def test_faa_readahead_at_least_1_5x_fewer_seeks(self, ddfs_final):
+        store, recipe = ddfs_final
+        base = RestoreReader(store, cache_containers=4).restore(recipe)
+        faa = RestoreReader(
+            store, cache_containers=4, faa_window=2048, readahead=True
+        ).restore(recipe)
+        assert faa.logical_bytes == base.logical_bytes
+        assert base.seeks >= 1.5 * faa.seeks, (
+            f"expected >=1.5x fewer priced seeks, got {base.seeks} -> {faa.seeks}"
+        )

@@ -1,0 +1,121 @@
+"""Twin-run contract for the restore path: observability must be free.
+
+Running the identical restore with a recording session active and with
+the null session must produce identical :class:`RestoreStats` totals and
+identical simulated elapsed time — recording never touches the disk
+model or the clock. And the event stream must *replay*: summing the
+per-restore events reproduces the registry's counters exactly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dedup.base import EngineResources
+from repro.dedup.exact import ExactEngine
+from repro.dedup.pipeline import run_backup
+from repro.obs import ListEventSink, Observability, obs_session
+from repro.restore.reader import RestoreReader
+from repro.workloads.generators import BackupJob
+
+from tests.conftest import TEST_PROFILE, make_stream
+
+
+def build_store(segmenter, n_gens=3):
+    res = EngineResources.create(
+        profile=TEST_PROFILE, container_bytes=64 * 1024, expected_entries=100_000
+    )
+    res.store.seal_seeks = 0
+    eng = ExactEngine(res)
+    reports = [
+        run_backup(eng, BackupJob(g, "t", make_stream(250, seed=31 + g)), segmenter)
+        for g in range(n_gens)
+    ]
+    return res, reports
+
+
+def run_restores(segmenter, *, obs=None, **reader_kwargs):
+    """Fresh ingest + restore of every generation; returns (stats, t)."""
+    res, reports = build_store(segmenter)
+    reader = RestoreReader(res.store, cache_containers=4, **reader_kwargs)
+    t0 = res.disk.clock.now
+    if obs is not None:
+        with obs_session(obs):
+            for r in reports:
+                reader.restore(r.recipe)
+    else:
+        for r in reports:
+            reader.restore(r.recipe)
+    return reader.stats, res.disk.clock.now - t0
+
+
+KWARG_GRID = [
+    {},
+    {"policy": "lfu"},
+    {"policy": "belady", "faa_window": 256},
+    {"faa_window": 128, "readahead": True},
+    {"readahead": True},
+]
+
+
+class TestTwinRun:
+    @pytest.mark.parametrize("kwargs", KWARG_GRID)
+    def test_obs_on_off_identical_stats_and_simtime(self, segmenter, kwargs):
+        off_stats, off_t = run_restores(segmenter, obs=None, **kwargs)
+        obs = Observability(events=ListEventSink())
+        on_stats, on_t = run_restores(segmenter, obs=obs, **kwargs)
+        assert dataclasses.asdict(on_stats) == dataclasses.asdict(off_stats)
+        assert on_t == off_t
+        assert on_stats.restores == 3
+
+    def test_event_stream_replays_registry_counters(self, segmenter):
+        sink = ListEventSink()
+        obs = Observability(events=sink)
+        stats, _ = run_restores(
+            segmenter, obs=obs, policy="lru", faa_window=64, readahead=True
+        )
+        events = sink.of_type("restore")
+        assert len(events) == stats.restores
+        for field in (
+            "container_reads",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "seeks",
+            "readahead_batches",
+        ):
+            replayed = sum(e[field] for e in events)
+            assert replayed == obs.registry.get(f"restore.{field}").value
+            assert replayed == getattr(stats, field)
+        assert sum(e["logical_bytes"] for e in events) == stats.logical_bytes
+
+    def test_evict_events_match_eviction_counter(self, segmenter):
+        sink = ListEventSink()
+        obs = Observability(events=sink)
+        stats, _ = run_restores(segmenter, obs=obs)
+        evicts = sink.of_type("restore_cache_evict")
+        assert len(evicts) == stats.cache_evictions
+        assert len(evicts) == obs.registry.get("restore.cache_evictions").value
+        assert all(e["policy"] == "lru" for e in evicts)
+
+    def test_seek_transfer_span_attribution(self, segmenter):
+        obs = Observability(events=ListEventSink())
+        stats, elapsed = run_restores(segmenter, obs=obs)
+        seek_s = obs.registry.get("restore.phase.seek").sim_seconds
+        transfer_s = obs.registry.get("restore.phase.transfer").sim_seconds
+        read_s = obs.registry.get("restore.phase.read").sim_seconds
+        # restore time decomposes exactly into positioning + transfer
+        assert seek_s + transfer_s == pytest.approx(read_s)
+        assert read_s == pytest.approx(stats.elapsed_seconds)
+        assert seek_s == pytest.approx(stats.seeks * TEST_PROFILE.seek_time_s)
+
+    def test_cumulative_stats_fold_reports(self, segmenter):
+        res, reports = build_store(segmenter)
+        reader = RestoreReader(res.store, cache_containers=4)
+        rrs = [reader.restore(r.recipe) for r in reports]
+        assert reader.stats.restores == len(rrs)
+        assert reader.stats.logical_bytes == sum(r.logical_bytes for r in rrs)
+        assert reader.stats.seeks == sum(r.seeks for r in rrs)
+        assert reader.stats.elapsed_seconds == pytest.approx(
+            sum(r.elapsed_seconds for r in rrs)
+        )
