@@ -13,7 +13,10 @@ Measures, in one sitting:
   ingest optimization can touch), and
 * the fig6-small all-generation restore from the DDFS-Like layout
   through the default reader and the FAA + read-ahead reader (written
-  to ``BENCH_restore.json``).
+  to ``BENCH_restore.json``), and
+* byte-level Gear CDC over a fixed random buffer — the skip-then-scan
+  fast path vs the exact 64-pass reference sweep (written to
+  ``BENCH_chunking.json`` via ``--chunking-out``).
 
 The JSON it writes is the committed baseline that ``python -m repro
 bench`` gates wall-clock regressions against.
@@ -34,8 +37,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench import (  # noqa: E402
     BASELINE_FILENAME,
+    CHUNKING_BASELINE_FILENAME,
     RESTORE_BASELINE_FILENAME,
     run_bench,
+    run_chunking_bench,
     run_restore_bench,
 )
 
@@ -122,6 +127,14 @@ def main() -> int:
         help="do not (re)record the restore-path baseline",
     )
     parser.add_argument(
+        "--chunking-out", default=str(REPO_ROOT / CHUNKING_BASELINE_FILENAME)
+    )
+    parser.add_argument(
+        "--skip-chunking",
+        action="store_true",
+        help="do not (re)record the byte-level chunking baseline",
+    )
+    parser.add_argument(
         "--skip-end-to-end",
         action="store_true",
         help="only record the in-process ingest measurement",
@@ -203,6 +216,18 @@ def main() -> int:
         restore_out.write_text(json.dumps(restore_record, indent=2) + "\n")
         print(json.dumps(restore_record, indent=2))
         print(f"\nwrote {restore_out}")
+
+    if not args.skip_chunking:
+        chunking_record = {
+            "recorded_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "chunking": run_chunking_bench(repeats=args.repeats),
+        }
+        chunking_out = Path(args.chunking_out)
+        chunking_out.write_text(json.dumps(chunking_record, indent=2) + "\n")
+        print(json.dumps(chunking_record, indent=2))
+        print(f"\nwrote {chunking_out}")
     return 0
 
 

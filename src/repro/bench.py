@@ -9,12 +9,18 @@ does change — how long the simulator itself takes to run. It measures
   chunk-at-a-time scalar reference), and
 * the fig6 all-generation restore from a pre-ingested DDFS-Like store
   (the most fragmented layout) through the default reader and the
-  FAA + read-ahead reader,
+  FAA + read-ahead reader, and
+* byte-level CDC over a fixed random buffer through the Gear
+  skip-then-scan fast path and the exact 64-pass reference sweep (plus
+  the batch fingerprint fold),
 
 and compares each against a committed baseline so regressions fail
-loudly. Used by ``python -m repro bench`` and ``benchmarks/record.py``;
-the committed records live in ``BENCH_ingest.json`` and
-``BENCH_restore.json`` at the repo root.
+loudly. The chunking gate is double-sided: the fast path must stay
+within 2x of its own committed time *and* at least 5x faster than the
+committed exact-path rate. Used by ``python -m repro bench`` and
+``benchmarks/record.py``; the committed records live in
+``BENCH_ingest.json``, ``BENCH_restore.json``, and
+``BENCH_chunking.json`` at the repo root.
 """
 
 from __future__ import annotations
@@ -34,10 +40,18 @@ BASELINE_FILENAME = "BENCH_ingest.json"
 #: committed baseline for the restore-path measurement
 RESTORE_BASELINE_FILENAME = "BENCH_restore.json"
 
+#: committed baseline for the byte-level chunking measurement
+CHUNKING_BASELINE_FILENAME = "BENCH_chunking.json"
+
 #: a fresh measurement this many times slower than the committed
 #: baseline's batch time fails the bench gate (2x absorbs machine noise;
 #: a de-vectorized ingest path is ~8x)
 REGRESSION_FACTOR = 2.0
+
+#: the skip-then-scan chunking path must stay at least this many times
+#: faster (MB/s) than the committed exact-path baseline — the point of
+#: the fast path; falling below it means the skip/scan structure broke
+CHUNKING_SPEEDUP_FLOOR = 5.0
 
 
 def measure_ingest(
@@ -141,6 +155,130 @@ def run_bench(
         )
     result["phase_seconds"] = measure_phases(config)
     return result
+
+
+def chunking_fixture(nbytes: int = 8 * 1024 * 1024, seed: int = 2012) -> bytes:
+    """Deterministic random buffer for the chunking measurements."""
+    from repro._util import rng_from
+
+    rng = rng_from(seed, "bench-chunking")
+    return rng.integers(0, 256, size=int(nbytes), dtype="uint8").tobytes()
+
+
+def measure_chunking(
+    data: bytes, *, exact: bool = False, repeats: int = 3
+) -> Dict:
+    """Best-of-``repeats`` wall-clock seconds cutting ``data`` with the
+    Gear chunker (skip-then-scan fast path, or the exact 64-pass
+    reference sweep when ``exact``), plus the cut count and the fast
+    path's scanned-byte fraction."""
+    from repro.chunking.gear import GearChunker
+
+    chunker = GearChunker(exact=exact)
+    best = float("inf")
+    boundaries = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        boundaries = chunker.cut_boundaries(data)
+        best = min(best, time.perf_counter() - t0)
+    stats = chunker.last_stats
+    assert boundaries is not None and stats is not None
+    return {
+        "seconds": best,
+        "mb_per_s": (len(data) / 1e6) / best,
+        "n_chunks": len(boundaries) - 1,
+        "scan_fraction": stats.scan_bytes / max(stats.bytes_in, 1),
+    }
+
+
+def run_chunking_bench(
+    *, repeats: int = 3, exact: bool = True, nbytes: int = 8 * 1024 * 1024
+) -> Dict:
+    """Measure the byte-level chunking path and return the result record.
+
+    Args:
+        repeats: repetitions per measurement (best-of wins).
+        exact: also measure the exact 64-pass reference sweep (slow; the
+            ``--quick`` CLI mode skips it — the gate compares against
+            the *committed* exact baseline either way).
+        nbytes: buffer size; stays fixed so records are comparable.
+    """
+    from repro.chunking.fingerprint import fingerprint_segments_fast
+    from repro.chunking.gear import GearChunker
+
+    data = chunking_fixture(nbytes)
+    fast = measure_chunking(data, exact=False, repeats=repeats)
+    result: Dict = {
+        "benchmark": f"gear CDC over a {nbytes // (1024 * 1024)} MiB random buffer",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "nbytes": nbytes,
+        "seqcdc_seconds": round(fast["seconds"], 4),
+        "seqcdc_mb_per_s": round(fast["mb_per_s"], 1),
+        "n_chunks": fast["n_chunks"],
+        "scan_fraction": round(fast["scan_fraction"], 4),
+    }
+    if exact:
+        ref = measure_chunking(data, exact=True, repeats=repeats)
+        result["exact_seconds"] = round(ref["seconds"], 4)
+        result["exact_mb_per_s"] = round(ref["mb_per_s"], 1)
+        result["speedup"] = round(fast["mb_per_s"] / ref["mb_per_s"], 2)
+        result["identical_cuts"] = bool(
+            (
+                GearChunker().cut_boundaries(data)
+                == GearChunker(exact=True).cut_boundaries(data)
+            ).all()
+        )
+    boundaries = GearChunker().cut_boundaries(data)
+    t0 = time.perf_counter()
+    fingerprint_segments_fast(data, boundaries)
+    result["fingerprint_mb_per_s"] = round(
+        (len(data) / 1e6) / (time.perf_counter() - t0), 1
+    )
+    return result
+
+
+def load_chunking_baseline(path: Optional[Path] = None) -> Optional[Dict]:
+    """The committed chunking baseline record, or None when absent."""
+    p = Path(path) if path is not None else Path(CHUNKING_BASELINE_FILENAME)
+    if not p.is_file():
+        return None
+    return json.loads(p.read_text())
+
+
+def check_chunking_regression(
+    result: Dict,
+    baseline: Dict,
+    factor: float = REGRESSION_FACTOR,
+    speedup_floor: float = CHUNKING_SPEEDUP_FLOOR,
+) -> Optional[str]:
+    """None if the chunking measurement holds both gates, else a
+    human-readable failure message.
+
+    Gate 1 (regression): fresh skip-then-scan time within ``factor`` of
+    the committed skip-then-scan time. Gate 2 (structure): fresh
+    skip-then-scan MB/s at least ``speedup_floor`` times the *committed*
+    exact-path MB/s — the fast path's reason to exist.
+    """
+    rec = baseline.get("chunking", baseline)
+    base = rec.get("seqcdc_seconds")
+    now = result["seqcdc_seconds"]
+    if base is not None and now > factor * base:
+        return (
+            f"chunking wall-clock regressed: {now:.3f}s vs committed "
+            f"{base:.3f}s baseline (>{factor:.1f}x)"
+        )
+    exact_rate = rec.get("exact_mb_per_s")
+    if exact_rate is not None:
+        rate = result["seqcdc_mb_per_s"]
+        if rate < speedup_floor * exact_rate:
+            return (
+                f"skip-then-scan chunking at {rate:.1f} MB/s is below "
+                f"{speedup_floor:.0f}x the committed exact-path rate "
+                f"({exact_rate:.1f} MB/s)"
+            )
+    return None
 
 
 def restore_fixture(config: Optional[ExperimentConfig] = None):

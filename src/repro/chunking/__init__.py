@@ -22,11 +22,14 @@ ingest path for real data and for validating the chunk-level model.
 
 from repro.chunking.base import Chunk, Chunker, ChunkStream
 from repro.chunking.fixed import FixedChunker
-from repro.chunking.gear import GearChunker
+from repro.chunking.gear import ChunkScanStats, GearChunker
 from repro.chunking.rabin import RabinChunker
+from repro.chunking.select import select_cuts
 from repro.chunking.fingerprint import (
     fingerprint64,
+    fingerprint64_fast,
     fingerprint_segments,
+    fingerprint_segments_fast,
     splitmix64,
     splitmix64_array,
 )
@@ -34,12 +37,16 @@ from repro.chunking.fingerprint import (
 __all__ = [
     "Chunk",
     "Chunker",
+    "ChunkScanStats",
     "ChunkStream",
     "FixedChunker",
     "GearChunker",
     "RabinChunker",
+    "select_cuts",
     "fingerprint64",
+    "fingerprint64_fast",
     "fingerprint_segments",
+    "fingerprint_segments_fast",
     "splitmix64",
     "splitmix64_array",
 ]

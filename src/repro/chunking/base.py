@@ -12,7 +12,10 @@ from typing import Iterable, Iterator, NamedTuple, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.chunking.fingerprint import fingerprint_segments
+from repro.chunking.fingerprint import (
+    fingerprint_segments,
+    fingerprint_segments_fast,
+)
 
 
 class Chunk(NamedTuple):
@@ -126,11 +129,28 @@ class Chunker(abc.ABC):
         len(boundaries) - 1``. For empty input, return ``array([0])``
         (zero chunks)."""
 
-    def chunk(self, data: bytes) -> ChunkStream:
-        """Chunk ``data`` and fingerprint every piece."""
+    def chunk(self, data: bytes, *, fingerprints: str = "blake2b") -> ChunkStream:
+        """Chunk ``data`` and fingerprint every piece.
+
+        Args:
+            fingerprints: fingerprint family — ``"blake2b"`` (default,
+                the historical per-chunk hash) or ``"fast"`` (the
+                vectorized word-fold batch used by the byte-level
+                workload path). The two families produce different
+                fingerprint values but identical dedup behaviour; pick
+                one per experiment and stay with it.
+        """
         boundaries = self.cut_boundaries(data)
         if len(boundaries) < 2:
             return ChunkStream.empty()
-        fps = fingerprint_segments(data, boundaries.tolist())
+        if fingerprints == "blake2b":
+            fps = fingerprint_segments(data, boundaries.tolist())
+        elif fingerprints == "fast":
+            fps = fingerprint_segments_fast(data, boundaries)
+        else:
+            raise ValueError(
+                f"unknown fingerprint family {fingerprints!r} "
+                "(expected 'blake2b' or 'fast')"
+            )
         sizes = np.diff(boundaries).astype(np.uint32)
         return ChunkStream(fps, sizes)

@@ -1,23 +1,40 @@
-"""Rabin polynomial fingerprinting CDC (reference implementation).
+"""Rabin polynomial fingerprinting CDC.
 
-This is the classic LBFS/DDFS chunker: a degree-53 irreducible polynomial
-over GF(2), a sliding window of 48 bytes, and a boundary wherever the
-window fingerprint's low bits match a fixed pattern. It is implemented
-with the standard two-table scheme (overflow-reduction table and
-outgoing-byte table) as a per-byte Python loop.
+The classic LBFS/DDFS chunker: a degree-53 irreducible polynomial over
+GF(2), a sliding window of 48 bytes, and a boundary wherever the window
+fingerprint's low bits match a fixed pattern.
 
-It exists as the *reference* chunker — exact Rabin semantics for tests and
-small inputs. The production byte-level path is
-:class:`~repro.chunking.gear.GearChunker` (vectorized); large-scale
-experiments bypass byte chunking entirely (chunk-level streams).
+Two implementations share the semantics:
+
+* **Scalar reference**: the standard two-table scheme (overflow-reduction
+  table and outgoing-byte table) as a per-byte Python loop — exact Rabin
+  semantics, kept as the cross-check oracle.
+* **Vectorized** (default when valid): the full-window fingerprint is
+  GF(2)-linear in the window bytes,
+
+      H(i) = XOR_{j=0..window-1} V_j[b_{i-j}],   V_j[b] = (b·x^(8j)) mod P
+
+  so 48 vectorized XOR table-lookup passes compute every position's
+  full-window hash, block-wise with a ``window - 1`` byte carry. Boundary
+  checks in the scalar loop only ever happen at chunk length >=
+  ``min_size``; whenever ``min_size >= window`` the window is therefore
+  always full (and independent of the per-cut state reset), so candidate
+  positions match the scalar loop exactly and the shared
+  :func:`repro.chunking.select.select_cuts` clamp reproduces its cuts
+  cut-for-cut (property-tested). When ``min_size < window`` the partial-
+  window prefix after each cut would diverge, so the chunker falls back
+  to the scalar loop automatically.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Tuple
+
 import numpy as np
 
-from repro._util import KIB, check_positive
+from repro._util import KIB, MIB, check_positive
 from repro.chunking.base import Chunker
+from repro.chunking.select import select_cuts
 
 #: The LBFS irreducible polynomial of degree 53 over GF(2).
 DEFAULT_POLY = 0x3DA3358B4DC173
@@ -46,6 +63,26 @@ def _build_tables(poly: int, degree: int, window: int):
     return T, U
 
 
+#: lag tables are pure functions of (poly, degree, window); building one
+#: costs window * 256 polymods, so share them across chunker instances
+_LAG_CACHE: Dict[Tuple[int, int, int], np.ndarray] = {}
+
+
+def _build_lag_tables(poly: int, degree: int, window: int) -> np.ndarray:
+    """V[j][b] = (b * x^(8j)) mod P — the lag-j byte contribution."""
+    key = (poly, degree, window)
+    table = _LAG_CACHE.get(key)
+    if table is None:
+        table = np.empty((window, 256), dtype=np.uint64)
+        for j in range(window):
+            shift = 8 * j
+            for b in range(256):
+                table[j, b] = _polymod(b << shift, poly, degree)
+        table.setflags(write=False)
+        _LAG_CACHE[key] = table
+    return table
+
+
 class RabinChunker(Chunker):
     """Sliding-window Rabin fingerprint chunker.
 
@@ -55,6 +92,12 @@ class RabinChunker(Chunker):
         max_size: forced cut length.
         window: sliding window width in bytes.
         poly: irreducible polynomial (degree 53).
+        vectorized: force the vectorized (True) or scalar (False) path;
+            the default ``None`` auto-selects vectorized whenever it is
+            exact (``min_size >= window``). Requesting ``True`` when that
+            precondition fails raises.
+        hash_block: block size in bytes for the vectorized evaluation
+            (bounds peak temporaries; never affects the cuts).
     """
 
     def __init__(
@@ -64,6 +107,9 @@ class RabinChunker(Chunker):
         max_size: "int | None" = None,
         window: int = _WINDOW,
         poly: int = DEFAULT_POLY,
+        *,
+        vectorized: Optional[bool] = None,
+        hash_block: int = 4 * MIB,
     ) -> None:
         check_positive("avg_size", avg_size)
         self.avg_size = int(avg_size)
@@ -77,14 +123,43 @@ class RabinChunker(Chunker):
         check_positive("window", window)
         self.window = int(window)
         self.poly = int(poly)
+        check_positive("hash_block", hash_block)
+        self.hash_block = int(hash_block)
         self._T, self._U = _build_tables(self.poly, _DEGREE, self.window)
         bits = max(1, int(round(np.log2(self.avg_size))))
         self._mask = (1 << bits) - 1
         # match-anything-but-zero target avoids degenerate all-zero input
         # cutting at every position after min_size
         self._target = self._mask
+        exactable = self.min_size >= self.window
+        if vectorized is None:
+            self.vectorized = exactable
+        else:
+            if vectorized and not exactable:
+                raise ValueError(
+                    "vectorized Rabin requires min_size >= window "
+                    f"(got {self.min_size} < {self.window}): boundary "
+                    "checks below a full window depend on the per-cut "
+                    "state reset"
+                )
+            self.vectorized = bool(vectorized)
+        self._V = (
+            _build_lag_tables(self.poly, _DEGREE, self.window)
+            if self.vectorized
+            else None
+        )
 
     def cut_boundaries(self, data: bytes) -> np.ndarray:
+        if self.vectorized:
+            return self._cut_vectorized(data)
+        return self.cut_boundaries_scalar(data)
+
+    # ------------------------------------------------------------------
+    # scalar reference path
+    # ------------------------------------------------------------------
+
+    def cut_boundaries_scalar(self, data: bytes) -> np.ndarray:
+        """The per-byte two-table loop — the reference semantics."""
         n = len(data)
         if n == 0:
             return np.zeros(1, dtype=np.int64)
@@ -118,8 +193,43 @@ class RabinChunker(Chunker):
             cuts.append(n)
         return np.asarray(cuts, dtype=np.int64)
 
+    # ------------------------------------------------------------------
+    # vectorized path
+    # ------------------------------------------------------------------
+
+    def _cut_vectorized(self, data: bytes) -> np.ndarray:
+        buf = np.frombuffer(data, dtype=np.uint8)
+        n = buf.size
+        if n == 0:
+            return np.zeros(1, dtype=np.int64)
+        V = self._V
+        assert V is not None
+        w = self.window
+        mask = np.uint64(self._mask)
+        target = np.uint64(self._target)
+        block = self.hash_block
+        chunks = []
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            lo = max(start - (w - 1), 0)
+            seg = buf[lo:stop]
+            h = V[0][seg]  # fancy indexing returns a fresh array
+            for j in range(1, min(w, seg.size)):
+                h[j:] ^= V[j][seg[:-j]]
+            # h[q] is the full-window hash at buffer position lo + q for
+            # q >= w - 1; the first-block prefix (positions < w - 1) holds
+            # partial sums, but those candidates sit below window <=
+            # min_size and can never be selected by the clamp walk
+            hits = np.flatnonzero((h[start - lo :] & mask) == target)
+            chunks.append(hits + start + 1)
+        candidates = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        )
+        return select_cuts(candidates, n, self.min_size, self.max_size)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"RabinChunker(avg={self.avg_size}, min={self.min_size}, "
-            f"max={self.max_size}, window={self.window})"
+            f"max={self.max_size}, window={self.window}, "
+            f"{'vectorized' if self.vectorized else 'scalar'})"
         )

@@ -150,6 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmarking and cross-checking)",
     )
     parser.add_argument(
+        "--bytes",
+        dest="byte_level",
+        action="store_true",
+        help="feed the group workload through the byte-level ingest "
+        "path: real generated buffers chunked by the Gear skip-then-"
+        "scan CDC and batch-fingerprinted (bytes -> CDC -> fingerprint "
+        "-> engine -> containers)",
+    )
+    parser.add_argument(
         "--save",
         metavar="DIR",
         default=None,
@@ -264,12 +273,15 @@ def _run_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench import (
+        check_chunking_regression,
         check_regression,
         check_restore_regression,
         load_baseline,
+        load_chunking_baseline,
         load_restore_baseline,
         reference_summary,
         run_bench,
+        run_chunking_bench,
         run_restore_bench,
     )
 
@@ -282,6 +294,8 @@ def _run_bench(args: argparse.Namespace) -> int:
     print(json.dumps(result, indent=2))
     restore_result = run_restore_bench(repeats=repeats, faa=not args.quick)
     print(json.dumps(restore_result, indent=2))
+    chunking_result = run_chunking_bench(repeats=repeats, exact=not args.quick)
+    print(json.dumps(chunking_result, indent=2))
     if args.no_baseline:
         return 0
     exit_code = 0
@@ -310,6 +324,21 @@ def _run_bench(args: argparse.Namespace) -> int:
                 "restore_seconds"
             )
             print(f"OK: restore within 2x of committed baseline ({base}s)")
+    chunking_baseline = load_chunking_baseline()
+    if chunking_baseline is None:
+        print("no committed BENCH_chunking.json found; skipping chunking gate")
+    else:
+        failure = check_chunking_regression(chunking_result, chunking_baseline)
+        if failure is not None:
+            print(f"FAIL: {failure}")
+            exit_code = 1
+        else:
+            rec = chunking_baseline.get("chunking", chunking_baseline)
+            print(
+                "OK: chunking within 2x of committed baseline "
+                f"({rec.get('seqcdc_seconds')}s) and >=5x the committed "
+                f"exact-path rate ({rec.get('exact_mb_per_s')} MB/s)"
+            )
     return exit_code
 
 
@@ -339,6 +368,8 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
         config = config.with_(alpha=args.alpha)
     if args.scalar:
         config = config.with_(batch=False)
+    if args.byte_level:
+        config = config.with_(byte_level=True)
     if args.restore_policy is not None:
         config = config.with_(restore_policy=args.restore_policy)
     if args.faa_window is not None:

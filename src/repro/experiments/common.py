@@ -27,6 +27,7 @@ from repro.metrics.efficiency import partial_segment_efficiency
 from repro.metrics.throughput import throughput_series
 from repro.parallel import CellSpec
 from repro.segmenting.segmenter import ContentDefinedSegmenter
+from repro.workloads.bytegen import group_fs_bytes
 from repro.workloads.generators import group_fs_66
 
 
@@ -124,7 +125,23 @@ _PREP_MEMO: Dict[Tuple, Tuple[List[PreparedBackup], List[TruthTriple]]] = {}
 
 def _workload_key(config: ExperimentConfig) -> Tuple:
     c = config
-    return (c.seed, c.per_user_bytes, c.n_users, c.n_backups, c.churn_full)
+    return (c.seed, c.per_user_bytes, c.n_users, c.n_backups, c.churn_full, c.byte_level)
+
+
+def _group_jobs(config: ExperimentConfig):
+    """The group workload's backup jobs: chunk-level streams by default,
+    the byte-level ingest path (bytes -> CDC -> batch fingerprint) when
+    ``config.byte_level`` is set."""
+    kwargs = dict(
+        per_user_bytes=config.per_user_bytes,
+        seed=config.seed,
+        n_users=config.n_users,
+        n_backups=config.n_backups,
+        churn=config.churn_full,
+    )
+    if config.byte_level:
+        return group_fs_bytes(**kwargs)
+    return group_fs_66(**kwargs)
 
 
 def _prepared_group(
@@ -133,14 +150,7 @@ def _prepared_group(
     key = _workload_key(config)
     hit = _PREP_MEMO.get(key)
     if hit is None:
-        jobs = group_fs_66(
-            per_user_bytes=config.per_user_bytes,
-            seed=config.seed,
-            n_users=config.n_users,
-            n_backups=config.n_backups,
-            churn=config.churn_full,
-        )
-        prepared = prepare_workload(jobs, paper_segmenter())
+        prepared = prepare_workload(_group_jobs(config), paper_segmenter())
         hit = (prepared, truth_annotations(prepared))
         _PREP_MEMO[key] = hit
     return hit
@@ -154,6 +164,7 @@ def _config_key(config: ExperimentConfig) -> Tuple:
         c.silo_block_bytes, c.silo_cache_blocks, c.silo_similarity_capacity,
         c.index_page_cache_pages,
         c.bloom_capacity, c.bloom_fp_rate, c.churn_full, c.batch, c.store,
+        c.byte_level,
     )
 
 

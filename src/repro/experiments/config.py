@@ -111,6 +111,13 @@ class ExperimentConfig:
     #: chunk-at-a-time reference ladder — results are byte-identical,
     #: only wall-clock differs (the bench harness A/Bs this switch)
     batch: bool = True
+    #: feed the group workload through the byte-level ingest path:
+    #: per-generation buffers are materialized from the churn model,
+    #: CDC-chunked by the Gear skip-then-scan fast path, and batch
+    #: fingerprinted (bytes -> CDC -> fingerprint -> engine ->
+    #: containers). False keeps the chunk-level streams the recorded
+    #: figures were measured with.
+    byte_level: bool = False
     #: explicit container-log configuration (durability journal, retry
     #: policy, cache sizes). None keeps the experiment convention:
     #: append-only log (seal_seeks=0), ``container_bytes`` capacity,

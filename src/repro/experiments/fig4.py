@@ -56,19 +56,26 @@ def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
     ddfs = series["DDFS-Like"]
     silo = series["SiLo-Like"]
     wins_over_silo = sum(1 for d, s in zip(defrag, silo) if d > s)
+    notes = {
+        "paper": "DDFS well below DeFrag; DeFrag comparable to SiLo, "
+        "ahead when stream locality is very good",
+        "mean_MBps": "DeFrag=%.0f DDFS=%.0f SiLo=%.0f"
+        % (sum(defrag) / n, sum(ddfs) / n, sum(silo) / n),
+        "defrag_gens_above_silo": f"{wins_over_silo}/{n}",
+    }
+    if config.byte_level:
+        notes["input"] = (
+            "byte-level ingest: generated buffers -> Gear skip-then-scan "
+            "CDC -> batch fingerprint -> engines"
+        )
     return FigureResult(
         figure="Fig4",
-        title="Deduplication throughput comparison (alpha=%.2f)" % config.alpha,
+        title="Deduplication throughput comparison (alpha=%.2f)%s"
+        % (config.alpha, " [bytes]" if config.byte_level else ""),
         x_label="generation",
         x=list(generations),
         series=series,
-        notes={
-            "paper": "DDFS well below DeFrag; DeFrag comparable to SiLo, "
-            "ahead when stream locality is very good",
-            "mean_MBps": "DeFrag=%.0f DDFS=%.0f SiLo=%.0f"
-            % (sum(defrag) / n, sum(ddfs) / n, sum(silo) / n),
-            "defrag_gens_above_silo": f"{wins_over_silo}/{n}",
-        },
+        notes=notes,
         failures=failures,
     )
 

@@ -14,6 +14,9 @@ streams.
   effects.
 * :mod:`~repro.workloads.generators` — the named paper workloads
   (:func:`author_fs_20_full`, :func:`group_fs_66`) plus building blocks.
+* :mod:`~repro.workloads.bytegen` — byte-level twins of the generators:
+  real buffers materialized from the same churn model, CDC-chunked and
+  batch-fingerprinted into the identical ``BackupJob`` contract.
 * :mod:`~repro.workloads.trace` — save/load backup traces as ``.npz``.
 """
 
@@ -25,6 +28,13 @@ from repro.workloads.generators import (
     group_fs_66,
     single_user_incrementals,
     single_user_stream,
+)
+from repro.workloads.bytegen import (
+    byte_backup,
+    chunk_payload,
+    default_byte_chunker,
+    group_fs_bytes,
+    single_user_byte_stream,
 )
 from repro.workloads.trace import load_trace, save_trace
 
@@ -38,6 +48,11 @@ __all__ = [
     "group_fs_66",
     "single_user_incrementals",
     "single_user_stream",
+    "byte_backup",
+    "chunk_payload",
+    "default_byte_chunker",
+    "group_fs_bytes",
+    "single_user_byte_stream",
     "load_trace",
     "save_trace",
 ]

@@ -1,0 +1,89 @@
+"""Vectorized Rabin path: cut-for-cut identical to the scalar loop.
+
+The lag-table evaluation (one XOR gather per window byte) is exact only
+when ``min_size >= window`` — below that, boundary checks can land
+inside a partially-filled window whose value depends on the per-cut
+state reset the scalar loop performs. The chunker auto-selects the
+vectorized path exactly when it is exact, and refuses a forced
+``vectorized=True`` otherwise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.rabin import RabinChunker
+
+
+def random_bytes(n: int, seed: int = 0) -> bytes:
+    return bytes(np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8))
+
+
+class TestCrossCheck:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        n=st.integers(0, 30_000),
+        data_seed=st.integers(0, 2**31 - 1),
+        avg=st.sampled_from([256, 1024, 4096]),
+        hash_block=st.sampled_from([4096, 1 << 20]),
+    )
+    def test_vectorized_matches_scalar(self, n, data_seed, avg, hash_block):
+        data = random_bytes(n, data_seed)
+        chunker = RabinChunker(avg_size=avg, hash_block=hash_block)
+        assert chunker.vectorized  # every sampled avg has min >= window
+        np.testing.assert_array_equal(
+            chunker.cut_boundaries(data), chunker.cut_boundaries_scalar(data)
+        )
+
+    @settings(deadline=None, max_examples=30)
+    @given(data=st.binary(max_size=10_000))
+    def test_arbitrary_bytes(self, data):
+        chunker = RabinChunker(avg_size=512, min_size=128)
+        np.testing.assert_array_equal(
+            chunker.cut_boundaries(data), chunker.cut_boundaries_scalar(data)
+        )
+
+    def test_tiny_hash_block_crossing_many_blocks(self):
+        data = random_bytes(300_000, seed=3)
+        tiny = RabinChunker(avg_size=1024, hash_block=4096)
+        np.testing.assert_array_equal(
+            tiny.cut_boundaries(data), tiny.cut_boundaries_scalar(data)
+        )
+
+    def test_short_window_still_exact(self):
+        chunker = RabinChunker(avg_size=256, min_size=64, window=16)
+        data = random_bytes(50_000, seed=4)
+        np.testing.assert_array_equal(
+            chunker.cut_boundaries(data), chunker.cut_boundaries_scalar(data)
+        )
+
+
+class TestDispatch:
+    def test_auto_vectorized_when_exactable(self):
+        assert RabinChunker(avg_size=8192).vectorized  # min 2048 >= 48
+        assert RabinChunker(avg_size=256, min_size=48).vectorized
+
+    def test_auto_scalar_when_min_below_window(self):
+        chunker = RabinChunker(avg_size=128)  # min 32 < window 48
+        assert not chunker.vectorized
+        data = random_bytes(5000, seed=5)
+        np.testing.assert_array_equal(
+            chunker.cut_boundaries(data), chunker.cut_boundaries_scalar(data)
+        )
+
+    def test_forcing_vectorized_below_window_raises(self):
+        with pytest.raises(ValueError, match="min_size >= window"):
+            RabinChunker(avg_size=128, vectorized=True)
+
+    def test_forcing_scalar_is_allowed(self):
+        chunker = RabinChunker(avg_size=8192, vectorized=False)
+        assert not chunker.vectorized
+        data = random_bytes(20_000, seed=6)
+        np.testing.assert_array_equal(
+            chunker.cut_boundaries(data),
+            RabinChunker(avg_size=8192).cut_boundaries(data),
+        )
+
+    def test_empty_input(self):
+        assert RabinChunker().cut_boundaries(b"").tolist() == [0]
+        assert RabinChunker().cut_boundaries_scalar(b"").tolist() == [0]

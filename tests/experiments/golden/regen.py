@@ -29,6 +29,15 @@ def regenerate() -> None:
         path = GOLDEN_DIR / f"{name}_small.txt"
         path.write_text(results[name].table() + "\n")
         print(f"wrote {path}")
+    # the byte-level ingest variant (bytes -> CDC -> fingerprint -> engines)
+    byte_results, byte_errors = run_suite(
+        ["fig4"], config.with_(byte_level=True), jobs=1
+    )
+    if byte_errors:
+        raise SystemExit(f"cannot regenerate, experiments failed: {byte_errors}")
+    path = GOLDEN_DIR / "fig4_small_bytes.txt"
+    path.write_text(byte_results["fig4"].table() + "\n")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

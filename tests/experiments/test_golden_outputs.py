@@ -54,6 +54,39 @@ class TestGoldenTables:
                 f"regen.py and commit the diff:\n{diff}"
             )
 
+    def test_byte_level_fig4_byte_identical(self):
+        """The byte-level ingest variant (bytes -> CDC -> fingerprint ->
+        engines) is pinned too: chunker or fingerprint changes that move
+        its cuts show up here as table drift."""
+        from repro.experiments.common import clear_memo
+
+        clear_memo()
+        try:
+            results, errors = run_suite(
+                ["fig4"], ExperimentConfig.small().with_(byte_level=True), jobs=1
+            )
+        finally:
+            clear_memo()
+        assert not errors, errors
+        golden_path = GOLDEN_DIR / "fig4_small_bytes.txt"
+        expected = golden_path.read_text()
+        actual = results["fig4"].table() + "\n"
+        if actual != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(),
+                    actual.splitlines(),
+                    fromfile=str(golden_path),
+                    tofile="fig4 --bytes (current)",
+                    lineterm="",
+                )
+            )
+            pytest.fail(
+                "byte-level fig4 table drifted from its golden snapshot; "
+                "if intentional run tests/experiments/golden/regen.py:"
+                f"\n{diff}"
+            )
+
     def test_default_fig6_has_no_restore_columns(self, suite_results):
         """The restore-subsystem columns only appear under non-default
         restore knobs; the recorded default table must not grow them."""
@@ -64,3 +97,4 @@ class TestGoldenTables:
     def test_golden_files_present(self):
         for name in FIGURES:
             assert (GOLDEN_DIR / f"{name}_small.txt").is_file()
+        assert (GOLDEN_DIR / "fig4_small_bytes.txt").is_file()
