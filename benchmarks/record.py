@@ -19,7 +19,11 @@ Measures, in one sitting:
   ``BENCH_chunking.json`` via ``--chunking-out``).
 
 The JSON it writes is the committed baseline that ``python -m repro
-bench`` gates wall-clock regressions against.
+bench`` gates wall-clock regressions against. With ``--append-history``
+it additionally appends one compact line of headline numbers (plus the
+run's provenance manifest) to ``BENCH_history.jsonl`` — the perf
+trajectory ``repro dash`` plots and ``repro bench`` annotates with a
+drift direction.
 """
 
 from __future__ import annotations
@@ -38,7 +42,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.bench import (  # noqa: E402
     BASELINE_FILENAME,
     CHUNKING_BASELINE_FILENAME,
+    HISTORY_FILENAME,
     RESTORE_BASELINE_FILENAME,
+    append_history,
+    history_record,
     run_bench,
     run_chunking_bench,
     run_restore_bench,
@@ -151,6 +158,18 @@ def main() -> int:
         default="pre-change reference",
         help="free-form description of the --reference-src checkout",
     )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help="also append one compact line of headline numbers to the "
+        "perf-trajectory history (see --history-out)",
+    )
+    parser.add_argument(
+        "--history-out",
+        default=str(REPO_ROOT / HISTORY_FILENAME),
+        help="history file --append-history grows (default: the "
+        "committed BENCH_history.jsonl)",
+    )
     args = parser.parse_args()
 
     record = {
@@ -205,6 +224,7 @@ def main() -> int:
     print(json.dumps(record, indent=2))
     print(f"\nwrote {out}")
 
+    restore_record = None
     if not args.skip_restore:
         restore_record = {
             "recorded_utc": datetime.now(timezone.utc).isoformat(
@@ -217,6 +237,7 @@ def main() -> int:
         print(json.dumps(restore_record, indent=2))
         print(f"\nwrote {restore_out}")
 
+    chunking_record = None
     if not args.skip_chunking:
         chunking_record = {
             "recorded_utc": datetime.now(timezone.utc).isoformat(
@@ -228,6 +249,18 @@ def main() -> int:
         chunking_out.write_text(json.dumps(chunking_record, indent=2) + "\n")
         print(json.dumps(chunking_record, indent=2))
         print(f"\nwrote {chunking_out}")
+
+    if args.append_history:
+        ingest = record["ingest"]
+        line = history_record(
+            ingest=ingest,
+            restore=restore_record["restore"] if restore_record else None,
+            chunking=chunking_record["chunking"] if chunking_record else None,
+            manifest=ingest.get("manifest"),
+        )
+        line["recorded_utc"] = record["recorded_utc"]
+        history_path = append_history(line, Path(args.history_out))
+        print(f"appended history line to {history_path}")
     return 0
 
 

@@ -43,6 +43,22 @@ RESTORE_BASELINE_FILENAME = "BENCH_restore.json"
 #: committed baseline for the byte-level chunking measurement
 CHUNKING_BASELINE_FILENAME = "BENCH_chunking.json"
 
+#: append-only perf trajectory: one compact JSON line per recorded run
+#: (grown by ``benchmarks/record.py --append-history``, plotted by
+#: ``repro dash``, annotated by ``repro bench``)
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+#: the headline metrics a history line tracks:
+#: key -> (display label, unit, True when lower is better)
+HISTORY_METRICS: Dict[str, tuple] = {
+    "ingest_batch_seconds": ("ingest (batch)", "s", True),
+    "restore_seconds": ("restore", "s", True),
+    "chunking_mb_per_s": ("chunking", "MB/s", False),
+}
+
+#: relative change below this reads as noise, not drift
+DRIFT_EPSILON = 0.02
+
 #: a fresh measurement this many times slower than the committed
 #: baseline's batch time fails the bench gate (2x absorbs machine noise;
 #: a de-vectorized ingest path is ~8x)
@@ -154,7 +170,16 @@ def run_bench(
             result["batch_seconds"] / result["parallel_seconds"], 2
         )
     result["phase_seconds"] = measure_phases(config)
+    result["manifest"] = _bench_manifest()
     return result
+
+
+def _bench_manifest() -> Dict:
+    """Provenance block every bench record carries (no wall clock — the
+    enclosing record already stamps ``recorded_utc`` where it matters)."""
+    from repro.obs.manifest import build_manifest
+
+    return build_manifest(wall_clock=False).as_dict()
 
 
 def chunking_fixture(nbytes: int = 8 * 1024 * 1024, seed: int = 2012) -> bytes:
@@ -236,6 +261,7 @@ def run_chunking_bench(
     result["fingerprint_mb_per_s"] = round(
         (len(data) / 1e6) / (time.perf_counter() - t0), 1
     )
+    result["manifest"] = _bench_manifest()
     return result
 
 
@@ -372,6 +398,7 @@ def run_restore_bench(*, repeats: int = 3, faa: bool = True) -> Dict:
         result["sim_seek_reduction"] = round(
             default["sim_seeks"] / max(assembled["sim_seeks"], 1), 2
         )
+    result["manifest"] = _bench_manifest()
     return result
 
 
@@ -441,3 +468,103 @@ def check_regression(
             f"{base:.3f}s baseline (>{factor:.1f}x)"
         )
     return None
+
+
+# -- perf-trajectory history ------------------------------------------------
+
+
+def history_record(
+    ingest: Optional[Dict] = None,
+    restore: Optional[Dict] = None,
+    chunking: Optional[Dict] = None,
+    manifest: Optional[Dict] = None,
+) -> Dict:
+    """One compact history line from full bench records.
+
+    Only the headline numbers survive (``HISTORY_METRICS`` plus a few
+    secondary figures) so the file stays a few hundred bytes per run
+    while the dashboard can still plot every trajectory.
+    """
+    out: Dict = {}
+    if manifest:
+        out.update(manifest)
+    if ingest:
+        out["ingest_batch_seconds"] = ingest.get("batch_seconds")
+        if "scalar_seconds" in ingest:
+            out["ingest_scalar_seconds"] = ingest["scalar_seconds"]
+        if "speedup" in ingest:
+            out["ingest_speedup"] = ingest["speedup"]
+    if restore:
+        out["restore_seconds"] = restore.get("restore_seconds")
+        if "faa_seconds" in restore:
+            out["restore_faa_seconds"] = restore["faa_seconds"]
+    if chunking:
+        out["chunking_mb_per_s"] = chunking.get("seqcdc_mb_per_s")
+        if "speedup" in chunking:
+            out["chunking_speedup"] = chunking["speedup"]
+    return out
+
+
+def load_history(path: Optional[Path] = None) -> list:
+    """Every history line, oldest first ([] when the file is absent).
+    Malformed lines are skipped — the file is append-only and a crashed
+    append must not brick every later reader."""
+    p = Path(path) if path is not None else Path(HISTORY_FILENAME)
+    if not p.is_file():
+        return []
+    out = []
+    for line in p.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            out.append(record)
+    return out
+
+
+def append_history(record: Dict, path: Optional[Path] = None) -> Path:
+    """Append one record as a single JSON line; returns the file path."""
+    p = Path(path) if path is not None else Path(HISTORY_FILENAME)
+    with p.open("a") as fh:
+        json.dump(record, fh, separators=(",", ":"))
+        fh.write("\n")
+    return p
+
+
+def drift_summary(
+    current: Dict, history: list, epsilon: float = DRIFT_EPSILON
+) -> list:
+    """Human-readable drift lines: each headline metric in ``current``
+    (a dict of history-record keys) against the most recent history
+    entry that has it. Direction words respect the metric's polarity
+    (lower seconds good, higher MB/s good); changes within ``epsilon``
+    read as steady. Empty when there is no history to compare against.
+    """
+    lines = []
+    for key, (label, unit, lower_is_better) in HISTORY_METRICS.items():
+        now = current.get(key)
+        if now is None:
+            continue
+        prev = None
+        for record in reversed(history):
+            if record.get(key) is not None:
+                prev = record[key]
+                break
+        if not prev:
+            continue
+        rel = (now - prev) / prev
+        if abs(rel) <= epsilon:
+            direction = "steady"
+        elif (rel < 0) == lower_is_better:
+            direction = "improving"
+        else:
+            direction = "regressing"
+        lines.append(
+            f"{label}: {now:g}{unit} vs {prev:g}{unit} last recorded "
+            f"({rel:+.1%}, {direction})"
+        )
+    return lines

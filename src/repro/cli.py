@@ -10,7 +10,9 @@ Usage::
     python -m repro restore-ablation --scale small --jobs 6
     python -m repro bench --quick
     python -m repro trace fig4 --scale small --events out.jsonl
+    python -m repro trace fig4 --scale small --perfetto trace.json
     python -m repro stats --last
+    python -m repro dash --out dash.html
     python -m repro chaos --crash-points 200 --seed 7
     defrag-repro fig6            # console script, same thing
 
@@ -66,12 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_FIGURES)
-        + ["all", "report", "bench", "trace", "stats", "chaos"],
+        + ["all", "report", "bench", "trace", "stats", "dash", "chaos"],
         help="which figure/ablation to regenerate ('all' runs fig2..fig6; "
         "'report' renders everything as one markdown document; 'bench' "
         "times the ingest path against the committed baseline; 'trace' "
         "reruns one figure with observability on; 'stats' prints the "
-        "last trace's metrics snapshot; 'chaos' sweeps seeded crash "
+        "last trace's metrics snapshot; 'dash' renders a standalone "
+        "HTML dashboard from trace snapshots, committed bench "
+        "baselines, and the bench history; 'chaos' sweeps seeded crash "
         "points through the fault-injection/recovery subsystem)",
     )
     parser.add_argument(
@@ -199,6 +203,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="stats: render the snapshot saved by the last 'trace' run "
         "(the default and only mode, spelled out)",
     )
+    obs.add_argument(
+        "--perfetto",
+        metavar="PATH",
+        default=None,
+        help="trace: also export the run's lifecycle events as Chrome "
+        "trace-event JSON viewable at ui.perfetto.dev",
+    )
+    dash = parser.add_argument_group("dash options")
+    dash.add_argument(
+        "--stats",
+        metavar="PATH",
+        action="append",
+        default=None,
+        help="dash: metrics snapshot(s) saved by 'repro trace' (repeat "
+        "for several runs; default: .repro_stats.json when present)",
+    )
+    dash.add_argument(
+        "--out",
+        metavar="PATH",
+        default="dash.html",
+        help="dash: output HTML file (default dash.html)",
+    )
     return parser
 
 
@@ -222,7 +248,16 @@ def _run_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     import json
 
     from repro.experiments import common
-    from repro.obs import JsonlEventSink, Observability, obs_session
+    from repro.obs import (
+        JsonlEventSink,
+        ListEventSink,
+        Observability,
+        build_manifest,
+        obs_session,
+        read_jsonl,
+        write_chrome_trace,
+    )
+    from repro.obs.manifest import MANIFEST_EVENT
 
     if args.target is None:
         parser.error("trace needs a figure, e.g.: trace fig4")
@@ -232,23 +267,51 @@ def _run_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             f"(choose from {', '.join(sorted(_FIGURES))})"
         )
     config = _make_config(args)
-    sink = JsonlEventSink(args.events) if args.events is not None else None
+    manifest = build_manifest(
+        config=config, scale=args.scale, target=args.target, jobs=args.jobs
+    )
+    # --perfetto without --events still needs the event stream: collect
+    # it in memory instead of on disk
+    sink = None
+    if args.events is not None:
+        sink = JsonlEventSink(args.events)
+    elif args.perfetto is not None:
+        sink = ListEventSink()
     # drop memoized workload runs so the figure actually executes (and
     # records) under this session, then again so later obs-off runs
     # don't reuse anything built during it
     common.clear_memo()
     try:
         with obs_session(Observability(events=sink)) as obs:
+            if sink is not None:
+                # provenance rides first in the stream
+                obs.events.emit(MANIFEST_EVENT, **manifest.as_dict())
             result = _resolve(args.target)(config, jobs=args.jobs)
     finally:
         common.clear_memo()
     print(result.table(fmt=_FLOAT_FMT.get(args.target, "{:.1f}")))
     print()
     print(obs.registry.render())
-    LAST_STATS_PATH.write_text(json.dumps(obs.registry.snapshot(), indent=2))
+    LAST_STATS_PATH.write_text(
+        json.dumps(
+            {"manifest": manifest.as_dict(), "metrics": obs.registry.snapshot()},
+            indent=2,
+        )
+    )
     print()
-    if sink is not None:
+    if args.events is not None:
         print(f"wrote {sink.n_events} events to {sink.path}")
+    if args.perfetto is not None:
+        events = (
+            sink.events
+            if isinstance(sink, ListEventSink)
+            else read_jsonl(args.events)
+        )
+        n_slices = write_chrome_trace(args.perfetto, events, manifest)
+        print(
+            f"wrote {n_slices} trace slices to {args.perfetto} "
+            "(open at https://ui.perfetto.dev)"
+        )
     print(f"metrics snapshot saved to {LAST_STATS_PATH} (view: repro stats --last)")
     return 0
 
@@ -262,7 +325,14 @@ def _run_stats(args: argparse.Namespace) -> int:
     if not LAST_STATS_PATH.exists():
         print(f"no {LAST_STATS_PATH} found — run 'repro trace <fig>' first")
         return 1
-    print(render_snapshot(json.loads(LAST_STATS_PATH.read_text())))
+    data = json.loads(LAST_STATS_PATH.read_text())
+    # PR 7 wraps the snapshot with its provenance manifest; bare
+    # snapshots from older checkouts still render
+    manifest = data.get("manifest") if "metrics" in data else None
+    if manifest:
+        pairs = " ".join(f"{k}={v}" for k, v in manifest.items())
+        print(f"== run ==\n{pairs}")
+    print(render_snapshot(data.get("metrics", data)))
     return 0
 
 
@@ -276,8 +346,11 @@ def _run_bench(args: argparse.Namespace) -> int:
         check_chunking_regression,
         check_regression,
         check_restore_regression,
+        drift_summary,
+        history_record,
         load_baseline,
         load_chunking_baseline,
+        load_history,
         load_restore_baseline,
         reference_summary,
         run_bench,
@@ -339,7 +412,30 @@ def _run_bench(args: argparse.Namespace) -> int:
                 f"({rec.get('seqcdc_seconds')}s) and >=5x the committed "
                 f"exact-path rate ({rec.get('exact_mb_per_s')} MB/s)"
             )
+    history = load_history()
+    if history:
+        current = history_record(
+            ingest=result, restore=restore_result, chunking=chunking_result
+        )
+        for line in drift_summary(current, history):
+            print(f"drift: {line}")
     return exit_code
+
+
+def _run_dash(args: argparse.Namespace) -> int:
+    """``python -m repro dash``: render the standalone HTML dashboard
+    from trace snapshots + committed bench baselines + bench history."""
+    from repro.obs.dash import build_dashboard
+
+    stats = args.stats
+    if stats is None:
+        stats = [str(LAST_STATS_PATH)] if LAST_STATS_PATH.exists() else []
+    missing = [p for p in stats if not Path(p).is_file()]
+    for p in missing:
+        print(f"warning: snapshot {p} not found, skipping")
+    out = build_dashboard(args.out, stats_paths=stats)
+    print(f"dashboard written to {out}")
+    return 0
 
 
 def _run_chaos(args: argparse.Namespace) -> int:
@@ -390,6 +486,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace(args, parser)
     if args.experiment == "stats":
         return _run_stats(args)
+    if args.experiment == "dash":
+        return _run_dash(args)
     if args.experiment == "chaos":
         return _run_chaos(args)
     config = _make_config(args)

@@ -300,6 +300,11 @@ class DeFragEngine(DDFSEngine):
         hist = reg.histogram(f"{p}.spl", SPL_EDGES)
         total = profile.segment_total
         alpha = getattr(self.policy, "alpha", None)
+        # the paper's per-segment decision signal over sim time: the
+        # largest share any one stored segment holds of this segment
+        reg.timeseries(f"{p}.ts.max_spl").sample(
+            self.res.disk.clock.now, profile.max_spl
+        )
         events = self.obs.events
         if not events.enabled:
             for amount in profile.shares.values():

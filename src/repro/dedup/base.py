@@ -280,7 +280,15 @@ class DedupEngine(abc.ABC):
         self._on_begin_backup()
 
     def process_segment(self, segment: Segment) -> SegmentOutcome:
-        """Ingest one segment: charge CPU, classify chunks, write data."""
+        """Ingest one segment: charge CPU, classify chunks, write data.
+
+        When observability is enabled this is also the **segment
+        boundary** of the sampling contract: the scope probes shared
+        meters before/after and attributes phases plus per-segment
+        time-series samples (cache hit ratio, index fault rate) at the
+        segment's end, all on the simulated clock. Disabled sessions
+        perform exactly one attribute check and record nothing.
+        """
         if self._recipe is None:
             raise RuntimeError("call begin_backup first")
         cpu_s = self.cost.segment_cpu_seconds(segment.nbytes, segment.n_chunks)
@@ -302,7 +310,15 @@ class DedupEngine(abc.ABC):
         return outcome
 
     def end_backup(self) -> BackupReport:
-        """Finish the stream: flush the open container, build the report."""
+        """Finish the stream: flush the open container, build the report.
+
+        The finished report is also the **generation boundary** of the
+        sampling contract: the scope samples dedup ratio, rewrite
+        fraction, recipe fragmentation, store occupancy, and throughput
+        into the session's time series — reading only the completed
+        report and meter state, after every result-bearing number is
+        already fixed, so the twin-run byte-identity contract holds.
+        """
         if self._recipe is None or self._disk_t0 is None:
             raise RuntimeError("call begin_backup first")
         self._on_end_backup()

@@ -14,7 +14,16 @@ from typing import Dict, List, Optional
 from repro._util import MIB
 from repro.experiments.common import FigureResult, clear_memo
 from repro.experiments.config import ExperimentConfig
-from repro.obs import Histogram, MetricsRegistry, Observability, Span, obs_session
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    Span,
+    TimeSeries,
+    build_manifest,
+    chunking_summary,
+    obs_session,
+)
 from repro.parallel import GridError
 
 _FIGS = (
@@ -65,6 +74,16 @@ def _config_section(config: ExperimentConfig) -> str:
     )
 
 
+def _provenance_section(config: ExperimentConfig) -> str:
+    """Run identity (manifest without wall-clock fields — the report is
+    under the byte-identity contract, so two runs of the same checkout
+    and config must render the same bytes)."""
+    manifest = build_manifest(config=config, wall_clock=False)
+    lines = ["## Provenance", ""]
+    lines += [f"- {k}: `{v}`" for k, v in manifest.deterministic_dict().items()]
+    return "\n".join(lines)
+
+
 def _histogram_table(hist: Histogram) -> str:
     lines = ["| bucket | count |", "|---|---|"]
     for label, n in hist.buckets():
@@ -107,6 +126,16 @@ def _diagnostics_section(registry: MetricsRegistry) -> str:
         lines += ["", "### Other spans", "", "| span | count | sim seconds |", "|---|---|---|"]
         for span in other:
             lines.append(f"| {span.name} | {span.count} | {span.sim_seconds:.3f} |")
+    chunking = chunking_summary(registry.snapshot())
+    if chunking:
+        lines += [
+            "",
+            "### Chunking (byte-level CDC)",
+            "",
+            "| figure | value |",
+            "|---|---|",
+        ]
+        lines += [f"| {k} | {v} |" for k, v in chunking]
     for hist in registry.by_kind(Histogram):
         tail = hist.name.rpartition(".")[2]
         if hist.name.endswith(".spl"):
@@ -120,6 +149,23 @@ def _diagnostics_section(registry: MetricsRegistry) -> str:
         if not hist.count:
             continue
         lines += ["", f"### {title}", "", _histogram_table(hist)]
+    series = registry.by_kind(TimeSeries)
+    if series:
+        lines += [
+            "",
+            "### Time series (trajectories over simulated time)",
+            "",
+            "| series | samples | first | last | min | max |",
+            "|---|---|---|---|---|---|",
+        ]
+        for ts in series:
+            if not len(ts):
+                continue
+            vals = ts.values()
+            lines.append(
+                f"| {ts.name} | {ts.count} | {vals[0]:.3f} | {vals[-1]:.3f} "
+                f"| {min(vals):.3f} | {max(vals):.3f} |"
+            )
     return "\n".join(lines)
 
 
@@ -146,6 +192,8 @@ def generate_markdown(
         "simulated substrate.",
         "",
         _config_section(config),
+        "",
+        _provenance_section(config),
     ]
     entries = _FIGS + (_ABLATIONS if include_ablations else ())
     # drop memoized workload runs so the figures execute (and record

@@ -36,6 +36,7 @@ from repro.obs.events import (
     NullEventSink,
     read_jsonl,
 )
+from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.registry import (
     Counter,
     FRACTION_EDGES,
@@ -45,10 +46,13 @@ from repro.obs.registry import (
     SIM_SECONDS_EDGES,
     SPL_EDGES,
     Span,
+    TimeSeries,
     YIELD_EDGES,
+    chunking_summary,
     render_snapshot,
 )
 from repro.obs.spans import EngineScope, INGEST_PHASES
+from repro.obs.trace_export import export_chrome_trace, write_chrome_trace
 
 __all__ = [
     "Observability",
@@ -60,6 +64,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Span",
+    "TimeSeries",
+    "RunManifest",
+    "build_manifest",
+    "export_chrome_trace",
+    "write_chrome_trace",
     "EngineScope",
     "INGEST_PHASES",
     "EventSink",
@@ -69,6 +78,7 @@ __all__ = [
     "NULL_EVENTS",
     "read_jsonl",
     "render_snapshot",
+    "chunking_summary",
     "SPL_EDGES",
     "YIELD_EDGES",
     "SIM_SECONDS_EDGES",

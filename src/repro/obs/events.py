@@ -59,6 +59,12 @@ class EventSink:
         the parent's buffered output.
         """
 
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class NullEventSink(EventSink):
     """Discards everything; ``enabled`` is False so instrumentation
@@ -95,12 +101,23 @@ class ListEventSink(EventSink):
 class JsonlEventSink(EventSink):
     """Appends one compact JSON object per event to a file.
 
+    Usable as a context manager (``with JsonlEventSink(p) as sink:``);
+    ``close()`` is idempotent either way. The sink flushes to disk every
+    ``flush_every`` events so a crashed or fault-injected run leaves at
+    most that many events unwritten instead of a silently truncated
+    trace.
+
     Args:
         path: output file (opened lazily on the first event, truncated).
+        flush_every: flush after every N events (0 disables periodic
+            flushing; the OS/interpreter then decides when bytes land).
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], flush_every: int = 64) -> None:
+        if flush_every < 0:
+            raise ValueError(f"flush_every cannot be negative, got {flush_every}")
         self.path = Path(path)
+        self.flush_every = int(flush_every)
         self.n_events = 0
         self._fh = None
 
@@ -111,6 +128,8 @@ class JsonlEventSink(EventSink):
         json.dump(fields, self._fh, separators=(",", ":"))
         self._fh.write("\n")
         self.n_events += 1
+        if self.flush_every and self.n_events % self.flush_every == 0:
+            self._fh.flush()
 
     def flush(self) -> None:
         if self._fh is not None:

@@ -1,11 +1,13 @@
-"""Process-local metrics registry: counters, gauges, histograms, spans.
+"""Process-local metrics registry: counters, gauges, histograms, spans,
+time series.
 
 Every metric lives in one :class:`MetricsRegistry` keyed by a flat dotted
 name (engines prefix their own: ``DeFrag.phase.identify``). Nothing here
-ever reads the wall clock — span durations come from the *simulated*
-clock handed in by the caller — so recording metrics can never perturb
-the reproduction's reported numbers, and the batch/scalar twin-run
-byte-equivalence contract extends to the metrics themselves.
+ever reads the wall clock — span durations and time-series sample times
+come from the *simulated* clock handed in by the caller — so recording
+metrics can never perturb the reproduction's reported numbers, and the
+batch/scalar twin-run byte-equivalence contract extends to the metrics
+themselves.
 
 Histograms use **fixed bucket edges** chosen at creation: bucket ``i``
 counts values in ``(edges[i-1], edges[i]]`` with an implicit first bucket
@@ -19,12 +21,16 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Dict, List, Sequence, Tuple
 
+from repro.obs.timeseries import DEFAULT_MAX_SAMPLES, TimeSeries
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "Span",
+    "TimeSeries",
     "MetricsRegistry",
+    "chunking_summary",
     "SPL_EDGES",
     "YIELD_EDGES",
     "SIM_SECONDS_EDGES",
@@ -62,7 +68,17 @@ class Counter:
 
 
 class Gauge:
-    """Last-write-wins instantaneous value."""
+    """Last-write-wins instantaneous value.
+
+    Merge semantics (see :meth:`MetricsRegistry.merge`): a merged gauge
+    simply takes the incoming snapshot's value — later merges overwrite
+    earlier ones. The parallel grid merges per-cell snapshots in stable
+    spec order, so the surviving value is the last cell's, exactly what
+    serial recording into one registry would have left behind. Gauges
+    are therefore only meaningful for values where "most recent wins"
+    is the right aggregation (occupancy, configuration echoes), never
+    for totals — use a :class:`Counter` for anything additive.
+    """
 
     __slots__ = ("name", "value")
 
@@ -170,6 +186,15 @@ class MetricsRegistry:
     def span(self, name: str) -> Span:
         return self._get_or_create(name, Span)
 
+    def timeseries(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES) -> TimeSeries:
+        ts = self._get_or_create(name, TimeSeries, max_samples)
+        if ts.max_samples != int(max_samples):
+            raise ValueError(
+                f"timeseries {name!r} already registered with "
+                f"max_samples={ts.max_samples}"
+            )
+        return ts
+
     # -- introspection ---------------------------------------------------
 
     def __len__(self) -> int:
@@ -196,6 +221,7 @@ class MetricsRegistry:
             "gauges": {},
             "histograms": {},
             "spans": {},
+            "timeseries": {},
         }
         for name in self.names():
             m = self._metrics[name]
@@ -210,6 +236,8 @@ class MetricsRegistry:
                     "count": m.count,
                     "sum": m.sum,
                 }
+            elif type(m) is TimeSeries:
+                out["timeseries"][name] = m.snapshot()
             else:
                 out["spans"][name] = {"count": m.count, "sim_seconds": m.sim_seconds}
         return out
@@ -219,11 +247,17 @@ class MetricsRegistry:
 
         The parallel grid runner uses this to re-assemble per-cell worker
         registries into the parent session: counters and spans add, histogram
-        bucket counts/sums add (edges must match), and gauges are
-        last-write-wins — so merge order must be the stable cell order for
-        gauge determinism. Merging the snapshots of disjoint registries in
-        execution order reproduces exactly what serial recording into one
-        registry would have produced.
+        bucket counts/sums add (edges must match), time series interleave
+        their samples by sim time (receiver wins ties) and re-thin under the
+        coarser resolution, and gauges are **last-write-wins** — the incoming
+        value simply overwrites the current one, so merge order must be the
+        stable cell order for gauge determinism. Merging the snapshots of
+        disjoint registries in execution order reproduces exactly what serial
+        recording into one registry would have produced.
+
+        A name registered here under one kind and arriving in ``snapshot``
+        under a different kind raises ``TypeError`` before any partial
+        mutation of that metric.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
@@ -237,6 +271,8 @@ class MetricsRegistry:
             hist.sum += h["sum"]
         for name, s in snapshot.get("spans", {}).items():
             self.span(name).record(s["sim_seconds"], count=s["count"])
+        for name, ts in snapshot.get("timeseries", {}).items():
+            self.timeseries(name, ts.get("max_samples", DEFAULT_MAX_SAMPLES)).merge_snapshot(ts)
 
     def render(self) -> str:
         """Human-readable text dump (``repro stats``)."""
@@ -245,6 +281,35 @@ class MetricsRegistry:
     def reset(self) -> None:
         """Drop every registered metric."""
         self._metrics.clear()
+
+
+def chunking_summary(snap: Dict) -> List[Tuple[str, str]]:
+    """Derived CDC figures from the raw ``chunking.*`` counters and the
+    ``chunking.phase.cut`` span (PR 6): mean chunk size, the skip-then-
+    scan byte split, and candidate density. Empty when the snapshot has
+    no chunking activity (non-byte-level runs)."""
+    counters = snap.get("counters", {})
+    bytes_in = counters.get("chunking.bytes_in", 0)
+    if not bytes_in:
+        return []
+    chunks = counters.get("chunking.chunks_out", 0)
+    scanned = counters.get("chunking.scan_bytes", 0)
+    warmup = counters.get("chunking.warmup_bytes", 0)
+    skipped = counters.get("chunking.skipped_bytes", 0)
+    out = [
+        ("bytes_in", f"{bytes_in}"),
+        ("chunks_out", f"{chunks}"),
+        ("mean_chunk_bytes", f"{bytes_in / chunks:.1f}" if chunks else "0"),
+        ("scan_fraction", f"{(scanned + warmup) / bytes_in:.4f}"),
+        ("skipped_fraction", f"{skipped / bytes_in:.4f}"),
+        ("candidates", f"{counters.get('chunking.candidates', 0)}"),
+    ]
+    cut = snap.get("spans", {}).get("chunking.phase.cut")
+    if cut:
+        out.append(
+            ("cut_span", f"n={cut['count']} sim={cut['sim_seconds']:.6f}s")
+        )
+    return out
 
 
 def render_snapshot(snap: Dict) -> str:
@@ -265,6 +330,12 @@ def render_snapshot(snap: Dict) -> str:
         width = max(len(n) for n in counters)
         for name in sorted(counters):
             lines.append(f"{name:<{width}}  {counters[name]}")
+    chunking = chunking_summary(snap)
+    if chunking:
+        lines.append("== chunking (derived) ==")
+        width = max(len(k) for k, _ in chunking)
+        for key, value in chunking:
+            lines.append(f"{key:<{width}}  {value}")
     gauges = snap.get("gauges", {})
     if gauges:
         lines.append("== gauges ==")
@@ -286,4 +357,19 @@ def render_snapshot(snap: Dict) -> str:
                 lo = edge
             if h["counts"][-1]:
                 lines.append(f"  {'> ' + format(h['edges'][-1], 'g'):<16} {h['counts'][-1]}")
+    series = snap.get("timeseries", {})
+    if series:
+        lines.append("== time series ==")
+        for name in sorted(series):
+            ts = series[name]
+            pts = ts.get("samples", [])
+            if not pts:
+                lines.append(f"{name}: n=0")
+                continue
+            vals = [v for _, v in pts]
+            lines.append(
+                f"{name}: n={ts.get('count', len(pts))} kept={len(pts)} "
+                f"t=[{pts[0][0]:.4f}, {pts[-1][0]:.4f}] "
+                f"last={pts[-1][1]:g} min={min(vals):g} max={max(vals):g}"
+            )
     return "\n".join(lines)

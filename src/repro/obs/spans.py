@@ -26,6 +26,16 @@ so recording them can never diverge between the two paths either.
 Probing happens once per segment (never per chunk) and only when
 observability is enabled, preserving the zero-overhead-when-disabled
 invariant.
+
+Beyond cumulative spans, the scope also feeds the **time-series** layer
+(PR 7): per-segment samples of the cache hit ratio and index fault rate,
+and per-backup samples of the dedup ratio, rewrite fraction, recipe
+fragmentation, container-store occupancy, and ingest throughput — each
+timestamped with the *simulated* clock, so the trajectories the paper
+plots (fragmentation and dedup evolving across generations) are visible
+in any snapshot. Lifecycle events additionally carry ``t`` (the sim
+clock at emission) so the Chrome trace exporter can place spans on a
+timeline.
 """
 
 from __future__ import annotations
@@ -43,6 +53,18 @@ __all__ = ["EngineScope", "INGEST_PHASES"]
 
 #: The base per-segment phase names, in pipeline order.
 INGEST_PHASES = ("cpu", "index_fault", "meta_prefetch", "container_append")
+
+_MIB = 1024 * 1024
+
+
+def _fragments_per_mib(recipe) -> float:
+    """Recipe fragmentation (container runs per MiB of logical data) —
+    the CFL-style de-linearization signal the paper tracks per
+    generation. Lazy import keeps ``repro.obs`` import-independent of
+    the storage layer at module load."""
+    from repro.storage.layout import analyze_recipe
+
+    return analyze_recipe(recipe).fragments_per_mib
 
 
 class EngineScope:
@@ -86,6 +108,13 @@ class EngineScope:
         "h_seg_seconds",
         "h_dup_frac",
         "h_yield",
+        "ts_hit_ratio",
+        "ts_fault_rate",
+        "ts_dedup_ratio",
+        "ts_rewrite_frac",
+        "ts_frag",
+        "ts_occupancy",
+        "ts_throughput",
     )
 
     def __init__(self, registry: MetricsRegistry, events, engine) -> None:
@@ -129,6 +158,15 @@ class EngineScope:
             f"{p}.segment_dup_fraction", FRACTION_EDGES
         )
         self.h_yield = registry.histogram(f"{p}.prefetch_yield", YIELD_EDGES)
+        # time series, sampled on the simulated clock: per segment for
+        # the fast-moving locality signals, per backup for the rest
+        self.ts_hit_ratio = registry.timeseries(f"{p}.ts.cache_hit_ratio")
+        self.ts_fault_rate = registry.timeseries(f"{p}.ts.index_fault_rate")
+        self.ts_dedup_ratio = registry.timeseries(f"{p}.ts.dedup_ratio")
+        self.ts_rewrite_frac = registry.timeseries(f"{p}.ts.rewrite_fraction")
+        self.ts_frag = registry.timeseries(f"{p}.ts.frag_per_mib")
+        self.ts_occupancy = registry.timeseries(f"{p}.ts.store_mib")
+        self.ts_throughput = registry.timeseries(f"{p}.ts.throughput_mbps")
 
     # -- per-segment probe ----------------------------------------------
 
@@ -180,6 +218,7 @@ class EngineScope:
             self.c_bloom_added.inc(self.bloom.n_added - b0)
         units = 0
         hits = 0
+        now = self.clock.now
         if c0 is not None:
             c = self.cache_stats
             lookups = c.lookups - c0[0]
@@ -192,8 +231,13 @@ class EngineScope:
             self.sp_prefetch.record(prefetch_s, count=units)
             if units:
                 self.h_yield.observe(hits / units)
+            if lookups:
+                self.ts_hit_ratio.sample(now, hits / lookups)
         else:
             self.sp_prefetch.record(prefetch_s)
+        seg_lookups = i.lookups - l0
+        if seg_lookups:
+            self.ts_fault_rate.sample(now, faults / seg_lookups)
         self.h_seg_seconds.observe(total)
         if outcome.nbytes:
             self.h_dup_frac.observe(
@@ -204,6 +248,7 @@ class EngineScope:
                 "segment_span",
                 engine=self.prefix,
                 generation=generation,
+                t=now,
                 segment=outcome.index,
                 n_chunks=outcome.n_chunks,
                 nbytes=outcome.nbytes,
@@ -220,7 +265,21 @@ class EngineScope:
     # -- per-backup ------------------------------------------------------
 
     def record_backup(self, report) -> None:
-        """Per-backup rollup + lifecycle event."""
+        """Per-backup rollup: generation-boundary time-series samples
+        plus lifecycle events. Called only when the session is enabled;
+        every read is from finished report/meter state, so recording can
+        never perturb the run."""
+        now = self.clock.now
+        stored = report.stored_bytes
+        if stored:
+            self.ts_dedup_ratio.sample(now, report.logical_bytes / stored)
+        if report.logical_bytes:
+            self.ts_rewrite_frac.sample(
+                now, report.rewritten_dup_bytes / report.logical_bytes
+            )
+        self.ts_frag.sample(now, _fragments_per_mib(report.recipe))
+        self.ts_occupancy.sample(now, self.store_stats.physical_bytes / _MIB)
+        self.ts_throughput.sample(now, report.throughput / _MIB)
         if self.events.enabled:
             extras = report.extras
             units = extras.get("prefetches", extras.get("block_fetches"))
@@ -229,6 +288,7 @@ class EngineScope:
                     "prefetch_yield",
                     engine=self.prefix,
                     generation=report.generation,
+                    t=now,
                     prefetch_units=units,
                     cache_hits=extras.get("cache_hits", 0.0),
                     hits_per_prefetch=extras.get("hits_per_prefetch", 0.0),
@@ -237,6 +297,7 @@ class EngineScope:
                 "backup",
                 engine=self.prefix,
                 generation=report.generation,
+                t=now,
                 label=report.label,
                 logical_bytes=report.logical_bytes,
                 stored_bytes=report.stored_bytes,

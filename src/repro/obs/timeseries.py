@@ -1,0 +1,181 @@
+"""Time-series metric kind: ring-buffered ``(sim_time, value)`` samples.
+
+The paper's central claims are *trajectories* — fragmentation, restore
+seeks, and dedup ratio evolving across backup generations — so the
+observability layer needs a metric with a time axis, not just end-of-run
+totals. A :class:`TimeSeries` holds samples keyed by the **simulated**
+clock (never wall time, so recording can never perturb reported
+numbers) in a bounded buffer:
+
+* ``max_samples`` caps memory. When an append would exceed it, the
+  series *compacts*: the minimum spacing between retained samples (its
+  ``resolution``) doubles until the thinned series fits in half the
+  capacity, keeping the first and most recent samples exactly. Long
+  runs therefore degrade gracefully from full fidelity to an evenly
+  thinned overview, like a round-robin database.
+* Compaction and merge are **pure functions of the recorded sequence**:
+  given the same samples in the same order, the retained set is always
+  the same bytes. The parallel grid captures each cell into a fresh
+  registry and merges snapshots in stable spec order, so a ``--jobs N``
+  time-series snapshot is byte-identical to the serial one — the same
+  twin-run contract every other metric kind honours.
+
+Merging two series interleaves their samples by time (stable: the
+receiver's samples win ties) and re-compacts under the larger of the two
+resolutions. Merging snapshots of disjoint registries in execution
+order therefore reproduces exactly what serial recording into one
+registry would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TimeSeries", "DEFAULT_MAX_SAMPLES"]
+
+#: default ring capacity — generous for generation-boundary sampling
+#: (tens of engines x tens of generations) while bounding per-segment
+#: sampling of long runs to a few KB per series
+DEFAULT_MAX_SAMPLES = 512
+
+
+class TimeSeries:
+    """Bounded ``(sim_time, value)`` sample series (see module docs).
+
+    Args:
+        name: flat dotted metric name (``DeFrag.ts.cache_hit_ratio``).
+        max_samples: ring capacity; compaction triggers above it.
+        resolution: initial minimum spacing between retained samples in
+            simulated seconds (0.0 keeps every sample until the capacity
+            forces thinning).
+    """
+
+    __slots__ = ("name", "max_samples", "resolution", "count", "_samples")
+
+    def __init__(
+        self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES, resolution: float = 0.0
+    ) -> None:
+        if max_samples < 4:
+            raise ValueError(f"max_samples must be >= 4, got {max_samples}")
+        if resolution < 0:
+            raise ValueError(f"resolution cannot be negative, got {resolution}")
+        self.name = name
+        self.max_samples = int(max_samples)
+        self.resolution = float(resolution)
+        #: total samples ever recorded (compaction does not decrement)
+        self.count = 0
+        self._samples: List[Tuple[float, float]] = []
+
+    # -- recording -------------------------------------------------------
+
+    def sample(self, t: float, value: float) -> None:
+        """Record ``value`` at simulated time ``t``."""
+        self._samples.append((float(t), float(value)))
+        self.count += 1
+        if len(self._samples) > self.max_samples:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Thin to at most half capacity by doubling ``resolution``.
+
+        Deterministic given the current sample list: keeps the first
+        sample, then every sample at least ``resolution`` simulated
+        seconds after the previously kept one, and always the last.
+        """
+        target = max(4, self.max_samples // 2)
+        span = self._samples[-1][0] - self._samples[0][0]
+        if span <= 0.0:
+            # degenerate: everything at one instant — keep the endpoints
+            self._samples = [self._samples[0], self._samples[-1]]
+            return
+        while len(self._samples) > target:
+            self.resolution = (
+                self.resolution * 2.0 if self.resolution > 0.0 else span / target
+            )
+            self._samples = _thin(self._samples, self.resolution)
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        """Samples currently retained (≤ ``count``)."""
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[Tuple[float, float]]:
+        """The retained ``(t, value)`` samples, oldest first (a copy)."""
+        return list(self._samples)
+
+    @property
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Most recent retained sample, or None when empty."""
+        return self._samples[-1] if self._samples else None
+
+    def values(self) -> List[float]:
+        """Retained values, oldest first."""
+        return [v for _, v in self._samples]
+
+    def times(self) -> List[float]:
+        """Retained sample times, oldest first."""
+        return [t for t, _ in self._samples]
+
+    # -- snapshot / merge ------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """JSON-serializable dump (samples as ``[t, value]`` pairs)."""
+        return {
+            "max_samples": self.max_samples,
+            "resolution": self.resolution,
+            "count": self.count,
+            "samples": [[t, v] for t, v in self._samples],
+        }
+
+    def merge_snapshot(self, snap: Dict) -> None:
+        """Fold another series' :meth:`snapshot` into this one.
+
+        Samples interleave by time with a stable tie-break (this series'
+        samples first), the resolution takes the coarser of the two, and
+        the merged series re-compacts if it exceeds capacity — all
+        deterministic functions of the two inputs, so spec-order merging
+        keeps parallel snapshots byte-identical to serial ones.
+        """
+        incoming = [(float(t), float(v)) for t, v in snap.get("samples", ())]
+        self.count += int(snap.get("count", len(incoming)))
+        self.resolution = max(self.resolution, float(snap.get("resolution", 0.0)))
+        if incoming:
+            self._samples = _merge_by_time(self._samples, incoming)
+            if len(self._samples) > self.max_samples:
+                self._compact()
+
+
+def _thin(
+    samples: Sequence[Tuple[float, float]], resolution: float
+) -> List[Tuple[float, float]]:
+    """Keep the first sample, then each ≥ ``resolution`` after the last
+    kept, and always the final sample."""
+    out = [samples[0]]
+    last_t = samples[0][0]
+    for t, v in samples[1:-1]:
+        if t - last_t >= resolution:
+            out.append((t, v))
+            last_t = t
+    if samples[-1] is not out[-1]:
+        out.append(samples[-1])
+    return out
+
+
+def _merge_by_time(
+    a: Sequence[Tuple[float, float]], b: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Stable two-way merge by sample time (``a`` wins ties)."""
+    out: List[Tuple[float, float]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if b[j][0] < a[i][0]:
+            out.append(b[j])
+            j += 1
+        else:
+            out.append(a[i])
+            i += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out

@@ -1,0 +1,182 @@
+"""Chrome trace-event export: view phase attribution in Perfetto.
+
+Converts a recorded event stream (``segment_span`` / ``backup`` /
+``restore`` lifecycle events, each carrying ``t`` — the simulated clock
+at emission) into the Chrome trace-event JSON format that
+https://ui.perfetto.dev and ``chrome://tracing`` load directly.
+
+Layout of the exported trace:
+
+* one *process* per engine (``DeFrag``, ``CBR``, ...) plus one for the
+  restore path, named via ``M``/``process_name`` metadata events;
+* thread 1 ("segments") carries one ``X`` complete slice per segment,
+  with the four ingest phases (cpu, index_fault, meta_prefetch,
+  container_append) laid end-to-end inside it — they partition the
+  segment's simulated time exactly (DESIGN.md §8), so the nested slices
+  tile the parent;
+* thread 2 ("backups") carries one slice per backup generation;
+  restores appear the same way in the restore process.
+
+Timestamps are the *simulated* clock mapped to microseconds (the
+trace-event ``ts``/``dur`` unit), so slice widths in Perfetto are the
+same simulated durations every table reports — wall time never appears.
+The run's provenance manifest rides in the top-level ``otherData``
+object, where the trace viewers surface it as metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.manifest import RunManifest
+from repro.obs.spans import INGEST_PHASES
+
+__all__ = ["export_chrome_trace", "write_chrome_trace"]
+
+#: simulated seconds -> trace-event microseconds
+_US = 1e6
+
+#: per-process thread ids (fixed so traces diff cleanly across runs)
+_TID_SEGMENTS = 1
+_TID_BACKUPS = 2
+
+#: ``segment_span`` field -> phase name, in pipeline order
+_PHASE_FIELDS = tuple(f"{phase}_s" for phase in INGEST_PHASES)
+
+
+def export_chrome_trace(
+    events: Iterable[Dict],
+    manifest: Optional[RunManifest] = None,
+) -> Dict:
+    """Build the trace-event JSON object from recorded events.
+
+    Events lacking a ``t`` field (decision/eviction events, streams
+    recorded before PR 7) are skipped — only lifecycle events carry
+    enough information to place a slice on the timeline.
+    """
+    pids: Dict[str, int] = {}
+    trace: List[Dict] = []
+    meta: List[Dict] = []
+
+    def pid_for(process: str) -> int:
+        pid = pids.get(process)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[process] = pid
+            meta.append(_meta("process_name", pid, 0, name=process))
+            meta.append(_meta("thread_name", pid, _TID_SEGMENTS, name="segments"))
+            meta.append(_meta("thread_name", pid, _TID_BACKUPS, name="backups"))
+        return pid
+
+    for event in events:
+        etype = event.get("type")
+        t = event.get("t")
+        if t is None:
+            continue
+        if etype == "segment_span":
+            pid = pid_for(str(event.get("engine", "?")))
+            dur = float(event.get("sim_seconds", 0.0))
+            start = float(t) - dur
+            trace.append(
+                _slice(
+                    f"g{event.get('generation')}/seg{event.get('segment')}",
+                    pid,
+                    _TID_SEGMENTS,
+                    start,
+                    dur,
+                    args={
+                        k: event[k]
+                        for k in ("n_chunks", "nbytes", "index_faults",
+                                  "prefetch_units", "cache_hits")
+                        if k in event
+                    },
+                )
+            )
+            cursor = start
+            for field in _PHASE_FIELDS:
+                phase_dur = float(event.get(field, 0.0))
+                if phase_dur > 0.0:
+                    trace.append(
+                        _slice(
+                            field[:-2], pid, _TID_SEGMENTS, cursor, phase_dur
+                        )
+                    )
+                cursor += phase_dur
+        elif etype == "backup":
+            pid = pid_for(str(event.get("engine", "?")))
+            dur = float(event.get("sim_seconds", 0.0))
+            trace.append(
+                _slice(
+                    f"backup g{event.get('generation')}",
+                    pid,
+                    _TID_BACKUPS,
+                    float(t) - dur,
+                    dur,
+                    args={
+                        k: event[k]
+                        for k in ("label", "logical_bytes", "stored_bytes",
+                                  "throughput")
+                        if k in event
+                    },
+                )
+            )
+        elif etype == "restore":
+            pid = pid_for("restore")
+            dur = float(event.get("sim_seconds", 0.0))
+            trace.append(
+                _slice(
+                    f"restore g{event.get('generation')}",
+                    pid,
+                    _TID_BACKUPS,
+                    float(t) - dur,
+                    dur,
+                    args={
+                        k: event[k]
+                        for k in ("logical_bytes", "seeks", "cache_hits",
+                                  "container_reads", "policy")
+                        if k in event
+                    },
+                )
+            )
+
+    out: Dict = {
+        "traceEvents": meta + trace,
+        "displayTimeUnit": "ms",
+    }
+    if manifest is not None:
+        out["otherData"] = manifest.as_dict()
+    return out
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: Iterable[Dict],
+    manifest: Optional[RunManifest] = None,
+) -> int:
+    """Write the trace to ``path``; returns the number of slices."""
+    doc = export_chrome_trace(events, manifest)
+    Path(path).write_text(json.dumps(doc, separators=(",", ":")))
+    return sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+
+
+def _slice(
+    name: str, pid: int, tid: int, start_s: float, dur_s: float, args=None
+) -> Dict:
+    event: Dict = {
+        "name": name,
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": round(start_s * _US, 3),
+        "dur": round(max(dur_s, 0.0) * _US, 3),
+        "cat": "sim",
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def _meta(kind: str, pid: int, tid: int, **args) -> Dict:
+    return {"name": kind, "ph": "M", "pid": pid, "tid": tid, "ts": 0, "args": args}

@@ -395,7 +395,14 @@ def _warm_parent(specs: Sequence[CellSpec]) -> None:
 
 def _merge_obs(obs, specs: Sequence[CellSpec], results: Dict[CellKey, CellResult]):
     """Fold captured per-cell observability into the parent session, in
-    stable spec order (never completion order)."""
+    stable spec order (never completion order).
+
+    ``MetricsRegistry.merge`` handles every kind deterministically —
+    counters/spans/histograms add, gauges last-write-wins in this spec
+    order, and time series interleave samples by simulated time and
+    re-thin — so the merged snapshot (time series included) is
+    byte-identical to what serial recording into one registry produces.
+    """
     for spec in specs:
         result = results.get(spec.key)
         if result is None or not result.ok:

@@ -292,6 +292,18 @@ class RestoreReader:
         reg.histogram("restore.seeks_per_mib", YIELD_EDGES).observe(
             report.seeks_per_mib
         )
+        # trajectory samples on the simulated clock: how restore locality
+        # evolves as placement de-linearizes across generations
+        now = self.store.disk.clock.now
+        reg.timeseries("restore.ts.seeks_per_mib").sample(now, report.seeks_per_mib)
+        lookups = report.cache_hits + report.cache_misses
+        if lookups:
+            reg.timeseries("restore.ts.cache_hit_ratio").sample(
+                now, report.cache_hits / lookups
+            )
+        reg.timeseries("restore.ts.read_rate_mbps").sample(
+            now, report.read_rate / MIB
+        )
         if obs.events.enabled:
             for cid in evicted:
                 obs.events.emit(
@@ -303,6 +315,7 @@ class RestoreReader:
             obs.events.emit(
                 "restore",
                 generation=report.generation,
+                t=now,
                 label=report.label,
                 logical_bytes=report.logical_bytes,
                 container_reads=report.container_reads,

@@ -54,6 +54,25 @@ class TestTraceParser:
         assert args.experiment == "stats"
         assert args.last is True
 
+    def test_trace_perfetto_flag(self):
+        args = build_parser().parse_args(
+            ["trace", "fig2", "--perfetto", "trace.json"]
+        )
+        assert args.perfetto == "trace.json"
+
+    def test_dash_flags(self):
+        args = build_parser().parse_args(
+            ["dash", "--stats", "a.json", "--stats", "b.json", "--out", "d.html"]
+        )
+        assert args.experiment == "dash"
+        assert args.stats == ["a.json", "b.json"]
+        assert args.out == "d.html"
+
+    def test_dash_defaults(self):
+        args = build_parser().parse_args(["dash"])
+        assert args.stats is None
+        assert args.out == "dash.html"
+
     def test_verbosity_flags(self):
         assert build_parser().parse_args(["-vv", "fig2"]).verbose == 2
         assert build_parser().parse_args(["-q", "fig2"]).quiet is True
@@ -85,6 +104,31 @@ class TestTraceMain:
         assert spans
         assert {"engine", "generation", "segment"} <= set(spans[0])
 
+    def test_trace_exports_perfetto(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["trace", "fig2", "--scale", "small", "--perfetto", str(trace)]
+        ) == 0
+        assert "trace slices" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert all(e["ph"] in ("X", "M") for e in doc["traceEvents"])
+        # provenance rides in otherData
+        assert doc["otherData"]["target"] == "fig2"
+
+    def test_trace_snapshot_carries_manifest(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "fig2", "--scale", "small"]) == 0
+        data = json.loads((tmp_path / ".repro_stats.json").read_text())
+        assert data["manifest"]["target"] == "fig2"
+        assert data["manifest"]["seed"] is not None
+        assert "timeseries" in data["metrics"]
+
     def test_stats_renders_last_snapshot(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)
         assert main(["trace", "fig2", "--scale", "small"]) == 0
@@ -92,6 +136,39 @@ class TestTraceMain:
         assert main(["stats", "--last"]) == 0
         out = capsys.readouterr().out
         assert "phase spans" in out
+        assert "== run ==" in out
+        assert "time series" in out
+
+    def test_stats_renders_pre_manifest_snapshot(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Bare snapshots from older checkouts still render."""
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / ".repro_stats.json").write_text(
+            json.dumps({"counters": {"c": 1}})
+        )
+        assert main(["stats", "--last"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "== run ==" not in out
+
+    def test_dash_from_trace_snapshot(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "fig2", "--scale", "small"]) == 0
+        capsys.readouterr()
+        assert main(["dash", "--out", "d.html"]) == 0
+        assert "dashboard written" in capsys.readouterr().out
+        text = (tmp_path / "d.html").read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "Run: fig2" in text
+        assert "<script" not in text
+
+    def test_dash_without_snapshots(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["dash"]) == 0
+        assert (tmp_path / "dash.html").exists()
 
     def test_stats_without_snapshot_fails(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)

@@ -194,6 +194,28 @@ class TestFigureEquivalence:
         assert res1.notes == res2.notes
         assert snap1 == snap2
         assert events1 == events2
+        # the equality above must not be vacuous for the time-series
+        # kind: generation-boundary sampling actually ran in the workers
+        assert snap1["timeseries"]
+        assert any(ts["samples"] for ts in snap1["timeseries"].values())
+
+    def test_telemetry_on_off_table_identical(self):
+        """The twin-run contract at figure level: an obs session (with
+        time-series sampling) must leave the result table byte-identical
+        to the obs-off run."""
+        common.clear_memo()
+        cfg = ExperimentConfig.small()
+        plain = fig4.run(cfg, jobs=1)
+        common.clear_memo()
+        try:
+            with obs_session(Observability(events=ListEventSink())) as obs:
+                traced = fig4.run(cfg, jobs=1)
+        finally:
+            common.clear_memo()
+        assert traced.table() == plain.table()
+        assert traced.series == plain.series
+        # ...while telemetry really was recorded
+        assert obs.registry.snapshot()["timeseries"]
 
 
 class TestFigureResultFailures:

@@ -1,0 +1,176 @@
+"""Dashboard rendering: standalone HTML from runs, baselines, history."""
+
+import json
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.obs.dash import build_dashboard, render_dashboard
+
+_VOID = {"meta", "br", "hr", "img", "input", "link", "line", "circle", "polyline"}
+
+
+class _TagBalance(HTMLParser):
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack, self.errors = [], []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in _VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in _VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(tag)
+        else:
+            self.stack.pop()
+
+
+def assert_valid_standalone_html(text):
+    assert text.startswith("<!DOCTYPE html>")
+    assert "</html>" in text
+    # self-contained: no scripts, no external fetches
+    assert "<script" not in text
+    assert "http-equiv" not in text
+    assert 'src="http' not in text and "url(" not in text
+    checker = _TagBalance()
+    checker.feed(text)
+    assert not checker.errors, f"mismatched tags: {checker.errors}"
+    assert not checker.stack, f"unclosed tags: {checker.stack}"
+
+
+def _history():
+    return [
+        {"commit": "aaa", "ingest_batch_seconds": 0.30,
+         "restore_seconds": 0.030, "chunking_mb_per_s": 50.0},
+        {"commit": "bbb", "ingest_batch_seconds": 0.20,
+         "restore_seconds": 0.025, "chunking_mb_per_s": 60.0},
+    ]
+
+
+def _bench():
+    return {
+        "ingest": {"ingest": {"batch_seconds": 0.20}},
+        "restore": {"restore": {"restore_seconds": 0.025}},
+        "chunking": {"chunking": {"seqcdc_mb_per_s": 60.0}},
+    }
+
+
+def _run():
+    return {
+        "path": "stats.json",
+        "manifest": {"target": "fig4", "seed": 2012, "commit": "abc"},
+        "metrics": {
+            "timeseries": {
+                "DeFrag.ts.cache_hit_ratio": {
+                    "count": 4, "max_samples": 512, "resolution": 0.0,
+                    "samples": [[0.0, 0.9], [1.0, 0.8], [2.0, 0.7], [3.0, 0.75]],
+                }
+            }
+        },
+    }
+
+
+class TestRender:
+    def test_empty_inputs_still_valid(self):
+        assert_valid_standalone_html(render_dashboard())
+
+    def test_full_inputs_valid(self):
+        text = render_dashboard(runs=[_run()], bench=_bench(), history=_history())
+        assert_valid_standalone_html(text)
+
+    def test_baseline_tiles(self):
+        text = render_dashboard(bench=_bench(), history=_history())
+        assert "Committed baselines" in text
+        assert "ingest (batch)" in text
+        assert "chunking" in text
+
+    def test_history_charts_and_table(self):
+        text = render_dashboard(history=_history())
+        assert "Perf trajectory" in text
+        assert "<svg" in text and "polyline" in text
+        assert "aaa" in text and "bbb" in text
+
+    def test_run_section_sparklines_and_chips(self):
+        text = render_dashboard(runs=[_run()])
+        assert "Run: fig4" in text
+        assert "seed" in text and "2012" in text
+        assert "DeFrag.ts.cache_hit_ratio" in text
+        assert "<svg" in text
+
+    def test_manifest_text_is_escaped(self):
+        run = _run()
+        run["manifest"]["target"] = "<script>alert(1)</script>"
+        text = render_dashboard(runs=[run])
+        assert "<script" not in text
+        assert "&lt;script&gt;" in text
+
+    def test_single_series_no_legend(self):
+        # every chart is single-series: the title names it, no legend box
+        text = render_dashboard(runs=[_run()], bench=_bench(), history=_history())
+        assert "legend" not in text.lower()
+
+    def test_light_and_dark_tokens_present(self):
+        text = render_dashboard()
+        assert "prefers-color-scheme: dark" in text
+        assert 'data-theme="dark"' in text
+
+
+class TestBuild:
+    def test_builds_from_disk_artifacts(self, tmp_path):
+        stats = tmp_path / "run.json"
+        stats.write_text(json.dumps(
+            {"manifest": _run()["manifest"], "metrics": _run()["metrics"]}
+        ))
+        (tmp_path / "BENCH_ingest.json").write_text(json.dumps(_bench()["ingest"]))
+        (tmp_path / "BENCH_history.jsonl").write_text(
+            "\n".join(json.dumps(r) for r in _history()) + "\n"
+        )
+        out = build_dashboard(
+            tmp_path / "dash.html", stats_paths=[stats], root=tmp_path
+        )
+        text = out.read_text()
+        assert_valid_standalone_html(text)
+        assert "Run: fig4" in text
+        assert "Perf trajectory" in text
+
+    def test_missing_artifacts_tolerated(self, tmp_path):
+        out = build_dashboard(
+            tmp_path / "dash.html",
+            stats_paths=[tmp_path / "nope.json"],
+            root=tmp_path,
+        )
+        assert_valid_standalone_html(out.read_text())
+
+    def test_malformed_snapshot_skipped(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        out = build_dashboard(tmp_path / "dash.html", stats_paths=[bad], root=tmp_path)
+        assert_valid_standalone_html(out.read_text())
+
+    def test_bare_snapshot_without_manifest(self, tmp_path):
+        # pre-PR7 stats files are a bare registry snapshot
+        stats = tmp_path / "old.json"
+        stats.write_text(json.dumps(_run()["metrics"]))
+        out = build_dashboard(tmp_path / "dash.html", stats_paths=[stats], root=tmp_path)
+        text = out.read_text()
+        assert_valid_standalone_html(text)
+        assert "DeFrag.ts.cache_hit_ratio" in text
+
+
+class TestAgainstCommittedBaselines:
+    """The acceptance criterion: a dashboard built from the repo's own
+    committed BENCH_*.json + BENCH_history.jsonl is valid."""
+
+    def test_repo_root_artifacts(self, tmp_path):
+        import repro
+
+        root = __import__("pathlib").Path(repro.__file__).resolve().parents[2]
+        if not (root / "BENCH_ingest.json").is_file():
+            pytest.skip("committed baselines not present")
+        out = build_dashboard(tmp_path / "dash.html", root=root)
+        text = out.read_text()
+        assert_valid_standalone_html(text)
+        assert "Committed baselines" in text

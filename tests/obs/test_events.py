@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.events import (
     JsonlEventSink,
     ListEventSink,
@@ -54,6 +56,37 @@ class TestJsonlSink:
         sink.emit("x")
         sink.close()
         sink.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "cm.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit("a", n=1)
+        assert sink._fh is None
+        assert len(read_jsonl(path)) == 1
+        sink.close()  # still idempotent after __exit__
+
+    def test_flush_every_n_events(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        sink = JsonlEventSink(path, flush_every=2)
+        sink.emit("a")
+        sink.emit("b")
+        # two events flushed; bytes are on disk without close()
+        assert len(path.read_text().splitlines()) == 2
+        sink.emit("c")  # buffered, below the next flush threshold
+        sink.close()
+        assert len(read_jsonl(path)) == 3
+
+    def test_flush_every_zero_disables_periodic_flush(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "z.jsonl", flush_every=0)
+        for _ in range(10):
+            sink.emit("x")
+        sink.flush()  # explicit flush still works
+        sink.close()
+        assert sink.n_events == 10
+
+    def test_rejects_negative_flush_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlEventSink(tmp_path / "n.jsonl", flush_every=-1)
 
     def test_read_jsonl_filter(self, tmp_path):
         path = tmp_path / "events.jsonl"

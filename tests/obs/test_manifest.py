@@ -1,0 +1,83 @@
+"""Unit tests for the run-provenance manifest."""
+
+import json
+
+from repro.experiments.config import ExperimentConfig
+from repro.obs.manifest import (
+    MANIFEST_EVENT,
+    RunManifest,
+    build_manifest,
+    fingerprint_of,
+    git_commit,
+)
+
+
+class TestFingerprint:
+    def test_stable_for_equal_configs(self):
+        a = ExperimentConfig.small()
+        b = ExperimentConfig.small()
+        assert fingerprint_of(a) == fingerprint_of(b)
+
+    def test_differs_across_configs(self):
+        a = ExperimentConfig.small()
+        assert fingerprint_of(a) != fingerprint_of(a.with_(seed=a.seed + 1))
+
+    def test_matches_experiments_layer(self):
+        from repro.experiments.common import config_fingerprint
+
+        config = ExperimentConfig.small()
+        assert fingerprint_of(config) == config_fingerprint(config)
+
+
+class TestRunManifest:
+    def test_deterministic_dict_excludes_wall_clock(self):
+        m = RunManifest(seed=7, created_utc="2026-01-01T00:00:00+00:00")
+        det = m.deterministic_dict()
+        assert "created_utc" not in det
+        assert det["seed"] == 7
+        assert m.as_dict()["created_utc"] == "2026-01-01T00:00:00+00:00"
+
+    def test_none_fields_omitted(self):
+        assert RunManifest().deterministic_dict() == {}
+
+    def test_extra_sorted(self):
+        m = RunManifest(extra={"zeta": 1, "alpha": 2})
+        keys = list(m.deterministic_dict())
+        assert keys == ["alpha", "zeta"]
+
+    def test_event_payload(self):
+        ev = RunManifest(seed=3).event()
+        assert ev["type"] == MANIFEST_EVENT
+        assert ev["seed"] == 3
+
+    def test_json_serializable(self):
+        m = build_manifest(config=ExperimentConfig.small(), scale="small")
+        json.dumps(m.as_dict())
+
+
+class TestBuildManifest:
+    def test_captures_config_identity(self):
+        config = ExperimentConfig.small()
+        m = build_manifest(config=config, scale="small", jobs=2)
+        assert m.config_fingerprint == fingerprint_of(config)
+        assert m.seed == config.seed
+        assert m.extra == {"jobs": 2, "scale": "small"}
+
+    def test_version_and_commit(self):
+        import repro
+
+        m = build_manifest()
+        assert m.version == repro.__version__
+        # in this checkout git metadata exists
+        assert m.commit == git_commit()
+
+    def test_wall_clock_toggle(self):
+        assert build_manifest(wall_clock=False).created_utc is None
+        stamped = build_manifest(wall_clock=True).created_utc
+        assert stamped is not None and "T" in stamped
+
+    def test_deterministic_without_wall_clock(self):
+        config = ExperimentConfig.small()
+        a = build_manifest(config=config, wall_clock=False)
+        b = build_manifest(config=config, wall_clock=False)
+        assert a.deterministic_dict() == b.deterministic_dict()

@@ -174,3 +174,70 @@ class TestMerge:
         merged.merge(half1.snapshot())
         merged.merge(half2.snapshot())
         assert merged.snapshot() == whole.snapshot()
+
+
+class TestMergeEdgeCases:
+    def test_disjoint_names_union(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only.a").inc(1)
+        b.span("only.b").record(0.5)
+        a.merge(b.snapshot())
+        assert a.counter("only.a").value == 1
+        assert a.span("only.b").sim_seconds == 0.5
+        assert set(a.names()) == {"only.a", "only.b"}
+
+    def test_kind_mismatch_raises_not_corrupts(self):
+        dst = MetricsRegistry()
+        dst.counter("x").inc(7)
+        src = MetricsRegistry()
+        src.gauge("x").set(1.0)
+        with pytest.raises(TypeError):
+            dst.merge(src.snapshot())
+        # the conflicting metric is untouched
+        assert dst.counter("x").value == 7
+
+    def test_kind_mismatch_timeseries_vs_counter(self):
+        dst = MetricsRegistry()
+        dst.timeseries("x").sample(0.0, 1.0)
+        src = MetricsRegistry()
+        src.counter("x").inc()
+        with pytest.raises(TypeError):
+            dst.merge(src.snapshot())
+        assert len(dst.timeseries("x")) == 1
+
+    def test_gauge_last_writer_wins(self):
+        dst = MetricsRegistry()
+        dst.gauge("g").set(1.0)
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.gauge("g").set(2.0)
+        second.gauge("g").set(3.0)
+        dst.merge(first.snapshot())
+        assert dst.gauge("g").value == 2.0
+        dst.merge(second.snapshot())
+        assert dst.gauge("g").value == 3.0
+
+    def test_merge_empty_snapshot_is_noop(self):
+        dst = MetricsRegistry()
+        dst.counter("c").inc(2)
+        dst.timeseries("ts").sample(1.0, 1.0)
+        before = dst.snapshot()
+        dst.merge(MetricsRegistry().snapshot())
+        dst.merge({})
+        assert dst.snapshot() == before
+
+    def test_merge_timeseries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.timeseries("ts").sample(0.0, 1.0)
+        b.timeseries("ts").sample(1.0, 2.0)
+        a.merge(b.snapshot())
+        ts = a.timeseries("ts")
+        assert ts.times() == [0.0, 1.0]
+        assert ts.count == 2
+
+    def test_snapshot_includes_timeseries_section(self):
+        reg = MetricsRegistry()
+        reg.timeseries("ts").sample(0.5, 2.0)
+        snap = reg.snapshot()
+        assert snap["timeseries"]["ts"]["samples"] == [[0.5, 2.0]]
+        # render handles it too
+        assert "time series" in render_snapshot(snap)

@@ -1,0 +1,139 @@
+"""Unit tests for the ring-buffered TimeSeries metric kind."""
+
+import json
+
+import pytest
+
+from repro.obs.timeseries import DEFAULT_MAX_SAMPLES, TimeSeries
+
+
+class TestRecording:
+    def test_samples_in_order(self):
+        ts = TimeSeries("x")
+        ts.sample(0.0, 1.0)
+        ts.sample(1.5, 2.0)
+        assert ts.samples == [(0.0, 1.0), (1.5, 2.0)]
+        assert ts.values() == [1.0, 2.0]
+        assert ts.times() == [0.0, 1.5]
+        assert ts.last == (1.5, 2.0)
+        assert ts.count == 2 and len(ts) == 2
+
+    def test_empty(self):
+        ts = TimeSeries("x")
+        assert len(ts) == 0
+        assert ts.last is None
+        assert ts.values() == []
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", max_samples=3)
+        with pytest.raises(ValueError):
+            TimeSeries("x", resolution=-0.1)
+
+
+class TestCompaction:
+    def test_stays_within_capacity(self):
+        ts = TimeSeries("x", max_samples=16)
+        for i in range(1000):
+            ts.sample(i * 0.1, float(i))
+        assert len(ts) <= 16
+        assert ts.count == 1000
+
+    def test_keeps_first_and_last(self):
+        ts = TimeSeries("x", max_samples=16)
+        for i in range(200):
+            ts.sample(float(i), float(i))
+        assert ts.samples[0] == (0.0, 0.0)
+        assert ts.samples[-1] == (199.0, 199.0)
+
+    def test_resolution_grows(self):
+        ts = TimeSeries("x", max_samples=16)
+        for i in range(200):
+            ts.sample(float(i), float(i))
+        assert ts.resolution > 0.0
+
+    def test_degenerate_same_instant(self):
+        """All samples at one sim time: compaction keeps the endpoints
+        instead of looping forever on a zero span."""
+        ts = TimeSeries("x", max_samples=4)
+        for i in range(10):
+            ts.sample(0.0, float(i))
+        assert len(ts) <= 4
+        assert ts.values()[0] == 0.0
+        assert ts.values()[-1] == 9.0
+
+    def test_deterministic(self):
+        """Same sample sequence -> byte-identical snapshot."""
+        def build():
+            ts = TimeSeries("x", max_samples=32)
+            for i in range(500):
+                ts.sample(i * 0.37, (i * 7919) % 101 / 101)
+            return ts
+
+        a, b = build().snapshot(), build().snapshot()
+        assert json.dumps(a) == json.dumps(b)
+
+
+class TestSnapshotMerge:
+    def test_snapshot_roundtrip(self):
+        src = TimeSeries("x", max_samples=8)
+        for i in range(20):
+            src.sample(float(i), float(i * i))
+        dst = TimeSeries("x", max_samples=8)
+        dst.merge_snapshot(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_snapshot_json_serializable(self):
+        ts = TimeSeries("x")
+        ts.sample(1.0, 2.0)
+        snap = json.loads(json.dumps(ts.snapshot()))
+        assert snap["samples"] == [[1.0, 2.0]]
+        assert snap["count"] == 1
+        assert snap["max_samples"] == DEFAULT_MAX_SAMPLES
+
+    def test_merge_interleaves_by_time(self):
+        a = TimeSeries("x")
+        b = TimeSeries("x")
+        a.sample(0.0, 1.0)
+        a.sample(2.0, 2.0)
+        b.sample(1.0, 10.0)
+        b.sample(3.0, 20.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.times() == [0.0, 1.0, 2.0, 3.0]
+        assert a.count == 4
+
+    def test_merge_receiver_wins_ties(self):
+        a = TimeSeries("x")
+        b = TimeSeries("x")
+        a.sample(1.0, 100.0)
+        b.sample(1.0, 200.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.values() == [100.0, 200.0]
+
+    def test_merge_takes_coarser_resolution(self):
+        a = TimeSeries("x", resolution=0.5)
+        b = TimeSeries("x", resolution=2.0)
+        a.sample(0.0, 1.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.resolution == 2.0
+
+    def test_split_halves_match_serial(self):
+        """Record one stream serially vs split across two series and
+        merged: identical retained samples (the --jobs N contract)."""
+        stream = [(i * 0.25, float((i * 31) % 17)) for i in range(600)]
+        serial = TimeSeries("x", max_samples=32)
+        for t, v in stream:
+            serial.sample(t, v)
+        first = TimeSeries("x", max_samples=32)
+        second = TimeSeries("x", max_samples=32)
+        for t, v in stream[:300]:
+            first.sample(t, v)
+        for t, v in stream[300:]:
+            second.sample(t, v)
+        merged = TimeSeries("x", max_samples=32)
+        merged.merge_snapshot(first.snapshot())
+        merged.merge_snapshot(second.snapshot())
+        assert merged.count == serial.count
+        # both are thinned overviews of the same stream over the same span
+        assert merged.samples[0] == serial.samples[0]
+        assert merged.samples[-1] == serial.samples[-1]

@@ -1,0 +1,116 @@
+"""Chrome trace-event export: schema and placement tests."""
+
+import json
+
+from repro.obs.manifest import RunManifest
+from repro.obs.spans import INGEST_PHASES
+from repro.obs.trace_export import export_chrome_trace, write_chrome_trace
+
+
+def _segment_event(**over):
+    ev = {
+        "type": "segment_span",
+        "engine": "DeFrag",
+        "generation": 0,
+        "segment": 3,
+        "t": 2.0,
+        "sim_seconds": 1.0,
+        "n_chunks": 64,
+        "cpu_s": 0.25,
+        "index_fault_s": 0.5,
+        "meta_prefetch_s": 0.25,
+        "container_append_s": 0.0,
+    }
+    ev.update(over)
+    return ev
+
+
+class TestSchema:
+    """The acceptance-criteria schema assertions: the export must be
+    loadable by Perfetto/chrome://tracing as trace-event JSON."""
+
+    def test_trace_event_schema(self):
+        events = [
+            _segment_event(),
+            {"type": "backup", "engine": "DeFrag", "generation": 0,
+             "t": 3.0, "sim_seconds": 3.0},
+            {"type": "restore", "generation": 0, "t": 5.0, "sim_seconds": 1.5},
+        ]
+        doc = export_chrome_trace(events, RunManifest(seed=1))
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "M")
+            assert isinstance(ev["name"], str)
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            assert isinstance(ev["ts"], (int, float))
+            if ev["ph"] == "X":
+                assert isinstance(ev["dur"], (int, float))
+                assert ev["dur"] >= 0
+        # JSON round-trip must be lossless
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_manifest_rides_in_other_data(self):
+        doc = export_chrome_trace([_segment_event()], RunManifest(seed=9))
+        assert doc["otherData"]["seed"] == 9
+
+    def test_no_manifest_no_other_data(self):
+        assert "otherData" not in export_chrome_trace([_segment_event()])
+
+
+class TestPlacement:
+    def test_segment_slice_ends_at_t(self):
+        doc = export_chrome_trace([_segment_event(t=2.0, sim_seconds=1.0)])
+        seg = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]
+        assert seg["ts"] == 1.0e6
+        assert seg["dur"] == 1.0e6
+
+    def test_phase_children_tile_parent(self):
+        doc = export_chrome_trace([_segment_event()])
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        parent, children = slices[0], slices[1:]
+        assert {c["name"] for c in children} <= set(INGEST_PHASES)
+        assert sum(c["dur"] for c in children) == parent["dur"]
+        assert children[0]["ts"] == parent["ts"]
+        # children are laid end-to-end
+        for a, b in zip(children, children[1:]):
+            assert b["ts"] == a["ts"] + a["dur"]
+
+    def test_zero_duration_phases_skipped(self):
+        doc = export_chrome_trace([_segment_event()])
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert "container_append" not in names
+
+    def test_one_process_per_engine(self):
+        events = [
+            _segment_event(engine="DeFrag"),
+            _segment_event(engine="CBR", segment=4),
+        ]
+        doc = export_chrome_trace(events)
+        process_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert process_names == {"DeFrag", "CBR"}
+
+    def test_events_without_t_skipped(self):
+        doc = export_chrome_trace(
+            [{"type": "segment_span", "engine": "X", "sim_seconds": 1.0}]
+        )
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_decision_events_ignored(self):
+        doc = export_chrome_trace(
+            [{"type": "defrag_decision", "t": 1.0, "spl": 0.05}]
+        )
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+
+class TestWrite:
+    def test_write_returns_slice_count_and_valid_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        n = write_chrome_trace(out, [_segment_event()], RunManifest(seed=2))
+        doc = json.loads(out.read_text())
+        assert n == sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+        assert n == 4  # parent + 3 nonzero phases

@@ -88,6 +88,10 @@ class TestTwinRun:
             assert replayed == obs.registry.get(f"restore.{field}").value
             assert replayed == getattr(stats, field)
         assert sum(e["logical_bytes"] for e in events) == stats.logical_bytes
+        # one time-series sample per restored generation, keyed by sim time
+        ts = obs.registry.get("restore.ts.seeks_per_mib")
+        assert len(ts) == stats.restores
+        assert ts.times() == sorted(ts.times())
 
     def test_evict_events_match_eviction_counter(self, segmenter):
         sink = ListEventSink()
