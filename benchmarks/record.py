@@ -43,11 +43,13 @@ from repro.bench import (  # noqa: E402
     BASELINE_FILENAME,
     CHUNKING_BASELINE_FILENAME,
     HISTORY_FILENAME,
+    MEMORY_BASELINE_FILENAME,
     RESTORE_BASELINE_FILENAME,
     append_history,
     history_record,
     run_bench,
     run_chunking_bench,
+    run_memory_bench,
     run_restore_bench,
 )
 
@@ -145,6 +147,29 @@ def main() -> int:
         "--skip-end-to-end",
         action="store_true",
         help="only record the in-process ingest measurement",
+    )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="also (re)record the bounded-RSS memory baseline: a full "
+        "xlarge out-of-core run in a fresh subprocess; the committed "
+        "budget becomes the measured peak plus headroom (slow: minutes)",
+    )
+    parser.add_argument(
+        "--memory-out", default=str(REPO_ROOT / MEMORY_BASELINE_FILENAME)
+    )
+    parser.add_argument(
+        "--memory-scale",
+        default="xlarge",
+        help="scale preset for --memory (default xlarge)",
+    )
+    parser.add_argument(
+        "--memory-headroom",
+        type=float,
+        default=2.0,
+        help="budget_rss_mb = measured peak RSS x this factor (default "
+        "2.0: generous enough for allocator/platform variance, tight "
+        "enough that an unbounded store blows through it)",
     )
     parser.add_argument(
         "--reference-src",
@@ -250,12 +275,30 @@ def main() -> int:
         print(json.dumps(chunking_record, indent=2))
         print(f"\nwrote {chunking_out}")
 
+    memory_record = None
+    if args.memory:
+        probe = run_memory_bench(scale=args.memory_scale)
+        memory_record = {
+            "recorded_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "budget_rss_mb": round(
+                probe["peak_rss_mb"] * args.memory_headroom, 1
+            ),
+            "memory": probe,
+        }
+        memory_out = Path(args.memory_out)
+        memory_out.write_text(json.dumps(memory_record, indent=2) + "\n")
+        print(json.dumps(memory_record, indent=2))
+        print(f"\nwrote {memory_out}")
+
     if args.append_history:
         ingest = record["ingest"]
         line = history_record(
             ingest=ingest,
             restore=restore_record["restore"] if restore_record else None,
             chunking=chunking_record["chunking"] if chunking_record else None,
+            memory=memory_record["memory"] if memory_record else None,
             manifest=ingest.get("manifest"),
         )
         line["recorded_utc"] = record["recorded_utc"]

@@ -43,6 +43,9 @@ RESTORE_BASELINE_FILENAME = "BENCH_restore.json"
 #: committed baseline for the byte-level chunking measurement
 CHUNKING_BASELINE_FILENAME = "BENCH_chunking.json"
 
+#: committed bounded-RSS budget for the out-of-core memory bench
+MEMORY_BASELINE_FILENAME = "BENCH_memory.json"
+
 #: append-only perf trajectory: one compact JSON line per recorded run
 #: (grown by ``benchmarks/record.py --append-history``, plotted by
 #: ``repro dash``, annotated by ``repro bench``)
@@ -54,6 +57,7 @@ HISTORY_METRICS: Dict[str, tuple] = {
     "ingest_batch_seconds": ("ingest (batch)", "s", True),
     "restore_seconds": ("restore", "s", True),
     "chunking_mb_per_s": ("chunking", "MB/s", False),
+    "peak_rss_mb": ("peak RSS (memory bench)", "MB", True),
 }
 
 #: relative change below this reads as noise, not drift
@@ -435,6 +439,66 @@ def load_baseline(path: Optional[Path] = None) -> Optional[Dict]:
     return json.loads(p.read_text())
 
 
+# -- bounded-RSS memory bench ------------------------------------------------
+
+
+def run_memory_bench(
+    scale: str = "xlarge",
+    *,
+    generations: Optional[int] = None,
+    resident_containers: int = 64,
+    timeout_s: float = 3600.0,
+) -> Dict:
+    """Run the out-of-core probe in a **fresh subprocess** and return its
+    record (the dict ``python -m repro.memory`` prints).
+
+    A subprocess is load-bearing, not a convenience: ``ru_maxrss`` is a
+    process-lifetime high-water mark, so measuring in-process would
+    report whatever the parent had already allocated (other benches,
+    memoized workloads) instead of the out-of-core pipeline's footprint.
+    """
+    import subprocess
+    import sys
+
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.memory",
+        "--scale",
+        scale,
+        "--resident-containers",
+        str(int(resident_containers)),
+    ]
+    if generations is not None:
+        cmd += ["--generations", str(int(generations))]
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, timeout=timeout_s
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"memory probe failed (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    record = json.loads(proc.stdout)
+    record["manifest"] = _bench_manifest()
+    return record
+
+
+def load_memory_baseline(path: Optional[Path] = None) -> Optional[Dict]:
+    """The committed memory budget record, or None when absent."""
+    p = Path(path) if path is not None else Path(MEMORY_BASELINE_FILENAME)
+    if not p.is_file():
+        return None
+    return json.loads(p.read_text())
+
+
+def check_memory_regression(result: Dict, baseline: Dict) -> Optional[str]:
+    """The bounded-RSS gate (absolute budget, not a regression factor —
+    see :func:`repro.memory.check_memory_gate`)."""
+    from repro.memory import check_memory_gate
+
+    return check_memory_gate(result, baseline)
+
+
 def reference_summary(baseline: Dict) -> str:
     """One line describing the committed baseline's reference
     measurement, or a warning when the baseline predates the reference
@@ -477,6 +541,7 @@ def history_record(
     ingest: Optional[Dict] = None,
     restore: Optional[Dict] = None,
     chunking: Optional[Dict] = None,
+    memory: Optional[Dict] = None,
     manifest: Optional[Dict] = None,
 ) -> Dict:
     """One compact history line from full bench records.
@@ -502,6 +567,10 @@ def history_record(
         out["chunking_mb_per_s"] = chunking.get("seqcdc_mb_per_s")
         if "speedup" in chunking:
             out["chunking_speedup"] = chunking["speedup"]
+    if memory:
+        out["peak_rss_mb"] = memory.get("peak_rss_mb")
+        if "logical_bytes" in memory:
+            out["memory_logical_bytes"] = memory["logical_bytes"]
     return out
 
 

@@ -109,6 +109,11 @@ class ChaosScenario:
     retain: int = 4
     min_utilization: float = 0.6
     seed: int = 2012
+    #: out-of-core budget for the scenario's store (None = everything
+    #: resident, the classic sweep); a tight budget makes most crash
+    #: points land while the bulk of the store is spilled, exercising
+    #: recovery over the spill/evict/fault-back paths
+    resident_containers: Optional[int] = None
 
     def experiment_config(self) -> ExperimentConfig:
         """The experiment config for this scenario, journal + retry on."""
@@ -124,6 +129,7 @@ class ChaosScenario:
                 cache_containers=4,
                 journal=True,
                 retry=RetryPolicy(),
+                resident_containers=self.resident_containers,
             ),
         )
 

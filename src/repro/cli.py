@@ -30,7 +30,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import SCALE_NAMES, ExperimentConfig
 
 #: where ``trace`` drops its metrics snapshot for ``stats --last``
 LAST_STATS_PATH = Path(".repro_stats.json")
@@ -101,8 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale",
         default="default",
-        choices=["small", "default", "large"],
-        help="experiment scale preset (default: default)",
+        choices=list(SCALE_NAMES),
+        help="experiment scale preset (default: default); choices derive "
+        "from the one preset registry in repro.experiments.config",
     )
     parser.add_argument("--seed", type=int, default=None, help="workload seed override")
     parser.add_argument(
@@ -168,6 +169,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each result as JSON and CSV into DIR",
     )
+    spill = parser.add_argument_group("out-of-core options")
+    spill.add_argument(
+        "--resident-containers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap sealed containers held in RAM at N; the rest spill to "
+        "disk and fault back on read (results stay byte-identical — "
+        "spill IO is machine IO, never simulated IO)",
+    )
+    spill.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for spilled containers (default: an in-memory "
+        "shim; requires --resident-containers)",
+    )
     bench = parser.add_argument_group("bench options")
     bench.add_argument(
         "--quick",
@@ -181,6 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench: skip the regression gate against the committed "
         "BENCH_ingest.json",
     )
+    bench.add_argument(
+        "--memory",
+        action="store_true",
+        help="bench: run ONLY the bounded-RSS memory bench — an out-of-"
+        "core ingest+restore in a fresh subprocess (default --scale "
+        "xlarge), gated on the committed BENCH_memory.json budget",
+    )
+    bench.add_argument(
+        "--generations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bench --memory: truncate the workload to N backups (the "
+        "nightly smoke's knob; the gate still applies)",
+    )
     chaos = parser.add_argument_group("chaos options")
     chaos.add_argument(
         "--crash-points",
@@ -188,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=200,
         metavar="N",
         help="chaos: number of seeded crash points to sweep (default 200)",
+    )
+    chaos.add_argument(
+        "--spill",
+        action="store_true",
+        help="chaos: run the sweep over a spilling store (tight resident "
+        "budget), exercising crash points in the spill/evict/fault-back "
+        "paths",
     )
     obs = parser.add_argument_group("observability options")
     obs.add_argument(
@@ -358,6 +398,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         run_restore_bench,
     )
 
+    if args.memory:
+        return _run_memory_bench(args)
     repeats = 1 if args.quick else 3
     result = run_bench(
         repeats=repeats,
@@ -422,6 +464,45 @@ def _run_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_memory_bench(args: argparse.Namespace) -> int:
+    """``python -m repro bench --memory``: the bounded-RSS gate.
+
+    Runs the out-of-core probe in a fresh subprocess (so ``ru_maxrss``
+    measures this workload alone) at ``--scale`` (default: xlarge, the
+    scale the committed budget was measured at) and fails if peak RSS
+    exceeds the BENCH_memory.json budget."""
+    import json
+
+    from repro.bench import run_memory_bench
+    from repro.memory import check_memory_gate, load_memory_budget
+
+    scale = args.scale if args.scale != "default" else "xlarge"
+    resident = (
+        args.resident_containers if args.resident_containers is not None else 64
+    )
+    record = run_memory_bench(
+        scale=scale,
+        generations=args.generations,
+        resident_containers=resident,
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.no_baseline:
+        return 0
+    baseline = load_memory_budget()
+    if baseline is None:
+        print("no committed BENCH_memory.json found; skipping memory gate")
+        return 0
+    failure = check_memory_gate(record, baseline)
+    if failure is not None:
+        print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: peak RSS {record['peak_rss_mb']:.1f} MB within the committed "
+        f"budget ({baseline['budget_rss_mb']:.1f} MB)"
+    )
+    return 0
+
+
 def _run_dash(args: argparse.Namespace) -> int:
     """``python -m repro dash``: render the standalone HTML dashboard
     from trace snapshots + committed bench baselines + bench history."""
@@ -442,10 +523,15 @@ def _run_chaos(args: argparse.Namespace) -> int:
     """``python -m repro chaos``: crash-recovery sweep — N seeded crash
     points, each recovered and verified for zero data loss. Exits 0 only
     if every point recovers cleanly."""
-    from repro.chaos import run_chaos
+    from repro.chaos import ChaosScenario, run_chaos
 
     seed = args.seed if args.seed is not None else 2012
-    report = run_chaos(n_points=args.crash_points, seed=seed)
+    scenario = None
+    if args.spill:
+        # a tight budget over the chaos workload's container count, so
+        # crash points land while most of the store is spilled
+        scenario = ChaosScenario(seed=seed, resident_containers=2)
+    report = run_chaos(n_points=args.crash_points, seed=seed, scenario=scenario)
     print(report.render())
     if args.save is not None:
         outdir = Path(args.save)
@@ -472,6 +558,20 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
         config = config.with_(restore_faa_window=args.faa_window)
     if args.readahead:
         config = config.with_(restore_readahead=True)
+    if args.resident_containers is not None or args.spill_dir is not None:
+        from repro.storage.store import StoreConfig
+
+        # mirror create_resources' default store convention, plus the
+        # out-of-core budget (StoreConfig validates the combination)
+        config = config.with_(
+            store=StoreConfig(
+                container_bytes=config.container_bytes,
+                seal_seeks=0,
+                cache_containers=config.restore_cache_containers,
+                resident_containers=args.resident_containers,
+                spill_dir=args.spill_dir,
+            )
+        )
     return config
 
 

@@ -29,6 +29,14 @@ class GroundTruth:
     the second and later occurrences of a fingerprint (anywhere, including
     earlier in the same stream) as redundant, exactly like a perfect
     deduplicator with unbounded RAM.
+
+    Args:
+        spill_dir: when set, the consolidated base array lives in a
+            memory-mapped file under this directory instead of anonymous
+            RAM, so the oracle's steady-state footprint stays bounded at
+            GB scale (its pages are file-backed and evictable). Results
+            are byte-identical with or without spilling — searchsorted
+            membership probes read the same values either way.
     """
 
     #: consolidate pending runs into the base array when they reach this
@@ -38,11 +46,15 @@ class GroundTruth:
     #: ... or when this many runs accumulate (bounds membership probes)
     _MAX_RUNS = 8
 
-    def __init__(self) -> None:
+    def __init__(self, spill_dir: Optional[str] = None) -> None:
         # all fingerprints ever seen = one sorted base array + a few
         # sorted pending runs, mutually disjoint by construction
-        self._seen = np.zeros(0, dtype=np.uint64)
+        self._seen: np.ndarray = np.zeros(0, dtype=np.uint64)
         self._runs: List[np.ndarray] = []
+        self._spill_dir = spill_dir
+        # consolidations alternate between two backing files so the new
+        # base is never written over the file the old memmap still maps
+        self._spill_flip = 0
 
     @property
     def unique_fingerprints(self) -> int:
@@ -78,8 +90,26 @@ class GroundTruth:
         ):
             # runs are mutually disjoint, so a plain sort of the
             # concatenation is the union
-            self._seen = np.sort(np.concatenate([self._seen, *self._runs]))
+            merged = np.sort(np.concatenate([self._seen, *self._runs]))
             self._runs = []
+            if self._spill_dir is None:
+                self._seen = merged
+            else:
+                self._seen = self._spill_base(merged)
+
+    def _spill_base(self, merged: np.ndarray) -> np.ndarray:
+        """Park the consolidated base array in a memory-mapped file
+        (real machine IO; the simulated clock never sees it)."""
+        import os
+
+        path = os.path.join(self._spill_dir, f"gt_seen_{self._spill_flip}.u64")
+        self._spill_flip ^= 1
+        # drop the previous memmap before its twin file is rewritten
+        self._seen = np.zeros(0, dtype=np.uint64)
+        merged.tofile(path)
+        if merged.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        return np.memmap(path, dtype=np.uint64, mode="r")
 
     def observe(self, stream: ChunkStream, seg_boundaries: np.ndarray):
         """Account one stream (segment-aligned) and absorb it.

@@ -22,7 +22,7 @@ Calibration notes (see EXPERIMENTS.md for measured outcomes):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro._util import MIB
 from repro.storage.disk import DiskProfile
@@ -160,13 +160,43 @@ class ExperimentConfig:
         )
 
     @classmethod
+    def xlarge(cls) -> "ExperimentConfig":
+        """Out-of-core scale: ≥10 GB simulated across multiple users and
+        ≥20 generations. Only runnable in bounded RSS with the spill
+        store (``repro bench --memory`` / ``python -m repro.memory``);
+        cache *ratios* match the recorded scales so locality effects
+        survive the scale-up."""
+        return cls(
+            fs_bytes=1024 * MIB,
+            n_generations=24,
+            per_user_bytes=512 * MIB,
+            n_users=4,
+            n_backups=22,
+            cache_containers=128,
+            prefetch_ahead=4,
+            silo_cache_blocks=48,
+            silo_similarity_capacity=2400,
+            index_page_cache_pages=64,
+            bloom_capacity=16_000_000,
+            restore_cache_containers=48,
+        )
+
+    @classmethod
     def by_name(cls, name: str) -> "ExperimentConfig":
-        """Resolve a preset by name ('small' | 'default' | 'large')."""
-        presets = {"small": cls.small, "default": cls.default, "large": cls.large}
-        if name not in presets:
-            raise ValueError(f"unknown scale {name!r}; pick one of {sorted(presets)}")
-        return presets[name]()
+        """Resolve a preset by name (see :data:`SCALE_NAMES`)."""
+        if name not in SCALE_NAMES:
+            raise ValueError(
+                f"unknown scale {name!r}; pick one of {list(SCALE_NAMES)}"
+            )
+        return getattr(cls, name)()
 
     def with_(self, **changes) -> "ExperimentConfig":
         """Dataclass replace, fluently."""
         return replace(self, **changes)
+
+
+#: The single scale-preset registry, cheapest first. Each name is an
+#: :class:`ExperimentConfig` classmethod; the CLI's ``--scale`` choices
+#: and :meth:`ExperimentConfig.by_name` both derive from this tuple, so
+#: a new preset cannot reach one and silently miss the other.
+SCALE_NAMES: Tuple[str, ...] = ("small", "default", "large", "xlarge")

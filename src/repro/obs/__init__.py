@@ -51,6 +51,7 @@ from repro.obs.registry import (
     chunking_summary,
     render_snapshot,
 )
+from repro.obs.rss import peak_rss_bytes, peak_rss_mb
 from repro.obs.spans import EngineScope, INGEST_PHASES
 from repro.obs.trace_export import export_chrome_trace, write_chrome_trace
 
@@ -77,6 +78,8 @@ __all__ = [
     "JsonlEventSink",
     "NULL_EVENTS",
     "read_jsonl",
+    "peak_rss_bytes",
+    "peak_rss_mb",
     "render_snapshot",
     "chunking_summary",
     "SPL_EDGES",

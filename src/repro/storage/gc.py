@@ -113,7 +113,7 @@ class GarbageCollector:
         return sum(live.values()) / total if total else 1.0
 
     def _sealed_cids(self) -> List[int]:
-        return sorted(self.store._sealed.keys())  # noqa: SLF001 - same package
+        return self.store.cids()
 
     # ------------------------------------------------------------------
 

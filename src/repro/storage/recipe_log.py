@@ -1,0 +1,123 @@
+"""Append-to-disk recipe log: constant-memory recipe retention.
+
+A GB-scale workload produces one :class:`~repro.storage.recipe
+.BackupRecipe` per generation, each holding three parallel arrays with
+one entry per logical chunk — the dominant per-generation RAM cost once
+containers spill. The log appends each finished recipe to a backing
+file (or an in-memory buffer when no path is given) and loads them back
+one at a time, so a driver can ingest N generations and later restore
+them while never holding more than one recipe's arrays.
+
+Like container spill, recipe-log IO is real machine IO: it is never
+charged to the simulated disk, so logging recipes cannot perturb any
+reported number.
+
+Record layout (little-endian)::
+
+    MAGIC(4s) | version(u16) | label_len(u16) | generation(i64)
+    | n_chunks(u32) | label: label_len bytes (utf-8)
+    | fingerprints: n_chunks * u64 | sizes: n_chunks * u32
+    | containers: n_chunks * i64
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import IO, Iterator, List, Optional
+
+import numpy as np
+
+from repro.storage.recipe import BackupRecipe
+
+__all__ = ["RecipeLog"]
+
+_HEADER = struct.Struct("<4sHHqI")
+_MAGIC = b"RRCP"
+_VERSION = 1
+
+
+class RecipeLog:
+    """Append-only log of backup recipes with random access by index.
+
+    Args:
+        path: backing file (created/truncated). ``None`` keeps the log
+            in an in-memory buffer — the tmpfs shim for tests; the full
+            serialize/reload cycle still runs.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._file: IO[bytes]
+        if path is None:
+            self._file = io.BytesIO()
+        else:
+            self._file = open(path, "w+b")
+        self._offsets: List[int] = []
+        self._end = 0
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes occupied by the serialized log."""
+        return self._end
+
+    def append(self, recipe: BackupRecipe) -> int:
+        """Serialize one recipe at the tail; returns its index."""
+        label = (recipe.label or "").encode("utf-8")
+        if len(label) > 0xFFFF:
+            raise ValueError(f"recipe label too long ({len(label)} B)")
+        fps = np.ascontiguousarray(recipe.fingerprints, dtype=np.uint64)
+        sizes = np.ascontiguousarray(recipe.sizes, dtype=np.uint32)
+        cids = np.ascontiguousarray(recipe.containers, dtype=np.int64)
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, len(label), recipe.generation, len(fps)
+        )
+        f = self._file
+        f.seek(self._end)
+        f.write(header)
+        f.write(label)
+        f.write(fps.tobytes())
+        f.write(sizes.tobytes())
+        f.write(cids.tobytes())
+        self._offsets.append(self._end)
+        self._end = f.tell()
+        return len(self._offsets) - 1
+
+    def load(self, index: int) -> BackupRecipe:
+        """Materialize the recipe at ``index`` (fresh arrays each call)."""
+        offset = self._offsets[index]
+        f = self._file
+        f.seek(offset)
+        head = f.read(_HEADER.size)
+        magic, version, label_len, generation, n = _HEADER.unpack(head)
+        if magic != _MAGIC or version != _VERSION:
+            raise ValueError(f"corrupt recipe log record at offset {offset}")
+        label = f.read(label_len).decode("utf-8") if label_len else None
+        body = f.read(n * 8 + n * 4 + n * 8)
+        fps = np.frombuffer(body, dtype=np.uint64, count=n)
+        sizes = np.frombuffer(body, dtype=np.uint32, count=n, offset=n * 8)
+        cids = np.frombuffer(body, dtype=np.int64, count=n, offset=n * 12)
+        return BackupRecipe(
+            generation=int(generation),
+            fingerprints=fps,
+            sizes=sizes,
+            containers=cids,
+            label=label,
+        )
+
+    def __iter__(self) -> Iterator[BackupRecipe]:
+        """Yield recipes oldest-first, one materialized at a time."""
+        for i in range(len(self._offsets)):
+            yield self.load(i)
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "RecipeLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import contextlib
 import warnings
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -26,6 +27,7 @@ from repro.storage.container import (
     SealedContainer,
 )
 from repro.storage.disk import DiskModel
+from repro.storage.spill import ContainerSpill, decode_container, encode_container, make_spill
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (repro.faults imports
     # repro.storage.disk; keeping this lazy avoids the cycle at import time)
@@ -61,6 +63,16 @@ class StoreConfig:
         retry: transient-IO retry policy for store/index disk
             operations (None = fail fast; only meaningful with a
             :class:`~repro.faults.FaultyDisk`).
+        resident_containers: out-of-core budget — at most this many
+            sealed containers stay materialized in RAM; the rest live
+            in the spill backend and fault back on read. ``None``
+            (default) keeps every sealed container resident, exactly
+            the pre-spill behavior. Spill IO is real machine IO, never
+            charged to the simulated disk, so results are byte-
+            identical with spilling on or off.
+        spill_dir: directory for the spill files; ``None`` uses the
+            in-memory shim (tests, chaos). Only meaningful together
+            with ``resident_containers``.
     """
 
     container_bytes: int = DEFAULT_CONTAINER_BYTES
@@ -68,6 +80,8 @@ class StoreConfig:
     cache_containers: int = 32
     journal: bool = False
     retry: "Optional[RetryPolicy]" = None
+    resident_containers: Optional[int] = None
+    spill_dir: Optional[str] = None
 
 
 def _deprecated_kwarg(name: str) -> None:
@@ -98,6 +112,23 @@ class StoreStats:
         return self.payload_bytes + self.metadata_bytes
 
 
+@dataclass
+class SpillStats:
+    """Out-of-core accounting (real machine IO, never simulated IO)."""
+
+    spilled: int = 0
+    evictions: int = 0
+    faults: int = 0
+    bytes_spilled: int = 0
+    bytes_faulted: int = 0
+
+
+#: Per-container directory entry kept resident for *every* sealed
+#: container (spilled or not): (n_chunks, data_bytes, metadata_bytes).
+#: ~3 ints per container, so membership/size queries never fault.
+_MetaEntry = Tuple[int, int, int]
+
+
 class ContainerStore:
     """Append-only log of containers over a simulated disk.
 
@@ -121,21 +152,18 @@ class ContainerStore:
             config = StoreConfig()
         if container_bytes is not None:
             _deprecated_kwarg("container_bytes")
-            config = StoreConfig(
-                container_bytes=int(container_bytes),
-                seal_seeks=config.seal_seeks,
-                cache_containers=config.cache_containers,
-                journal=config.journal,
-                retry=config.retry,
-            )
+            config = replace(config, container_bytes=int(container_bytes))
         if seal_seeks is not None:
             _deprecated_kwarg("seal_seeks")
-            config = StoreConfig(
-                container_bytes=config.container_bytes,
-                seal_seeks=int(seal_seeks),
-                cache_containers=config.cache_containers,
-                journal=config.journal,
-                retry=config.retry,
+            config = replace(config, seal_seeks=int(seal_seeks))
+        if config.spill_dir is not None and config.resident_containers is None:
+            raise ValueError(
+                "StoreConfig.spill_dir without resident_containers: "
+                "set a resident budget to enable the out-of-core store"
+            )
+        if config.resident_containers is not None and config.resident_containers < 1:
+            raise ValueError(
+                f"resident_containers must be >= 1, got {config.resident_containers}"
             )
         self.disk = disk
         self.config = config
@@ -143,7 +171,17 @@ class ContainerStore:
         self.seal_seeks = int(config.seal_seeks)
         self.journaled = bool(config.journal)
         self.stats = StoreStats()
-        self._sealed: Dict[int, SealedContainer] = {}
+        self.spill_stats = SpillStats()
+        # out-of-core state: the resident LRU holds materialized
+        # containers; _meta is the always-resident directory of every
+        # sealed cid (so has/cids/remove never fault a container back).
+        self._resident: "OrderedDict[int, SealedContainer]" = OrderedDict()
+        self._meta: Dict[int, _MetaEntry] = {}
+        self._spill: Optional[ContainerSpill] = None
+        self._resident_budget = 0
+        if config.resident_containers is not None:
+            self._spill = make_spill(config.spill_dir)
+            self._resident_budget = int(config.resident_containers)
         self._open: Optional[Container] = None
         self._next_cid = 0
         # durability protocol state (journaled mode)
@@ -180,8 +218,18 @@ class ContainerStore:
 
     @property
     def n_containers(self) -> int:
-        """Number of sealed containers."""
-        return len(self._sealed)
+        """Number of sealed containers (resident or spilled)."""
+        return len(self._meta)
+
+    @property
+    def n_resident(self) -> int:
+        """Sealed containers currently materialized in RAM."""
+        return len(self._resident)
+
+    @property
+    def spilling(self) -> bool:
+        """True when a resident budget (and spill backend) is active."""
+        return self._spill is not None
 
     def current_cid(self, size: int) -> int:
         """The container id the *next* chunk of ``size`` bytes will land in
@@ -279,7 +327,7 @@ class ContainerStore:
             # scanner detects and truncates.
             with self._tagged("seal"):
                 self._write(nbytes, seeks=self.seal_seeks)
-            self._sealed[sealed.cid] = sealed
+            self._admit_sealed(sealed)
             self.stats.containers_sealed += 1
             self.stats.payload_bytes += sealed.data_bytes
             self.stats.metadata_bytes += sealed.metadata_bytes
@@ -288,7 +336,7 @@ class ContainerStore:
                 self._write(COMMIT_MARKER_BYTES, seeks=0)
             self._committed.add(sealed.cid)
             return
-        self._sealed[sealed.cid] = sealed
+        self._admit_sealed(sealed)
         self.disk.write(nbytes, seeks=self.seal_seeks)
         self.stats.containers_sealed += 1
         self.stats.payload_bytes += sealed.data_bytes
@@ -297,23 +345,100 @@ class ContainerStore:
         self._open = None
 
     # ------------------------------------------------------------------
+    # out-of-core machinery (real machine IO; never touches the
+    # simulated disk — the twin-run contract depends on it)
+    # ------------------------------------------------------------------
+
+    def _admit_sealed(self, sealed: SealedContainer) -> None:
+        """Register a freshly sealed container: always enters the
+        directory and the resident set; under a spill budget it is also
+        written through to the spill backend (the durable copy evicts
+        rely on) and the LRU is trimmed."""
+        cid = sealed.cid
+        self._resident[cid] = sealed
+        self._meta[cid] = (sealed.n_chunks, sealed.data_bytes, sealed.metadata_bytes)
+        if self._spill is not None:
+            blob = encode_container(sealed)
+            self._spill.put(cid, blob)
+            self.spill_stats.spilled += 1
+            self.spill_stats.bytes_spilled += len(blob)
+            evicted = self._evict_over_budget()
+            self._record_spill_obs("spilled", len(blob), evicted)
+
+    def _evict_over_budget(self) -> int:
+        """Trim the resident LRU to the budget; returns the number of
+        evictions. Eviction is free: seals write through, so the spill
+        copy already exists."""
+        evicted = 0
+        while len(self._resident) > self._resident_budget:
+            self._resident.popitem(last=False)
+            self.spill_stats.evictions += 1
+            evicted += 1
+        return evicted
+
+    def _fault_in(self, cid: int) -> SealedContainer:
+        """Materialize a spilled container back into the resident LRU."""
+        assert self._spill is not None
+        try:
+            blob = self._spill.get(cid)
+        except (KeyError, FileNotFoundError):
+            raise KeyError(cid) from None
+        sealed = decode_container(blob)
+        self.spill_stats.faults += 1
+        self.spill_stats.bytes_faulted += len(blob)
+        self._resident[cid] = sealed
+        evicted = self._evict_over_budget()
+        self._record_spill_obs("faults", len(blob), evicted)
+        return sealed
+
+    def _record_spill_obs(self, what: str, nbytes: int, evicted: int) -> None:
+        from repro.obs import get_active
+
+        obs = get_active()
+        if not obs.enabled:
+            return
+        reg = obs.registry
+        reg.counter(f"store.spill.{what}").inc()
+        suffix = "bytes_spilled" if what == "spilled" else "bytes_faulted"
+        reg.counter(f"store.spill.{suffix}").inc(nbytes)
+        if evicted:
+            reg.counter("store.spill.evictions").inc(evicted)
+        reg.gauge("store.spill.resident").set(len(self._resident))
+
+    def _drop_everywhere(self, cid: int) -> None:
+        """Forget a sealed container in the resident set and the spill
+        backend (remove / torn-tail truncation)."""
+        self._resident.pop(cid, None)
+        if self._spill is not None:
+            self._spill.delete(cid)
+
+    # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
 
     def get(self, cid: int) -> SealedContainer:
-        """Look up a sealed container by id (no disk charge; bookkeeping
-        only). Raises KeyError for unknown or still-open containers."""
-        return self._sealed[cid]
+        """Look up a sealed container by id (no simulated-disk charge;
+        bookkeeping only). Under a resident budget a spilled container
+        faults back in (real machine IO, still no simulated charge).
+        Raises KeyError for unknown or still-open containers."""
+        sealed = self._resident.get(cid)
+        if sealed is not None:
+            if self._spill is not None:
+                self._resident.move_to_end(cid)
+            return sealed
+        if self._spill is not None and cid in self._meta:
+            return self._fault_in(cid)
+        raise KeyError(cid)
 
     def has(self, cid: int) -> bool:
         """True if ``cid`` refers to a sealed container."""
-        return cid in self._sealed
+        return cid in self._meta
 
     def prefetch_meta(self, cid: int) -> np.ndarray:
         """Read a container's metadata section (its fingerprints) from
         disk — the DDFS locality prefetch. Charges one seek plus the
         metadata transfer; returns the fingerprint array."""
-        sealed = self._sealed[cid]
+        sealed = self.get(cid)
         self._read(sealed.metadata_bytes, seeks=1)
         self.stats.meta_prefetches += 1
         return sealed.fingerprints
@@ -321,7 +446,7 @@ class ContainerStore:
     def read_container(self, cid: int) -> SealedContainer:
         """Read a whole container (restore path): one seek + full payload
         and metadata transfer."""
-        sealed = self._sealed[cid]
+        sealed = self.get(cid)
         self._read(sealed.data_bytes + sealed.metadata_bytes, seeks=1)
         self.stats.container_reads += 1
         return sealed
@@ -348,7 +473,7 @@ class ContainerStore:
                 raise ValueError(
                     f"container run must be consecutive cids, got {list(cids)}"
                 )
-        sealed = [self._sealed[cid] for cid in cids]
+        sealed = [self.get(cid) for cid in cids]
         nbytes = sum(s.data_bytes + s.metadata_bytes for s in sealed)
         self._read(nbytes, seeks=1)
         self.stats.container_reads += len(sealed)
@@ -361,12 +486,12 @@ class ContainerStore:
         Returns the payload bytes freed. Bookkeeping only — the space is
         reclaimed in place; no disk charge beyond the reads/writes the
         collector already performed."""
-        sealed = self._sealed.pop(cid)
-        freed = sealed.data_bytes
-        self.stats.payload_bytes -= freed
-        self.stats.metadata_bytes -= sealed.metadata_bytes
+        _, data_bytes, metadata_bytes = self._meta.pop(cid)
+        self._drop_everywhere(cid)
+        self.stats.payload_bytes -= data_bytes
+        self.stats.metadata_bytes -= metadata_bytes
         self.stats.containers_removed += 1
-        return freed
+        return data_bytes
 
     # ------------------------------------------------------------------
     # durability protocol (journaled mode) + crash/recovery support
@@ -401,7 +526,7 @@ class ContainerStore:
     def uncommitted_cids(self) -> List[int]:
         """Sealed containers whose commit marker never became durable —
         the torn tail a crash mid-seal leaves behind."""
-        return sorted(cid for cid in self._sealed if cid not in self._committed)
+        return sorted(cid for cid in self._meta if cid not in self._committed)
 
     def crash(self) -> None:
         """Simulate power loss: the open (unsealed) container is gone;
@@ -416,22 +541,24 @@ class ContainerStore:
         only — the scanner charges the log scan that found them."""
         torn = self.uncommitted_cids()
         for cid in torn:
-            sealed = self._sealed.pop(cid)
-            self.stats.payload_bytes -= sealed.data_bytes
-            self.stats.metadata_bytes -= sealed.metadata_bytes
+            _, data_bytes, metadata_bytes = self._meta.pop(cid)
+            self._drop_everywhere(cid)
+            self.stats.payload_bytes -= data_bytes
+            self.stats.metadata_bytes -= metadata_bytes
         return torn
 
     def cids(self) -> List[int]:
-        """Sorted ids of all sealed containers."""
-        return sorted(self._sealed)
+        """Sorted ids of all sealed containers (resident or spilled)."""
+        return sorted(self._meta)
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 
     def container_of_chunk_count(self) -> Dict[int, int]:
-        """Map cid -> number of chunks, for layout analysis."""
-        return {cid: c.n_chunks for cid, c in self._sealed.items()}
+        """Map cid -> number of chunks, for layout analysis (served from
+        the resident directory; never faults)."""
+        return {cid: m[0] for cid, m in self._meta.items()}
 
     def logical_metadata_bytes(self, n_chunks: int) -> int:
         """Metadata footprint of ``n_chunks`` chunks (helper for cost

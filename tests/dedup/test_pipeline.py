@@ -74,6 +74,19 @@ class TestGroundTruth:
         gt.observe(s2, self.seg_cuts(s2))
         assert gt.unique_fingerprints == 100
 
+    def test_spilled_oracle_is_equivalent(self, tmp_path):
+        # the memmap-backed base must give byte-identical answers; feed
+        # enough disjoint + overlapping streams to force consolidations
+        plain, spilled = GroundTruth(), GroundTruth(spill_dir=str(tmp_path))
+        streams = [make_stream(60, seed=s) for s in (1, 2, 1, 3, 2)]
+        for s in streams:
+            cuts = self.seg_cuts(s)
+            assert plain.observe(s, cuts) == spilled.observe(s, cuts)
+        assert plain.unique_fingerprints == spilled.unique_fingerprints
+        # the consolidated base really lives in a backing file
+        assert list(tmp_path.glob("gt_seen_*.u64"))
+        assert isinstance(spilled._seen, np.memmap)
+
 
 class TestRunHelpers:
     def test_run_backup_annotates_truth(self, segmenter):

@@ -1,6 +1,6 @@
 import pytest
 
-from repro.experiments.config import APPLIANCE_2012, ExperimentConfig
+from repro.experiments.config import APPLIANCE_2012, SCALE_NAMES, ExperimentConfig
 
 
 class TestPresets:
@@ -24,6 +24,39 @@ class TestPresets:
         assert ExperimentConfig.by_name("small") == ExperimentConfig.small()
         with pytest.raises(ValueError):
             ExperimentConfig.by_name("huge")
+
+    def test_xlarge_is_largest(self):
+        xlarge, large = ExperimentConfig.xlarge(), ExperimentConfig.large()
+        assert xlarge.per_user_bytes > large.per_user_bytes
+        assert xlarge.fs_bytes > large.fs_bytes
+        # the ISSUE floor: >= 10 GB simulated across >= 20 backups,
+        # multiple users (logical bytes ~ per_user_bytes x n_backups)
+        assert xlarge.per_user_bytes * xlarge.n_backups >= 10 * 10**9
+        assert xlarge.n_backups >= 20
+        assert xlarge.n_users > 1
+
+    def test_scale_registry_covers_every_preset(self):
+        # the single source of truth the CLI choices and the by_name
+        # error message both derive from
+        for name in SCALE_NAMES:
+            assert ExperimentConfig.by_name(name) == getattr(
+                ExperimentConfig, name
+            )()
+
+    def test_unknown_scale_error_lists_registry(self):
+        with pytest.raises(ValueError) as exc:
+            ExperimentConfig.by_name("huge")
+        for name in SCALE_NAMES:
+            assert name in str(exc.value)
+
+    def test_cli_choices_derive_from_registry(self):
+        import repro.cli as cli
+        import inspect
+
+        src = inspect.getsource(cli)
+        assert "SCALE_NAMES" in src
+        # no hand-maintained duplicate scale list left in the CLI
+        assert '"small", "default", "large"' not in src
 
     def test_with_override(self):
         c = ExperimentConfig.default().with_(alpha=0.25, seed=7)

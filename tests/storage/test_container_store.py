@@ -144,8 +144,8 @@ class TestAppendRun:
         assert a.stats.chunks_written == b.stats.chunks_written
         a.flush()
         b.flush()
-        assert {c: s.fingerprints.tolist() for c, s in a._sealed.items()} == {
-            c: s.fingerprints.tolist() for c, s in b._sealed.items()
+        assert {c: a.get(c).fingerprints.tolist() for c in a.cids()} == {
+            c: b.get(c).fingerprints.tolist() for c in b.cids()
         }
 
     def test_empty_run(self):

@@ -1,0 +1,99 @@
+"""Recipe log: append-to-disk recipe retention with random access."""
+
+import numpy as np
+import pytest
+
+from repro.storage.recipe import BackupRecipe
+from repro.storage.recipe_log import RecipeLog
+
+
+def make_recipe(generation=0, n=5, label="user0"):
+    rng = np.random.default_rng(generation + 1)
+    return BackupRecipe(
+        generation=generation,
+        fingerprints=rng.integers(1, 1 << 60, size=n).astype(np.uint64),
+        sizes=rng.integers(100, 5000, size=n).astype(np.uint32),
+        containers=rng.integers(0, 50, size=n).astype(np.int64),
+        label=label,
+    )
+
+
+def assert_same(a: BackupRecipe, b: BackupRecipe):
+    assert a.generation == b.generation
+    assert a.label == b.label
+    assert a.fingerprints.tolist() == b.fingerprints.tolist()
+    assert a.sizes.tolist() == b.sizes.tolist()
+    assert a.containers.tolist() == b.containers.tolist()
+    assert b.fingerprints.dtype == np.uint64
+    assert b.sizes.dtype == np.uint32
+    assert b.containers.dtype == np.int64
+
+
+@pytest.fixture(params=["memory", "file"])
+def log(request, tmp_path):
+    if request.param == "memory":
+        with RecipeLog() as rl:
+            yield rl
+    else:
+        with RecipeLog(str(tmp_path / "recipes.log")) as rl:
+            yield rl
+
+
+class TestRoundtrip:
+    def test_append_load(self, log):
+        recipes = [make_recipe(g, n=3 + g) for g in range(4)]
+        for i, r in enumerate(recipes):
+            assert log.append(r) == i
+        assert len(log) == 4
+        for i, r in enumerate(recipes):
+            assert_same(r, log.load(i))
+
+    def test_iter_is_oldest_first(self, log):
+        recipes = [make_recipe(g) for g in range(3)]
+        for r in recipes:
+            log.append(r)
+        for want, got in zip(recipes, log):
+            assert_same(want, got)
+
+    def test_random_access_after_later_appends(self, log):
+        first = make_recipe(0, n=7)
+        log.append(first)
+        log.append(make_recipe(1, n=2))
+        assert_same(first, log.load(0))
+
+    def test_unlabeled_recipe(self, log):
+        r = make_recipe(0, label=None)
+        log.append(r)
+        assert log.load(0).label is None
+
+    def test_empty_recipe(self, log):
+        r = BackupRecipe(
+            generation=9,
+            fingerprints=np.zeros(0, dtype=np.uint64),
+            sizes=np.zeros(0, dtype=np.uint32),
+            containers=np.zeros(0, dtype=np.int64),
+        )
+        log.append(r)
+        assert log.load(0).n_chunks == 0
+
+    def test_nbytes_grows(self, log):
+        assert log.nbytes == 0
+        log.append(make_recipe(0))
+        first = log.nbytes
+        assert first > 0
+        log.append(make_recipe(1))
+        assert log.nbytes > first
+
+
+class TestFileBacked:
+    def test_bytes_live_on_disk(self, tmp_path):
+        path = tmp_path / "r.log"
+        with RecipeLog(str(path)) as log:
+            log.append(make_recipe(0, n=1000))
+            assert path.stat().st_size == log.nbytes
+
+    def test_out_of_range_index(self, tmp_path):
+        with RecipeLog(str(tmp_path / "r.log")) as log:
+            log.append(make_recipe(0))
+            with pytest.raises(IndexError):
+                log.load(5)

@@ -1,0 +1,263 @@
+"""Out-of-core container store: spill backends, eviction, fault-back.
+
+The twin-run contract is the heart of these tests: every simulated
+number (disk charges, cids, packing, stats) must be byte-identical with
+spilling on or off — the spill layer is machine IO only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import Observability, obs_session
+from repro.storage.container import SealedContainer
+from repro.storage.disk import DiskModel
+from repro.storage.spill import (
+    DirectorySpill,
+    MemorySpill,
+    decode_container,
+    encode_container,
+    make_spill,
+)
+from repro.storage.store import ContainerStore, StoreConfig
+
+from tests.conftest import TEST_PROFILE
+
+
+def make_store(resident=None, spill_dir=None, container_bytes=1000, journal=False):
+    return ContainerStore(
+        DiskModel(profile=TEST_PROFILE),
+        config=StoreConfig(
+            container_bytes=container_bytes,
+            seal_seeks=0,
+            journal=journal,
+            resident_containers=resident,
+            spill_dir=spill_dir,
+        ),
+    )
+
+
+def ingest(store, n_chunks=40, size=300):
+    for fp in range(n_chunks):
+        store.append(fp + 1, size)
+    store.flush()
+
+
+class TestBlobCodec:
+    def test_roundtrip(self):
+        sealed = SealedContainer(
+            cid=7,
+            fingerprints=np.array([10, 20, 30], dtype=np.uint64),
+            sizes=np.array([100, 200, 300], dtype=np.uint32),
+        )
+        back = decode_container(encode_container(sealed))
+        assert back.cid == 7
+        assert back.fingerprints.tolist() == [10, 20, 30]
+        assert back.sizes.tolist() == [100, 200, 300]
+        assert back.fingerprints.dtype == np.uint64
+        assert back.sizes.dtype == np.uint32
+
+    def test_empty_container_roundtrips(self):
+        sealed = SealedContainer(
+            cid=0,
+            fingerprints=np.zeros(0, dtype=np.uint64),
+            sizes=np.zeros(0, dtype=np.uint32),
+        )
+        back = decode_container(encode_container(sealed))
+        assert back.n_chunks == 0
+
+    def test_truncated_blob_rejected(self):
+        sealed = SealedContainer(
+            cid=1,
+            fingerprints=np.array([1, 2], dtype=np.uint64),
+            sizes=np.array([10, 20], dtype=np.uint32),
+        )
+        blob = encode_container(sealed)
+        with pytest.raises(ValueError, match="!="):
+            decode_container(blob[:-4])
+        with pytest.raises(ValueError, match="truncated"):
+            decode_container(blob[:8])
+
+    def test_foreign_blob_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            decode_container(b"NOPE" + b"\x00" * 32)
+
+
+class TestBackends:
+    def _roundtrip(self, spill):
+        sealed = SealedContainer(
+            cid=42,
+            fingerprints=np.array([5], dtype=np.uint64),
+            sizes=np.array([50], dtype=np.uint32),
+        )
+        blob = encode_container(sealed)
+        assert 42 not in spill
+        spill.put(42, blob)
+        assert 42 in spill
+        assert spill.get(42) == blob
+        assert list(spill.cids()) == [42]
+        spill.delete(42)
+        assert 42 not in spill
+        spill.delete(42)  # idempotent
+
+    def test_memory_spill(self):
+        self._roundtrip(MemorySpill())
+
+    def test_directory_spill(self, tmp_path):
+        self._roundtrip(DirectorySpill(tmp_path / "spill"))
+
+    def test_make_spill_dispatch(self, tmp_path):
+        assert isinstance(make_spill(None), MemorySpill)
+        assert isinstance(make_spill(str(tmp_path / "d")), DirectorySpill)
+
+
+class TestConfigValidation:
+    def test_spill_dir_requires_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="resident_containers"):
+            make_store(spill_dir=str(tmp_path))
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            make_store(resident=0)
+
+
+class TestResidentBudget:
+    def test_no_budget_keeps_everything_resident(self):
+        store = make_store()
+        ingest(store, n_chunks=40)
+        assert not store.spilling
+        assert store.n_resident == store.n_containers > 1
+        assert store.spill_stats.spilled == 0
+
+    def test_budget_bounds_resident_set(self):
+        store = make_store(resident=2)
+        ingest(store, n_chunks=40, size=300)
+        assert store.spilling
+        assert store.n_containers > 2
+        assert store.n_resident <= 2
+        assert store.spill_stats.spilled == store.stats.containers_sealed
+        assert store.spill_stats.evictions > 0
+
+    def test_fault_back_restores_content(self):
+        store = make_store(resident=1)
+        ingest(store, n_chunks=40)
+        # every sealed container is readable, spilled or not, and the
+        # content survives the serialize/evict/fault-back cycle
+        for cid in store.cids():
+            sealed = store.get(cid)
+            assert sealed.cid == cid
+            assert sealed.n_chunks > 0
+        assert store.spill_stats.faults > 0
+
+    def test_fault_back_charges_no_simulated_time(self):
+        store = make_store(resident=1)
+        ingest(store, n_chunks=40)
+        t0 = store.disk.stats.total_time_s
+        for cid in store.cids():
+            store.get(cid)
+        assert store.disk.stats.total_time_s == t0
+
+    def test_lru_keeps_hot_container_resident(self):
+        store = make_store(resident=2)
+        ingest(store, n_chunks=40)
+        hot = store.cids()[0]
+        store.get(hot)
+        faults0 = store.spill_stats.faults
+        store.get(hot)  # second access: already resident, no fault
+        assert store.spill_stats.faults == faults0
+
+    def test_directory_spill_persists_files(self, tmp_path):
+        spill_dir = tmp_path / "ctn"
+        store = make_store(resident=1, spill_dir=str(spill_dir))
+        ingest(store, n_chunks=40)
+        files = list(spill_dir.glob("*.ctn"))
+        assert len(files) == store.n_containers
+
+    def test_remove_deletes_spill_copy(self, tmp_path):
+        spill_dir = tmp_path / "ctn"
+        store = make_store(resident=1, spill_dir=str(spill_dir))
+        ingest(store, n_chunks=40)
+        victim = store.cids()[0]
+        store.remove(victim)
+        assert not store.has(victim)
+        assert not (spill_dir / f"{victim:012d}.ctn").exists()
+        with pytest.raises(KeyError):
+            store.get(victim)
+
+    def test_truncate_torn_deletes_spill_copy(self):
+        store = make_store(resident=1, journal=True)
+        ingest(store, n_chunks=40)
+        # forge a torn tail: forget one container's commit marker
+        torn_cid = store.cids()[-1]
+        store._committed.discard(torn_cid)
+        assert store.truncate_torn() == [torn_cid]
+        assert not store.has(torn_cid)
+        assert torn_cid not in store._spill
+
+    def test_directory_queries_never_fault(self):
+        store = make_store(resident=1)
+        ingest(store, n_chunks=40)
+        faults0 = store.spill_stats.faults
+        store.cids()
+        store.has(store.cids()[0])
+        store.container_of_chunk_count()
+        _ = store.n_containers
+        assert store.spill_stats.faults == faults0
+
+
+class TestTwinRun:
+    """Simulated results must be byte-identical with spilling on or off."""
+
+    def _run(self, **kwargs):
+        store = make_store(container_bytes=700, **kwargs)
+        rng = np.random.default_rng(7)
+        fps = rng.integers(1, 1 << 60, size=300).tolist()
+        sizes = rng.integers(50, 400, size=300).tolist()
+        cids = store.append_run(fps, sizes)
+        store.flush()
+        reads = [store.read_container(c).data_bytes for c in store.cids()]
+        store.prefetch_meta(store.cids()[0])
+        return (
+            cids,
+            store.disk.stats.total_time_s,
+            store.stats.__dict__.copy(),
+            reads,
+            {c: store.get(c).fingerprints.tolist() for c in store.cids()},
+        )
+
+    def test_spill_on_off_identical(self, tmp_path):
+        plain = self._run()
+        mem = self._run(resident=3)
+        disk = self._run(resident=3, spill_dir=str(tmp_path / "s"))
+        assert plain == mem == disk
+
+    def test_obs_session_does_not_change_results(self):
+        plain = self._run(resident=3)
+        with obs_session(Observability()) as obs:
+            traced = self._run(resident=3)
+        assert plain == traced
+        # and the session actually saw the spill counters
+        snap = obs.registry.snapshot()
+        counters = snap.get("counters", snap)
+        assert any("store.spill" in k for k in counters)
+
+
+class TestSpillObs:
+    def test_counters_recorded_when_enabled(self):
+        with obs_session(Observability()) as obs:
+            store = make_store(resident=1)
+            ingest(store, n_chunks=40)
+            for cid in store.cids():
+                store.get(cid)
+        reg = obs.registry
+        assert reg.counter("store.spill.spilled").value == store.spill_stats.spilled
+        assert reg.counter("store.spill.faults").value == store.spill_stats.faults
+        assert (
+            reg.counter("store.spill.evictions").value
+            == store.spill_stats.evictions
+        )
+        assert reg.gauge("store.spill.resident").value <= 1
+
+    def test_stats_tracked_without_session(self):
+        store = make_store(resident=1)
+        ingest(store, n_chunks=40)
+        assert store.spill_stats.bytes_spilled > 0

@@ -15,16 +15,20 @@ def _records():
     ingest = {"batch_seconds": 0.2, "scalar_seconds": 1.3, "speedup": 6.5}
     restore = {"restore_seconds": 0.025, "faa_seconds": 0.024}
     chunking = {"seqcdc_mb_per_s": 60.0, "speedup": 24.0}
-    return ingest, restore, chunking
+    memory = {"peak_rss_mb": 160.0, "logical_bytes": 11_900_000_000}
+    return ingest, restore, chunking, memory
 
 
 class TestHistoryRecord:
     def test_headline_metrics_extracted(self):
-        ingest, restore, chunking = _records()
-        rec = history_record(ingest=ingest, restore=restore, chunking=chunking)
+        ingest, restore, chunking, memory = _records()
+        rec = history_record(
+            ingest=ingest, restore=restore, chunking=chunking, memory=memory
+        )
         assert rec["ingest_batch_seconds"] == 0.2
         assert rec["restore_seconds"] == 0.025
         assert rec["chunking_mb_per_s"] == 60.0
+        assert rec["peak_rss_mb"] == 160.0
         # every HISTORY_METRICS key is present
         assert set(HISTORY_METRICS) <= set(rec)
 
