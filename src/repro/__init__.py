@@ -21,8 +21,11 @@ paper-vs-measured record of every figure.
 
 from repro.api import (
     BackupSession,
+    EngineInfo,
     create_engine,
     create_resources,
+    engine_info,
+    engine_infos,
     engine_names,
     register_engine,
 )
@@ -51,12 +54,16 @@ from repro.dedup import (
     EngineResources,
     ExactEngine,
     GroundTruth,
+    HybridEngine,
     IDedupEngine,
+    MaintenanceReport,
+    RevDedupEngine,
     SiLoEngine,
     SparseIndexEngine,
     ingest_bytes,
     run_backup,
     run_workload,
+    run_workload_with_maintenance,
 )
 from repro.restore import RestoreReader, RestoreReport, read_time_eq1
 from repro.segmenting import ContentDefinedSegmenter, FixedSegmenter, Segment
@@ -89,8 +96,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BackupSession",
+    "EngineInfo",
     "create_engine",
     "create_resources",
+    "engine_info",
+    "engine_infos",
     "engine_names",
     "register_engine",
     "Chunk",
@@ -113,12 +123,16 @@ __all__ = [
     "EngineResources",
     "ExactEngine",
     "GroundTruth",
+    "HybridEngine",
     "IDedupEngine",
+    "MaintenanceReport",
+    "RevDedupEngine",
     "SiLoEngine",
     "SparseIndexEngine",
     "ingest_bytes",
     "run_backup",
     "run_workload",
+    "run_workload_with_maintenance",
     "RestoreReader",
     "RestoreReport",
     "read_time_eq1",

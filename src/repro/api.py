@@ -10,16 +10,23 @@ One import point for embedding the reproduction as a library:
   per the config, honoring its :class:`~repro.storage.store.StoreConfig`
   (durability journal, retry policy) when one is set.
 * :class:`BackupSession` — a context manager bundling engine, container
-  store, and restore reader for the common ingest-then-restore loop.
+  store, and restore reader for the common ingest-then-restore loop,
+  including the out-of-line maintenance phase
+  (:meth:`BackupSession.end_generation`).
 
-Everything here is re-exported from :mod:`repro`; the older
-``repro.experiments.common.build_engine`` ladder delegates to this
-module and is deprecated.
+The registry is capability-aware: each registration carries an
+:class:`EngineInfo` (does the engine run an out-of-line maintenance
+pass? does it rewrite *old* containers?) that the CLI, ``repro dash``,
+and the frontier experiment read via :func:`engine_info` /
+:func:`engine_infos`.
+
+Everything here is re-exported from :mod:`repro`.
 """
 
 from __future__ import annotations
 
 import importlib
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -32,7 +39,12 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.dedup.base import BackupReport, DedupEngine, EngineResources
+    from repro.dedup.base import (
+        BackupReport,
+        DedupEngine,
+        EngineResources,
+        MaintenanceReport,
+    )
     from repro.dedup.pipeline import GroundTruth
     from repro.experiments.config import ExperimentConfig
     from repro.restore.reader import RestoreReader, RestoreReport
@@ -42,8 +54,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.workloads.generators import BackupJob
 
 __all__ = [
+    "EngineInfo",
     "register_engine",
     "engine_names",
+    "engine_info",
+    "engine_infos",
     "create_resources",
     "create_engine",
     "create_reader",
@@ -53,11 +68,36 @@ __all__ = [
 #: factory signature: (resources, config) -> engine
 EngineFactory = Callable[["EngineResources", "ExperimentConfig"], "DedupEngine"]
 
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Registry-level capability record for one engine.
+
+    Attributes:
+        name: display name (the registry key).
+        supports_maintenance: the engine does real work in its
+            out-of-line :meth:`~repro.dedup.base.DedupEngine
+            .maintenance` pass (drivers should call ``end_generation``
+            between backups to see its true behavior).
+        rewrites_old_containers: maintenance rewrites/retires *old*
+            containers (RevDedup's reverse-reference policy) rather
+            than only compacting fresh garbage.
+        doc: one-line placement-policy summary for the CLI and
+            dashboard.
+    """
+
+    name: str
+    supports_maintenance: bool = False
+    rewrites_old_containers: bool = False
+    doc: str = ""
+
+
 _REGISTRY: Dict[str, EngineFactory] = {}
+_INFO: Dict[str, EngineInfo] = {}
 
 #: built-in engines self-register when their module is imported; this
 #: map lets :func:`create_engine` trigger that import lazily, so using
-#: one engine never pays for importing the other five
+#: one engine never pays for importing the other seven
 _BUILTIN_MODULES: Dict[str, str] = {
     "DeFrag": "repro.core.defrag",
     "DDFS-Like": "repro.dedup.ddfs",
@@ -65,31 +105,49 @@ _BUILTIN_MODULES: Dict[str, str] = {
     "Exact": "repro.dedup.exact",
     "iDedup": "repro.dedup.idedup",
     "SparseIndex": "repro.dedup.sparse",
+    "RevDedup": "repro.dedup.revdedup",
+    "Hybrid": "repro.dedup.hybrid",
 }
 
 
-def register_engine(name: str, factory: Optional[EngineFactory] = None):
+def register_engine(
+    name: str,
+    factory: Optional[EngineFactory] = None,
+    *,
+    supports_maintenance: bool = False,
+    rewrites_old_containers: bool = False,
+    doc: str = "",
+):
     """Register an engine factory under a display name.
 
     Usable directly (``register_engine("Mine", build_mine)``) or as a
     decorator::
 
-        @register_engine("Mine")
+        @register_engine("Mine", doc="my placement policy")
         def build_mine(resources, config):
             return MyEngine(resources, batch=config.batch)
 
     Re-registering a name replaces the factory (latest wins), so tests
-    and downstream packages can shadow a built-in.
+    and downstream packages can shadow a built-in. The keyword flags
+    populate the :class:`EngineInfo` capability record readable via
+    :func:`engine_info`; ``doc`` falls back to the factory docstring's
+    first line.
     """
+
+    def _store(f: EngineFactory) -> EngineFactory:
+        _REGISTRY[name] = f
+        line = doc or ((f.__doc__ or "").strip().splitlines() or [""])[0]
+        _INFO[name] = EngineInfo(
+            name=name,
+            supports_maintenance=supports_maintenance,
+            rewrites_old_containers=rewrites_old_containers,
+            doc=line,
+        )
+        return f
+
     if factory is None:
-
-        def _decorator(f: EngineFactory) -> EngineFactory:
-            _REGISTRY[name] = f
-            return f
-
-        return _decorator
-    _REGISTRY[name] = factory
-    return factory
+        return _store
+    return _store(factory)
 
 
 def engine_names() -> Tuple[str, ...]:
@@ -97,14 +155,39 @@ def engine_names() -> Tuple[str, ...]:
     return tuple(sorted(set(_BUILTIN_MODULES) | set(_REGISTRY)))
 
 
+def engine_info(name: str) -> EngineInfo:
+    """The capability record for one engine (imports a built-in's module
+    if needed; raises ``ValueError`` for unknown names)."""
+    _factory_for(name)
+    # a factory stuffed straight into _REGISTRY (tests) has no record
+    return _INFO.get(name, EngineInfo(name=name))
+
+
+def engine_infos() -> Tuple[EngineInfo, ...]:
+    """Capability records for every known engine, sorted by name."""
+    return tuple(engine_info(name) for name in engine_names())
+
+
 def _factory_for(name: str) -> EngineFactory:
     factory = _REGISTRY.get(name)
     if factory is None and name in _BUILTIN_MODULES:
-        importlib.import_module(_BUILTIN_MODULES[name])
+        module = _BUILTIN_MODULES[name]
+        importlib.import_module(module)
         factory = _REGISTRY.get(name)
+        if factory is None:
+            # the builtin map and the registry disagree: the module
+            # imported fine but never registered under this name — a
+            # packaging bug, not a caller typo, so say so explicitly
+            raise ValueError(
+                f"builtin engine {name!r}: module {module!r} imported but "
+                f"registered no factory under that name"
+            )
     if factory is None:
+        registered = ", ".join(sorted(_REGISTRY)) or "(none)"
+        builtin = ", ".join(sorted(_BUILTIN_MODULES))
         raise ValueError(
-            f"unknown engine {name!r}; pick one of {', '.join(engine_names())}"
+            f"unknown engine {name!r}; registered: {registered}; "
+            f"builtin: {builtin}"
         )
     return factory
 
@@ -244,6 +327,7 @@ class BackupSession:
             GroundTruth() if ground_truth else None
         )
         self.reports: "List[BackupReport]" = []
+        self.maintenance_reports: "List[MaintenanceReport]" = []
         self._reader: "Optional[RestoreReader]" = None
 
     # -- the bundled components ----------------------------------------
@@ -297,8 +381,40 @@ class BackupSession:
         return report
 
     def run(self, jobs: "Sequence[BackupJob]") -> "List[BackupReport]":
-        """Ingest a sequence of jobs; returns their reports in order."""
-        return [self.backup(job) for job in jobs]
+        """Ingest a sequence of jobs; returns their reports in order.
+
+        Engines whose registry record has ``supports_maintenance`` get
+        their out-of-line pass driven after every job, so a session
+        ``run`` shows each policy's true lifecycle by default."""
+        try:
+            drive = engine_info(self.engine.name).supports_maintenance
+        except ValueError:  # unregistered custom engine instance
+            drive = False
+        reports = []
+        for job in jobs:
+            reports.append(self.backup(job))
+            if drive:
+                self.end_generation()
+        return reports
+
+    def maintenance(self) -> "Optional[MaintenanceReport]":
+        """Run the engine's out-of-line maintenance pass over every
+        completed backup; alias of :meth:`end_generation`."""
+        return self.end_generation()
+
+    def end_generation(self) -> "Optional[MaintenanceReport]":
+        """Close the current generation: drive the engine's
+        :meth:`~repro.dedup.base.DedupEngine.end_generation` over all
+        completed recipes and fold the remapped recipes back into
+        :attr:`reports` (so later :meth:`restore` calls read the
+        post-maintenance layout). No-op engines return ``None`` and
+        leave every recipe untouched."""
+        report, remapped = self.engine.end_generation(self.recipes)
+        for backup_report, recipe in zip(self.reports, remapped):
+            backup_report.recipe = recipe
+        if report is not None:
+            self.maintenance_reports.append(report)
+        return report
 
     def restore(
         self, backup: "Union[int, BackupRecipe]" = -1

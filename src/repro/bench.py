@@ -94,6 +94,42 @@ def measure_ingest(
     return best
 
 
+#: maintenance-phase engines measured as advisory bench rows; the
+#: regression gates stay keyed to the classic engines above
+MAINTENANCE_BENCH_ENGINES = ("RevDedup", "Hybrid")
+
+
+def measure_maintenance_ingest(
+    name: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    repeats: int = 3,
+) -> float:
+    """Best-of-``repeats`` wall-clock seconds ingesting the author
+    workload through one maintenance-capable engine with its out-of-line
+    pass driven after every generation. Advisory — not gated."""
+    from repro.api import create_engine, create_resources
+    from repro.dedup.pipeline import run_workload_with_maintenance
+    from repro.experiments.common import paper_segmenter
+    from repro.workloads.generators import author_fs_20_full
+
+    cfg = config or ExperimentConfig.small()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        res = create_resources(cfg)
+        engine = create_engine(name, cfg, res)
+        jobs = author_fs_20_full(
+            fs_bytes=cfg.fs_bytes,
+            seed=cfg.seed,
+            n_generations=cfg.n_generations,
+            churn=cfg.churn_full,
+        )
+        t0 = time.perf_counter()
+        run_workload_with_maintenance(engine, jobs, paper_segmenter())
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 def measure_phases(config: Optional[ExperimentConfig] = None) -> Dict[str, float]:
     """One *untimed* observability-enabled run of the same workload: the
     per-engine per-phase *simulated*-seconds breakdown. Kept separate
@@ -173,6 +209,10 @@ def run_bench(
         result["parallel_speedup"] = round(
             result["batch_seconds"] / result["parallel_seconds"], 2
         )
+    result["maintenance_engines"] = {
+        name: round(measure_maintenance_ingest(name, config, repeats=repeats), 4)
+        for name in MAINTENANCE_BENCH_ENGINES
+    }
     result["phase_seconds"] = measure_phases(config)
     result["manifest"] = _bench_manifest()
     return result
@@ -311,25 +351,34 @@ def check_chunking_regression(
     return None
 
 
-def restore_fixture(config: Optional[ExperimentConfig] = None):
-    """Ingest the fig6 author workload through DDFS-Like once; returns
+def restore_fixture(
+    config: Optional[ExperimentConfig] = None, engine: str = "DDFS-Like"
+):
+    """Ingest the fig6 author workload through ``engine`` once; returns
     ``(store, recipes)`` for the restore measurements (ingest cost is
-    deliberately outside the timed region)."""
-    from repro.api import create_engine, create_resources
-    from repro.dedup.pipeline import run_workload
+    deliberately outside the timed region). Maintenance-capable engines
+    get their out-of-line pass driven per generation, so the recipes
+    reflect the post-maintenance layout."""
+    from repro.api import create_engine, create_resources, engine_info
+    from repro.dedup.pipeline import run_workload, run_workload_with_maintenance
     from repro.experiments.common import paper_segmenter
     from repro.workloads.generators import author_fs_20_full
 
     cfg = config or ExperimentConfig.small()
     res = create_resources(cfg)
-    engine = create_engine("DDFS-Like", cfg, res)
+    eng = create_engine(engine, cfg, res)
     jobs = author_fs_20_full(
         fs_bytes=cfg.fs_bytes,
         seed=cfg.seed,
         n_generations=cfg.n_generations,
         churn=cfg.churn_full,
     )
-    reports = run_workload(engine, jobs, paper_segmenter())
+    driver = (
+        run_workload_with_maintenance
+        if engine_info(engine).supports_maintenance
+        else run_workload
+    )
+    reports = driver(eng, jobs, paper_segmenter())
     return res.store, [r.recipe for r in reports]
 
 
@@ -402,6 +451,14 @@ def run_restore_bench(*, repeats: int = 3, faa: bool = True) -> Dict:
         result["sim_seek_reduction"] = round(
             default["sim_seeks"] / max(assembled["sim_seeks"], 1), 2
         )
+    result["maintenance_restore"] = {}
+    for name in MAINTENANCE_BENCH_ENGINES:
+        m_store, m_recipes = restore_fixture(config, engine=name)
+        measured = measure_restore(m_store, m_recipes, repeats=repeats)
+        result["maintenance_restore"][name] = {
+            "restore_seconds": round(measured["seconds"], 4),
+            "sim_seeks": measured["sim_seeks"],
+        }
     result["manifest"] = _bench_manifest()
     return result
 

@@ -58,11 +58,19 @@ from repro.storage.store import ContainerStore, StoreConfig
 from repro.workloads.generators import single_user_stream
 
 #: crash-site classes the sweep stratifies over (and reports coverage of)
-CRASH_CLASSES = ("gc", "seal_marker", "seal", "index_flush", "ingest")
+CRASH_CLASSES = ("maint", "gc", "seal_marker", "seal", "index_flush", "ingest")
 
 
 def classify_tags(tags: Sequence[str]) -> str:
-    """Map an injector context-tag stack to its crash-site class."""
+    """Map an injector context-tag stack to its crash-site class.
+
+    ``maint`` must be checked before ``gc``: an out-of-line maintenance
+    pass runs the journaled GC protocol *inside* its own tag scope, so
+    its disk ops carry both tags — and the crash site we want reported
+    is the maintenance pass, not the mechanism it borrows.
+    """
+    if "maint" in tags:
+        return "maint"
     if "gc" in tags:
         return "gc"
     if "seal_marker" in tags:
@@ -108,6 +116,11 @@ class ChaosScenario:
     gc_every: int = 3
     retain: int = 4
     min_utilization: float = 0.6
+    #: drive the engine's out-of-line maintenance phase after every N-th
+    #: backup (0 = never); only meaningful for engines that implement
+    #: one (RevDedup, Hybrid) — a no-op maintenance step never touches
+    #: the disk, so no crash point can land inside it
+    maintenance_every: int = 0
     seed: int = 2012
     #: out-of-core budget for the scenario's store (None = everything
     #: resident, the classic sweep); a tight budget makes most crash
@@ -134,11 +147,15 @@ class ChaosScenario:
         )
 
     def steps(self) -> List[Tuple[str, int]]:
-        """The step list: one ``("backup", gen)`` per generation, with a
-        ``("gc", gen)`` after every ``gc_every``-th backup."""
+        """The step list: one ``("backup", gen)`` per generation, a
+        ``("maint", gen)`` after every ``maintenance_every``-th backup
+        (when enabled), and a ``("gc", gen)`` after every
+        ``gc_every``-th backup."""
         out: List[Tuple[str, int]] = []
         for gen in range(self.n_generations):
             out.append(("backup", gen))
+            if self.maintenance_every and (gen + 1) % self.maintenance_every == 0:
+                out.append(("maint", gen))
             if (gen + 1) % self.gc_every == 0:
                 out.append(("gc", gen))
         return out
@@ -213,6 +230,15 @@ class _ScenarioRunner:
                     report = run_prepared_backup(state.engine, self.prepared[gen])
                     state.retained.append(report.recipe)
                     del state.retained[: -self.scenario.retain]
+                elif kind == "maint":
+                    # the engine's own out-of-line phase (journaled GC
+                    # underneath, tagged "maint"); after a crash a fresh
+                    # engine re-running this step no-ops — its pending
+                    # redirect state was volatile, which loses *work*,
+                    # never data
+                    _, state.retained = state.engine.end_generation(
+                        list(state.retained)
+                    )
                 else:
                     gc = GarbageCollector(state.store, state.resources.index)
                     _, state.retained = gc.collect(
@@ -351,7 +377,12 @@ class ChaosReport:
             f"== chaos sweep: {self.n_points} crash points, seed {self.seed} ==",
             f"scenario: {self.scenario.engine}, "
             f"{self.scenario.n_generations} generations, "
-            f"GC every {self.scenario.gc_every}, retain {self.scenario.retain}",
+            f"GC every {self.scenario.gc_every}, retain {self.scenario.retain}"
+            + (
+                f", maintenance every {self.scenario.maintenance_every}"
+                if self.scenario.maintenance_every
+                else ""
+            ),
             f"crash sites: "
             + ", ".join(f"{c}={counts.get(c, 0)}" for c in CRASH_CLASSES),
             f"fired: {self.fired}/{self.n_points} "

@@ -49,6 +49,7 @@ _FIGURES: Dict[str, str] = {
     "restore-ablation": "repro.experiments.restore_ablation:run",
     "related-work": "repro.experiments.extensions:related_work_comparison",
     "gc-study": "repro.experiments.extensions:gc_study",
+    "frontier": "repro.experiments.frontier:run",
 }
 
 
@@ -56,7 +57,7 @@ def _resolve(name: str) -> Callable[[ExperimentConfig], "FigureResult"]:
     modname, funcname = _FIGURES[name].split(":")
     return getattr(importlib.import_module(modname), funcname)
 
-_FLOAT_FMT = {"fig3": "{:.3f}", "fig5": "{:.3f}"}
+_FLOAT_FMT = {"fig3": "{:.3f}", "fig5": "{:.3f}", "frontier": "{:.2f}"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmarking and cross-checking)",
     )
     parser.add_argument(
+        "--extended-engines",
+        action="store_true",
+        help="also run the maintenance-phase engines (RevDedup, Hybrid) "
+        "in fig4/fig6 and the restore ablation; the default engine set "
+        "— and its committed golden tables — stays unchanged without "
+        "this flag",
+    )
+    parser.add_argument(
         "--bytes",
         dest="byte_level",
         action="store_true",
@@ -221,6 +230,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=200,
         metavar="N",
         help="chaos: number of seeded crash points to sweep (default 200)",
+    )
+    chaos.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help="chaos: run the scenario through this engine instead of "
+        "DeFrag; engines with an out-of-line maintenance phase "
+        "(RevDedup, Hybrid) automatically get maintenance steps — and "
+        "crash points inside them — added to the sweep",
     )
     chaos.add_argument(
         "--spill",
@@ -527,10 +545,21 @@ def _run_chaos(args: argparse.Namespace) -> int:
 
     seed = args.seed if args.seed is not None else 2012
     scenario = None
+    overrides = {}
     if args.spill:
         # a tight budget over the chaos workload's container count, so
         # crash points land while most of the store is spilled
-        scenario = ChaosScenario(seed=seed, resident_containers=2)
+        overrides["resident_containers"] = 2
+    if args.engine is not None:
+        from repro.api import engine_info
+
+        overrides["engine"] = args.engine
+        if engine_info(args.engine).supports_maintenance:
+            # crash points must be able to land inside the out-of-line
+            # phase, so the scenario drives it after every backup
+            overrides["maintenance_every"] = 1
+    if overrides:
+        scenario = ChaosScenario(seed=seed, **overrides)
     report = run_chaos(n_points=args.crash_points, seed=seed, scenario=scenario)
     print(report.render())
     if args.save is not None:
@@ -552,6 +581,8 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
         config = config.with_(batch=False)
     if args.byte_level:
         config = config.with_(byte_level=True)
+    if args.extended_engines:
+        config = config.with_(extended_engines=True)
     if args.restore_policy is not None:
         config = config.with_(restore_policy=args.restore_policy)
     if args.faa_window is not None:

@@ -15,6 +15,13 @@ shared simulated disk + CPU model. Included engines:
   similarity-sampled segments grouped into blocks; near-exact dedup whose
   efficiency decays with duplicate locality (paper Fig. 3).
 
+* :class:`~repro.dedup.revdedup.RevDedupEngine` — coarse inline dedup,
+  then an out-of-line reverse-reference pass that repoints *old* backups
+  at the newest copies so the latest backup stays sequential.
+* :class:`~repro.dedup.hybrid.HybridEngine` — RAM-cache-only inline
+  dedup; a deferred out-of-line pass runs the charged exact index probes
+  and reclaims the duplicates ingest wrote through.
+
 The paper's contribution, :class:`~repro.core.defrag.DeFragEngine`, lives
 in :mod:`repro.core` and builds on the DDFS machinery here.
 
@@ -27,6 +34,7 @@ from repro.dedup.base import (
     CostModel,
     DedupEngine,
     EngineResources,
+    MaintenanceReport,
     SegmentOutcome,
 )
 from repro.dedup.exact import ExactEngine
@@ -34,21 +42,33 @@ from repro.dedup.ddfs import DDFSEngine
 from repro.dedup.silo import SiLoEngine
 from repro.dedup.idedup import IDedupEngine
 from repro.dedup.sparse import SparseIndexEngine
-from repro.dedup.pipeline import GroundTruth, ingest_bytes, run_backup, run_workload
+from repro.dedup.revdedup import RevDedupEngine
+from repro.dedup.hybrid import HybridEngine
+from repro.dedup.pipeline import (
+    GroundTruth,
+    ingest_bytes,
+    run_backup,
+    run_workload,
+    run_workload_with_maintenance,
+)
 
 __all__ = [
     "BackupReport",
     "CostModel",
     "DedupEngine",
     "EngineResources",
+    "MaintenanceReport",
     "SegmentOutcome",
     "ExactEngine",
     "DDFSEngine",
     "SiLoEngine",
     "IDedupEngine",
     "SparseIndexEngine",
+    "RevDedupEngine",
+    "HybridEngine",
     "GroundTruth",
     "ingest_bytes",
     "run_backup",
     "run_workload",
+    "run_workload_with_maintenance",
 ]

@@ -16,9 +16,10 @@ reproduction's results cannot be skewed by Python's own speed.
 from __future__ import annotations
 
 import abc
+import contextlib
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._util import MIB, check_nonnegative, format_rate
 from repro.index.full_index import DiskChunkIndex
@@ -30,6 +31,9 @@ from repro.storage.recipe import BackupRecipe, RecipeBuilder
 from repro.storage.store import ContainerStore, StoreConfig
 
 log = logging.getLogger(__name__)
+
+#: shared no-op context for engines on a fault-free disk
+_NULL_CTX = contextlib.nullcontext()
 
 
 @dataclass(frozen=True)
@@ -95,6 +99,40 @@ class SegmentOutcome:
             raise AssertionError(
                 f"segment {self.index}: partition {total} != nbytes {self.nbytes}"
             )
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of one out-of-line maintenance pass.
+
+    Produced by engines whose placement policy does work *between*
+    backups (RevDedup's reverse-reference rewrite, the hybrid engine's
+    deferred exact dedup). Every number is priced on the simulated
+    clock, exactly like ingest.
+
+    Attributes:
+        generation: the generation the pass closed.
+        engine: engine display name.
+        elapsed_seconds: simulated seconds the pass took.
+        containers_rewritten: victim containers compacted.
+        bytes_moved: live payload copied during compaction.
+        bytes_reclaimed: payload bytes freed.
+        redirected_chunks: recipe references repointed to a preferred
+            copy without any data movement.
+        index_lookups: charged on-disk index probes the pass issued
+            (the hybrid engine's deferred dedup bill).
+        disk_delta: disk meter delta over the pass.
+    """
+
+    generation: int
+    engine: str
+    elapsed_seconds: float
+    containers_rewritten: int = 0
+    bytes_moved: int = 0
+    bytes_reclaimed: int = 0
+    redirected_chunks: int = 0
+    index_lookups: int = 0
+    disk_delta: Optional[DiskStats] = None
 
 
 @dataclass
@@ -348,6 +386,60 @@ class DedupEngine(abc.ABC):
             self._obs_scope.record_backup(report)
         log.debug("%s: %s", self.name, report.summary())
         return report
+
+    # -- out-of-line maintenance ------------------------------------------
+
+    def maintenance(
+        self, retained: Sequence[BackupRecipe]
+    ) -> Tuple[Optional[MaintenanceReport], List[BackupRecipe]]:
+        """One out-of-line maintenance pass (optional; subclass hook).
+
+        Engines whose placement policy defers work past ``end_backup``
+        override this: RevDedup rewrites *old* containers toward the
+        just-written copies, the hybrid engine runs its deferred exact
+        dedup. The base implementation is a contractual no-op: no disk
+        charge, no clock advance, the retained recipes returned
+        unchanged (same objects, same order).
+
+        Args:
+            retained: every recipe that must stay restorable, oldest
+                first; passes that move data return them remapped.
+
+        Returns:
+            ``(report, recipes)`` — ``report`` is ``None`` for a no-op
+            pass, the recipes reference the post-maintenance layout.
+        """
+        return None, list(retained)
+
+    def end_generation(
+        self, retained: Sequence[BackupRecipe]
+    ) -> Tuple[Optional[MaintenanceReport], List[BackupRecipe]]:
+        """Close one generation: drive :meth:`maintenance` under the
+        maintenance fault tag and record the pass to observability.
+
+        This is the driver-facing wrapper — experiments and
+        :class:`~repro.api.BackupSession` call it between backups; the
+        engine-specific policy lives in :meth:`maintenance`. Any charged
+        operation inside the pass carries the ``"maint"`` injector tag,
+        so chaos crash points land in their own crash class and the
+        journaled GC protocol underneath rolls the pass back or forward
+        cleanly.
+        """
+        if self._recipe is not None:
+            raise RuntimeError(
+                "finish the open backup (end_backup) before maintenance"
+            )
+        from repro.faults import injector_of
+
+        inj = injector_of(self.res.disk)
+        ctx = inj.tagged("maint") if inj is not None else _NULL_CTX
+        with ctx:
+            report, remapped = self.maintenance(retained)
+        if report is not None and self.obs.enabled:
+            from repro.obs.spans import record_maintenance
+
+            record_maintenance(self.obs, report)
+        return report, remapped
 
     def _emit_cache_evict(self, unit_id, n_fingerprints: int) -> None:
         """Locality-cache eviction callback -> ``cache_evict`` event."""

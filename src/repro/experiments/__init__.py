@@ -15,6 +15,9 @@ its series on the simulated substrate:
   DDFS-like, generations 1–20.
 * :mod:`~repro.experiments.ablations` — α sweep, segmenter, and cache
   sizing studies.
+* :mod:`~repro.experiments.frontier` — the placement-policy frontier:
+  dedup ratio vs ingest rate vs restore seeks by backup age vs
+  maintenance cost, across every registered engine.
 
 All runners take an :class:`~repro.experiments.config.ExperimentConfig`
 (scales: ``small`` for tests, ``default`` for the recorded results,
@@ -24,14 +27,21 @@ paper plots.
 """
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.common import FigureResult, build_engine, build_resources
-from repro.experiments import fig2, fig3, fig4, fig5, fig6, ablations, extensions
+from repro.experiments.common import FigureResult
+from repro.experiments import (
+    ablations,
+    extensions,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    frontier,
+)
 
 __all__ = [
     "ExperimentConfig",
     "FigureResult",
-    "build_engine",
-    "build_resources",
     "fig2",
     "fig3",
     "fig4",
@@ -39,4 +49,5 @@ __all__ = [
     "fig6",
     "ablations",
     "extensions",
+    "frontier",
 ]

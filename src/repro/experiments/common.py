@@ -1,20 +1,20 @@
-"""Shared experiment plumbing: engine builders, result container, memo.
+"""Shared experiment plumbing: result container, memoized group runs.
 
 Figures 4/5/6 consume the same three engine runs over the 66-generation
 group workload; :func:`run_group_workload` memoizes those runs per
 config so the figure harnesses stay independent without triplicating
-minutes of simulation.
+minutes of simulation. Engine construction lives in :mod:`repro.api`
+(:func:`~repro.api.create_engine` / :func:`~repro.api.create_resources`).
 """
 
 from __future__ import annotations
 
 import hashlib
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.api import create_engine, create_resources
-from repro.dedup.base import BackupReport, DedupEngine, EngineResources
+from repro.api import create_engine, create_resources, engine_info
+from repro.dedup.base import BackupReport, EngineResources
 from repro.dedup.pipeline import (
     PreparedBackup,
     TruthTriple,
@@ -36,31 +36,9 @@ from repro.workloads.generators import group_fs_66
 #: the extended related-work baselines ("iDedup", "SparseIndex").
 ENGINE_NAMES = ("DeFrag", "DDFS-Like", "SiLo-Like", "Exact", "iDedup", "SparseIndex")
 
-
-def build_resources(config: ExperimentConfig) -> EngineResources:
-    """Deprecated alias of :func:`repro.api.create_resources`."""
-    warnings.warn(
-        "repro.experiments.common.build_resources is deprecated; "
-        "use repro.api.create_resources",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return create_resources(config)
-
-
-def build_engine(
-    name: str, config: ExperimentConfig, resources: Optional[EngineResources] = None
-) -> DedupEngine:
-    """Deprecated alias of :func:`repro.api.create_engine` (the engine
-    constructor ladder now lives with each engine via
-    :func:`repro.api.register_engine`)."""
-    warnings.warn(
-        "repro.experiments.common.build_engine is deprecated; "
-        "use repro.api.create_engine",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return create_engine(name, config, resources)
+#: The maintenance-phase engines appended when
+#: ``config.extended_engines`` is set (fig4/fig6/restore ablation).
+MAINTENANCE_ENGINE_NAMES = ("RevDedup", "Hybrid")
 
 
 def paper_segmenter() -> ContentDefinedSegmenter:
@@ -164,7 +142,7 @@ def _config_key(config: ExperimentConfig) -> Tuple:
         c.silo_block_bytes, c.silo_cache_blocks, c.silo_similarity_capacity,
         c.index_page_cache_pages,
         c.bloom_capacity, c.bloom_fp_rate, c.churn_full, c.batch, c.store,
-        c.byte_level,
+        c.byte_level, c.hybrid_cache_chunks, c.maintenance_min_utilization,
     )
 
 
@@ -184,10 +162,18 @@ def run_group_workload(
         res = create_resources(config)
         engine = create_engine(name, config, res)
         prepared, truths = _prepared_group(config)
-        reports = [
-            run_prepared_backup(engine, prep, truth)
-            for prep, truth in zip(prepared, truths)
-        ]
+        # engines with an out-of-line phase get it driven after every
+        # generation, so their reported layout/clock reflect the policy's
+        # true lifecycle; for everyone else end_generation is a no-op
+        # that is skipped entirely (byte-identical to the plain loop)
+        maintain = engine_info(name).supports_maintenance
+        reports: List[BackupReport] = []
+        for prep, truth in zip(prepared, truths):
+            reports.append(run_prepared_backup(engine, prep, truth))
+            if maintain:
+                _, remapped = engine.end_generation([r.recipe for r in reports])
+                for report, recipe in zip(reports, remapped):
+                    report.recipe = recipe
         cached[name] = (res, reports)
     return {name: cached[name] for name in engines}
 

@@ -124,6 +124,18 @@ class ExperimentConfig:
     #: ``restore_cache_containers`` reader cache, no journal — exactly
     #: what the recorded figures were measured with.
     store: Optional[StoreConfig] = None
+    #: hybrid engine: bounded inline RAM fingerprint cache, in chunks
+    #: (the engine's *only* inline dedup structure; sized well below a
+    #: generation's chunk count so deferred dedup has work to do)
+    hybrid_cache_chunks: int = 16384
+    #: maintenance engines (RevDedup, Hybrid): containers whose live
+    #: fraction falls strictly below this are compacted by the
+    #: out-of-line pass
+    maintenance_min_utilization: float = 0.5
+    #: also run the maintenance-phase engines (RevDedup, Hybrid) in
+    #: fig4/fig6 and the restore ablation; False keeps the recorded
+    #: figures' engine set (and their committed golden tables)
+    extended_engines: bool = False
 
     # -- scale presets --------------------------------------------------
 
@@ -140,6 +152,7 @@ class ExperimentConfig:
             silo_cache_blocks=3,
             silo_similarity_capacity=56,
             restore_cache_containers=4,
+            hybrid_cache_chunks=1024,
         )
 
     @classmethod
@@ -157,6 +170,7 @@ class ExperimentConfig:
             silo_cache_blocks=24,
             silo_similarity_capacity=1200,
             restore_cache_containers=24,
+            hybrid_cache_chunks=32768,
         )
 
     @classmethod
@@ -179,6 +193,7 @@ class ExperimentConfig:
             index_page_cache_pages=64,
             bloom_capacity=16_000_000,
             restore_cache_containers=48,
+            hybrid_cache_chunks=65536,
         )
 
     @classmethod

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.experiments.common import (
+    MAINTENANCE_ENGINE_NAMES,
     FigureResult,
     cell_values,
     group_cell_spec,
@@ -27,9 +28,17 @@ from repro.parallel import CellSpec, GridError, run_grid
 ENGINES = ("DeFrag", "DDFS-Like", "SiLo-Like")
 
 
+def _engines(config: ExperimentConfig):
+    """The figure's engine set: the paper's three, plus the
+    maintenance-phase engines when ``config.extended_engines`` is on."""
+    if config.extended_engines:
+        return ENGINES + MAINTENANCE_ENGINE_NAMES
+    return ENGINES
+
+
 def cells(config: ExperimentConfig) -> List[CellSpec]:
     """The figure's grid: one group-workload cell per engine."""
-    return [group_cell_spec(config, engine) for engine in ENGINES]
+    return [group_cell_spec(config, engine) for engine in _engines(config)]
 
 
 def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
@@ -50,7 +59,7 @@ def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
             if by_engine[name] is not None
             else [float("nan")] * n
         )
-        for name in ENGINES
+        for name in _engines(config)
     }
     defrag = series["DeFrag"]
     ddfs = series["DDFS-Like"]
@@ -63,6 +72,11 @@ def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
         % (sum(defrag) / n, sum(ddfs) / n, sum(silo) / n),
         "defrag_gens_above_silo": f"{wins_over_silo}/{n}",
     }
+    if config.extended_engines:
+        ext = [n_ for n_ in MAINTENANCE_ENGINE_NAMES if series.get(n_)]
+        notes["extended_mean_MBps"] = " ".join(
+            "%s=%.0f" % (n_, sum(series[n_]) / n) for n_ in ext
+        )
     if config.byte_level:
         notes["input"] = (
             "byte-level ingest: generated buffers -> Gear skip-then-scan "

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.dedup.pipeline import run_workload
-from repro.api import create_engine, create_reader, create_resources
+from repro.dedup.pipeline import run_workload, run_workload_with_maintenance
+from repro.api import create_engine, create_reader, create_resources, engine_info
 from repro.experiments.common import (
+    MAINTENANCE_ENGINE_NAMES,
     FigureResult,
     cell_values,
     config_fingerprint,
@@ -31,6 +32,14 @@ from repro.workloads.generators import author_fs_20_full
 
 #: the two engines Fig. 6 compares, in series order
 ENGINES = ("DeFrag", "DDFS-Like")
+
+
+def _engines(config: ExperimentConfig):
+    """The paper's pair, plus the maintenance-phase engines when
+    ``config.extended_engines`` is on."""
+    if config.extended_engines:
+        return ENGINES + MAINTENANCE_ENGINE_NAMES
+    return ENGINES
 
 
 def _nondefault_restore(config: ExperimentConfig) -> bool:
@@ -56,7 +65,10 @@ def restore_cell(config: ExperimentConfig, engine: str) -> Dict:
         n_generations=config.n_generations,
         churn=config.churn_full,
     )
-    reports = run_workload(eng, jobs, paper_segmenter())
+    if engine_info(engine).supports_maintenance:
+        reports = run_workload_with_maintenance(eng, jobs, paper_segmenter())
+    else:
+        reports = run_workload(eng, jobs, paper_segmenter())
     reader = create_reader(res.store, config)
     rates, nreads, seeks = [], [], []
     for report in reports:
@@ -76,7 +88,7 @@ def cells(config: ExperimentConfig) -> List[CellSpec]:
             config=config,
             kwargs={"engine": engine},
         )
-        for engine in ENGINES
+        for engine in _engines(config)
     ]
 
 
@@ -92,13 +104,14 @@ def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
         raise GridError(f"fig6: every cell failed: {failures}")
     n = len(next(iter(ok.values()))["rates_mbps"])
     nan = [float("nan")] * n
+    engines = _engines(config)
     series = {
         name: (
             list(by_engine[name]["rates_mbps"])
             if by_engine[name] is not None
             else list(nan)
         )
-        for name in ENGINES
+        for name in engines
     }
     reads = {
         name: (
@@ -106,7 +119,7 @@ def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
             if by_engine[name] is not None
             else list(nan)
         )
-        for name in ENGINES
+        for name in engines
     }
     mean_gain = sum(
         d / max(s, 1e-9) for d, s in zip(series["DeFrag"], series["DDFS-Like"])
@@ -117,6 +130,9 @@ def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
         "DeFrag reads": reads["DeFrag"],
         "DDFS reads": reads["DDFS-Like"],
     }
+    for name in engines[2:]:
+        out_series[f"{name} MB/s"] = series[name]
+        out_series[f"{name} reads"] = reads[name]
     notes = {
         "paper": "DeFrag's read performance is higher than DDFS-Like's",
         "mean_speedup": f"{mean_gain:.2f}x",
@@ -126,7 +142,9 @@ def assemble(config: ExperimentConfig, results: Dict) -> FigureResult:
         # the --restore-policy dimension: priced positionings differ
         # from container fetches once read-ahead batches runs, so the
         # table grows seek columns (the recorded default table must not)
-        for name, col in (("DeFrag", "DeFrag seeks"), ("DDFS-Like", "DDFS seeks")):
+        seek_cols = [("DeFrag", "DeFrag seeks"), ("DDFS-Like", "DDFS seeks")]
+        seek_cols += [(name, f"{name} seeks") for name in engines[2:]]
+        for name, col in seek_cols:
             payload = by_engine[name]
             out_series[col] = (
                 list(payload["seeks"]) if payload is not None else list(nan)

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.api import create_engine, create_resources
-from repro.dedup.pipeline import run_workload
+from repro.api import create_engine, create_resources, engine_info
+from repro.dedup.pipeline import run_workload, run_workload_with_maintenance
 from repro.experiments.common import (
+    MAINTENANCE_ENGINE_NAMES,
     FigureResult,
     cell_values,
     config_fingerprint,
@@ -36,6 +37,14 @@ from repro.workloads.generators import author_fs_20_full
 
 #: the engines whose layouts the sweep restores from, in series order
 ENGINES = ("DeFrag", "DDFS-Like")
+
+
+def _engines(config: ExperimentConfig):
+    """The default pair, plus the maintenance-phase engines' layouts
+    when ``config.extended_engines`` is on."""
+    if config.extended_engines:
+        return ENGINES + MAINTENANCE_ENGINE_NAMES
+    return ENGINES
 
 #: client cache capacities swept (containers)
 DEFAULT_CACHE_SIZES: Tuple[int, ...] = (4, 16)
@@ -68,7 +77,10 @@ def restore_sweep_cell(config: ExperimentConfig, engine: str, policy: str) -> Di
         n_generations=config.n_generations,
         churn=config.churn_full,
     )
-    reports = run_workload(eng, jobs, paper_segmenter())
+    if engine_info(engine).supports_maintenance:
+        reports = run_workload_with_maintenance(eng, jobs, paper_segmenter())
+    else:
+        reports = run_workload(eng, jobs, paper_segmenter())
     recipe = reports[-1].recipe
     rows = []
     for cache, window in sweep_combos():
@@ -102,7 +114,7 @@ def cells(config: ExperimentConfig) -> List[CellSpec]:
             config=config,
             kwargs={"engine": engine, "policy": policy},
         )
-        for engine in ENGINES
+        for engine in _engines(config)
         for policy in RESTORE_POLICIES
     ]
 

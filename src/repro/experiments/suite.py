@@ -51,6 +51,10 @@ GRID_EXPERIMENTS: Dict[str, Tuple[str, str]] = {
         "repro.experiments.extensions:gc_cells",
         "repro.experiments.extensions:gc_assemble",
     ),
+    "frontier": (
+        "repro.experiments.frontier:cells",
+        "repro.experiments.frontier:assemble",
+    ),
 }
 
 #: what ``repro all`` runs, in print order

@@ -54,6 +54,8 @@ class IndexStats:
     negative_lookups: int = 0
     flushes: int = 0
     entries_flushed: int = 0
+    sweeps: int = 0
+    sweep_pages: int = 0
 
     @property
     def fault_rate(self) -> float:
@@ -205,6 +207,38 @@ class DiskChunkIndex:
         stats.page_hits += hits
         stats.page_faults += faults
         stats.negative_lookups += negatives
+        return out
+
+    def lookup_batch_sorted(self, fps) -> List[Optional[ChunkLocation]]:
+        """Out-of-line batch lookup: resolve the whole batch with one
+        sequential sweep of the on-disk bucket file (one positioning
+        plus the full index transfer), merging the page-sorted batch
+        against it — the sorted-merge access pattern out-of-line dedup
+        exists to exploit. The cost is one index scan regardless of
+        batch size or order, so it beats :meth:`lookup_many` whenever a
+        batch would fault more pages than the file holds — which is why
+        maintenance passes can afford exact dedup that would be ruinous
+        chunk-at-a-time inline. The RAM page cache is neither consulted
+        nor polluted (the sweep is scan-resistant). Results are in
+        input order, one location (or None) per fingerprint.
+        """
+        if isinstance(fps, np.ndarray):
+            fps = fps.tolist()
+        stats = self.stats
+        map_get = self._map.get
+        out: List[Optional[ChunkLocation]] = []
+        negatives = 0
+        for fp in fps:
+            loc = map_get(int(fp))
+            if loc is None:
+                negatives += 1
+            out.append(loc)
+        stats.lookups += len(out)
+        stats.negative_lookups += negatives
+        if out:
+            stats.sweeps += 1
+            stats.sweep_pages += self.n_pages
+            self._disk_read(self.n_pages * self.page_bytes, seeks=1)
         return out
 
     def _track(self, fp: int) -> None:

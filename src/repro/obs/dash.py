@@ -176,6 +176,7 @@ def render_dashboard(
         "and the recorded perf trajectory.</p>",
     ]
     body += _tiles_section(bench, list(history))
+    body += _engines_section()
     body += _history_section(list(history))
     for run in runs:
         body += _run_section(run)
@@ -243,6 +244,31 @@ def _tiles_section(bench: Dict, history: List[Dict]) -> List[str]:
     if not tiles:
         return []
     return ["<h2>Committed baselines</h2>", '<div class="tiles">'] + tiles + ["</div>"]
+
+
+def _engines_section() -> List[str]:
+    """Engine registry table: every registered placement policy with its
+    lifecycle capabilities, read live from ``repro.api.engine_infos``."""
+    from repro.api import engine_infos
+
+    rows: List[str] = []
+    for info in engine_infos():
+        maint = "yes" if info.supports_maintenance else "&mdash;"
+        rewrites = "yes" if info.rewrites_old_containers else "&mdash;"
+        rows.append(
+            "<tr>"
+            f"<td><code>{html.escape(info.name)}</code></td>"
+            f"<td>{maint}</td><td>{rewrites}</td>"
+            f"<td>{html.escape(info.doc or '')}</td></tr>"
+        )
+    return [
+        "<h2>Engine registry</h2>",
+        "<table><thead><tr><th>engine</th><th>maintenance</th>"
+        "<th>rewrites old containers</th><th>policy</th></tr></thead>",
+        "<tbody>",
+        *rows,
+        "</tbody></table>",
+    ]
 
 
 def _history_section(history: List[Dict]) -> List[str]:

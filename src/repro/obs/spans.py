@@ -49,7 +49,7 @@ from repro.obs.registry import (
     YIELD_EDGES,
 )
 
-__all__ = ["EngineScope", "INGEST_PHASES"]
+__all__ = ["EngineScope", "INGEST_PHASES", "record_maintenance"]
 
 #: The base per-segment phase names, in pipeline order.
 INGEST_PHASES = ("cpu", "index_fault", "meta_prefetch", "container_append")
@@ -65,6 +65,38 @@ def _fragments_per_mib(recipe) -> float:
     from repro.storage.layout import analyze_recipe
 
     return analyze_recipe(recipe).fragments_per_mib
+
+
+def record_maintenance(obs, report) -> None:
+    """Record one finished maintenance pass: a ``phase.maintenance``
+    span, per-engine counters, and a ``maintenance_pass`` lifecycle
+    event. Called by :meth:`~repro.dedup.base.DedupEngine
+    .end_generation` only when the session is enabled, and only reads
+    the completed :class:`~repro.dedup.base.MaintenanceReport` — every
+    priced number is already fixed, so the twin-run contract holds."""
+    reg = obs.registry
+    p = report.engine
+    reg.span(f"{p}.phase.maintenance").record(report.elapsed_seconds)
+    reg.counter(f"{p}.maintenance.passes").inc()
+    reg.counter(f"{p}.maintenance.containers_rewritten").inc(
+        report.containers_rewritten
+    )
+    reg.counter(f"{p}.maintenance.bytes_moved").inc(report.bytes_moved)
+    reg.counter(f"{p}.maintenance.bytes_reclaimed").inc(report.bytes_reclaimed)
+    reg.counter(f"{p}.maintenance.redirected_chunks").inc(report.redirected_chunks)
+    reg.counter(f"{p}.maintenance.index_lookups").inc(report.index_lookups)
+    if obs.events.enabled:
+        obs.events.emit(
+            "maintenance_pass",
+            engine=p,
+            generation=report.generation,
+            sim_seconds=report.elapsed_seconds,
+            containers_rewritten=report.containers_rewritten,
+            bytes_moved=report.bytes_moved,
+            bytes_reclaimed=report.bytes_reclaimed,
+            redirected_chunks=report.redirected_chunks,
+            index_lookups=report.index_lookups,
+        )
 
 
 class EngineScope:

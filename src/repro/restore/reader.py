@@ -35,7 +35,7 @@ from repro.restore.cache import RESTORE_POLICIES, make_cache
 from repro.restore.faa import access_trace
 from repro.restore.model import read_time_eq1
 from repro.storage.recipe import BackupRecipe
-from repro.storage.store import ContainerStore, StoreConfig, _deprecated_kwarg
+from repro.storage.store import ContainerStore, StoreConfig
 
 #: Read-ahead lookahead (in trace accesses) when the FAA is off — the
 #: FAA's window otherwise bounds how far ahead need is known.
@@ -153,14 +153,11 @@ class RestoreReader:
             scalar reader.
         readahead: batch a miss with the physically adjacent containers
             the current window also needs into one priced positioning.
-        cache_containers: deprecated alias for the config field (one
-            release).
     """
 
     def __init__(
         self,
         store: ContainerStore,
-        cache_containers: Optional[int] = None,
         *,
         config: Optional[StoreConfig] = None,
         policy: str = "lru",
@@ -169,11 +166,6 @@ class RestoreReader:
     ) -> None:
         if config is None:
             config = store.config
-        if cache_containers is not None:
-            _deprecated_kwarg("cache_containers")
-            from dataclasses import replace
-
-            config = replace(config, cache_containers=int(cache_containers))
         check_positive("cache_containers", config.cache_containers)
         check_nonnegative("faa_window", faa_window)
         if policy not in RESTORE_POLICIES:

@@ -51,6 +51,8 @@ class GCReport:
         bytes_moved: live payload bytes rewritten during compaction.
         remapped_recipes: retained recipes rewritten to the new layout.
         utilization_before / utilization_after: live fraction of the log.
+        redirected_chunks: recipe references repointed to a redirect
+            target instead of being copied (reverse-reference passes).
     """
 
     containers_examined: int
@@ -60,6 +62,7 @@ class GCReport:
     remapped_recipes: int
     utilization_before: float
     utilization_after: float
+    redirected_chunks: int = 0
 
 
 class GarbageCollector:
@@ -121,6 +124,8 @@ class GarbageCollector:
         self,
         retained: Sequence[BackupRecipe],
         min_utilization: float = 0.5,
+        redirect: Optional[Dict[int, int]] = None,
+        rewrite_redirected: bool = False,
     ) -> Tuple[GCReport, List[BackupRecipe]]:
         """Run one mark-and-compact pass.
 
@@ -129,6 +134,22 @@ class GarbageCollector:
                 retention window); everything else is expendable.
             min_utilization: containers with a live fraction strictly
                 below this are compacted.
+            redirect: optional ``fingerprint -> container`` map naming a
+                *preferred* copy of each chunk (maintenance engines:
+                RevDedup's freshly written generation, the hybrid's
+                canonical old copies). Every retained reference to the
+                same fingerprint in a *different* container is repointed
+                at the target before liveness is measured, so superseded
+                copies read as dead and their containers become
+                compactable without being copied. The repoints ride the
+                same journaled move map as compaction moves — recovery
+                rolls them forward with zero new record kinds.
+            rewrite_redirected: force every container that held a
+                superseded (redirected-away) copy into the victim set
+                regardless of utilization — RevDedup's reverse-reference
+                rewrite of old containers. The forced rewrites *purge*
+                the stale copies immediately, at the cost of re-copying
+                each forced container's remaining live chunks.
 
         Returns:
             ``(report, remapped_recipes)`` — the retained recipes
@@ -136,22 +157,38 @@ class GarbageCollector:
             same order.
         """
         check_fraction("min_utilization", min_utilization)
+        util_before = self.log_utilization(retained)
+
+        pre_moved: Dict[Tuple[int, int], int] = {}
+        if redirect:
+            for recipe in retained:
+                for fp, cid in zip(recipe.fingerprints, recipe.containers):
+                    fp, cid = int(fp), int(cid)
+                    target = redirect.get(fp)
+                    if target is not None and target != cid and self.store.has(target):
+                        pre_moved[(fp, cid)] = target
+            if pre_moved:
+                retained = [self._remap(r, pre_moved) for r in retained]
+
         live_by_cid = self.live_bytes_per_container(retained)
         sealed = self._sealed_cids()
-        util_before = self.log_utilization(retained)
 
         # which fingerprints are live (referenced by any retained recipe)
         live_fps: Set[int] = set()
         for recipe in retained:
             live_fps.update(int(fp) for fp in recipe.fingerprints)
 
+        forced: Set[int] = (
+            {cid for (_fp, cid) in pre_moved} if rewrite_redirected else set()
+        )
         victims: List[int] = []
         for cid in sealed:
             data = self.store.get(cid).data_bytes
             if data == 0:
                 continue
-            if live_by_cid.get(cid, 0) / data < min_utilization:
+            if cid in forced or live_by_cid.get(cid, 0) / data < min_utilization:
                 victims.append(cid)
+        victim_set = set(victims)
 
         # The pass is two-phase so a crash can roll either direction
         # (journaled stores only; the journal is free-of-charge off):
@@ -170,7 +207,7 @@ class GarbageCollector:
             if self.store.journaled:
                 self.store.journal_append({"kind": "gc_mark", "victims": list(victims)})
 
-            moved: Dict[Tuple[int, int], int] = {}  # (fp, old_cid) -> new_cid
+            moved: Dict[Tuple[int, int], int] = dict(pre_moved)
             moved_fp: Dict[int, int] = {}  # fp -> new_cid (move each copy once)
             bytes_reclaimed = 0
             bytes_moved = 0
@@ -181,6 +218,19 @@ class GarbageCollector:
                 ):
                     fp, size = int(fp), int(size)
                     if fp in live_fps:
+                        if redirect is not None:
+                            target = redirect.get(fp)
+                            if (
+                                target is not None
+                                and target != cid
+                                and target not in victim_set
+                                and self.store.has(target)
+                            ):
+                                # a superseded copy: its redirect target
+                                # already holds the chunk — reclaim it
+                                bytes_reclaimed += size
+                                moved[(fp, cid)] = target
+                                continue
                         new_cid = moved_fp.get(fp)
                         if new_cid is None:
                             new_cid = self.store.append(fp, size)  # charged on seal
@@ -200,6 +250,19 @@ class GarbageCollector:
                     else:
                         bytes_reclaimed += size
             self.store.flush()
+
+            # a redirect target may itself have been a victim (a canonical
+            # copy stranded in a mostly-dead container): collapse
+            # redirect -> compaction chains so every journaled mapping —
+            # and every final recipe reference — lands on a survivor
+            changed = bool(pre_moved)
+            while changed:
+                changed = False
+                for (fp, cid), new_cid in list(moved.items()):
+                    final = moved.get((fp, new_cid))
+                    if final is not None and final != new_cid:
+                        moved[(fp, cid)] = final
+                        changed = True
 
             if self.store.journaled:
                 self.store.journal_append(
@@ -222,6 +285,7 @@ class GarbageCollector:
             remapped_recipes=len(remapped),
             utilization_before=util_before,
             utilization_after=util_after,
+            redirected_chunks=len(pre_moved),
         )
         self._record(report)
         return report, remapped
@@ -238,6 +302,8 @@ class GarbageCollector:
         reg.counter("gc.containers_collected").inc(report.containers_collected)
         reg.counter("gc.bytes_reclaimed").inc(report.bytes_reclaimed)
         reg.counter("gc.bytes_moved").inc(report.bytes_moved)
+        if report.redirected_chunks:
+            reg.counter("gc.redirected_chunks").inc(report.redirected_chunks)
         reg.histogram("gc.utilization_before", FRACTION_EDGES).observe(
             report.utilization_before
         )

@@ -13,9 +13,8 @@ the restore reader (container reads), all priced on one
 from __future__ import annotations
 
 import contextlib
-import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -84,15 +83,6 @@ class StoreConfig:
     spill_dir: Optional[str] = None
 
 
-def _deprecated_kwarg(name: str) -> None:
-    warnings.warn(
-        f"ContainerStore/RestoreReader keyword {name!r} is deprecated; "
-        f"pass config=StoreConfig({name}=...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 @dataclass
 class StoreStats:
     """Cumulative container-store accounting."""
@@ -136,26 +126,16 @@ class ContainerStore:
         disk: the disk model charged for seals, prefetches and reads.
         config: a :class:`StoreConfig`; the default models the classic
             append-only log with no durability journal.
-        container_bytes / seal_seeks: deprecated aliases for the
-            corresponding :class:`StoreConfig` fields (one release).
     """
 
     def __init__(
         self,
         disk: DiskModel,
-        container_bytes: Optional[int] = None,
-        seal_seeks: Optional[int] = None,
         *,
         config: Optional[StoreConfig] = None,
     ) -> None:
         if config is None:
             config = StoreConfig()
-        if container_bytes is not None:
-            _deprecated_kwarg("container_bytes")
-            config = replace(config, container_bytes=int(container_bytes))
-        if seal_seeks is not None:
-            _deprecated_kwarg("seal_seeks")
-            config = replace(config, seal_seeks=int(seal_seeks))
         if config.spill_dir is not None and config.resident_containers is None:
             raise ValueError(
                 "StoreConfig.spill_dir without resident_containers: "

@@ -1,14 +1,15 @@
 """The public ``repro.api`` facade: registry, resources, BackupSession."""
 
-import warnings
-
 import pytest
 
 from repro._util import MIB
 from repro.api import (
     BackupSession,
+    EngineInfo,
     create_engine,
     create_resources,
+    engine_info,
+    engine_infos,
     engine_names,
     register_engine,
 )
@@ -45,6 +46,24 @@ class TestRegistry:
         with pytest.raises(ValueError):
             create_engine("NoSuchEngine", SMALL)
 
+    def test_unknown_engine_error_lists_builtins_before_import(self):
+        """The error must name the lazily-importable builtins even when
+        nothing has been imported into the registry yet — ``_REGISTRY``
+        and ``_BUILTIN_MODULES`` can legally disagree until import time,
+        and the message must cover their union."""
+        from repro import api
+
+        saved = dict(api._REGISTRY)
+        api._REGISTRY.clear()
+        try:
+            with pytest.raises(ValueError) as exc:
+                create_engine("NoSuchEngine", SMALL)
+            message = str(exc.value)
+            for builtin in ("DeFrag", "DDFS-Like", "RevDedup", "Hybrid"):
+                assert builtin in message
+        finally:
+            api._REGISTRY.update(saved)
+
     def test_register_engine_decorator(self):
         @register_engine("test-only-exact")
         def build(resources, config):
@@ -58,6 +77,21 @@ class TestRegistry:
             from repro import api
 
             api._REGISTRY.pop("test-only-exact", None)
+            api._INFO.pop("test-only-exact", None)
+
+    def test_engine_info_capabilities(self):
+        assert engine_info("DeFrag") == EngineInfo(name="DeFrag", doc=engine_info("DeFrag").doc)
+        assert not engine_info("DeFrag").supports_maintenance
+        rev = engine_info("RevDedup")
+        assert rev.supports_maintenance and rev.rewrites_old_containers
+        hyb = engine_info("Hybrid")
+        assert hyb.supports_maintenance and not hyb.rewrites_old_containers
+
+    def test_engine_infos_covers_every_name(self):
+        infos = engine_infos()
+        assert [i.name for i in infos] == list(engine_names())
+        assert all(isinstance(i, EngineInfo) for i in infos)
+        assert all(i.doc for i in infos if i.name in ("DeFrag", "RevDedup"))
 
 
 class TestCreateResources:
@@ -106,29 +140,36 @@ class TestBackupSession:
         assert session.disk is session.store.disk
 
 
-class TestDeprecatedShims:
-    def test_build_engine_warns_and_delegates(self):
-        from repro.experiments.common import build_engine, build_resources
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            res = build_resources(SMALL)
-            eng = build_engine("DeFrag", SMALL, res)
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        assert isinstance(eng, DeFragEngine)
-
-    def test_store_kwargs_warn_and_map(self):
-        from repro.storage.disk import DiskModel
-        from repro.storage.store import ContainerStore
-        from tests.conftest import TEST_PROFILE
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            store = ContainerStore(
-                DiskModel(profile=TEST_PROFILE),
-                container_bytes=123_456,
-                seal_seeks=0,
+class TestSessionMaintenance:
+    def test_run_drives_maintenance_for_supported_engines(self):
+        with BackupSession("Hybrid", SMALL) as session:
+            jobs = list(
+                author_fs_20_full(
+                    fs_bytes=SMALL.fs_bytes, n_generations=SMALL.n_generations
+                )
             )
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        assert store.config.container_bytes == 123_456
-        assert store.config.seal_seeks == 0
+            reports = session.run(jobs)
+            assert len(reports) == SMALL.n_generations
+            assert session.maintenance_reports
+            assert all(
+                r.engine == "Hybrid" for r in session.maintenance_reports
+            )
+            # the remapped recipes must still restore byte-complete
+            rr = session.restore()
+            assert rr.logical_bytes == reports[-1].recipe.total_bytes
+
+    def test_run_skips_maintenance_for_inline_engines(self):
+        with BackupSession("DeFrag", SMALL) as session:
+            jobs = list(
+                author_fs_20_full(
+                    fs_bytes=SMALL.fs_bytes, n_generations=SMALL.n_generations
+                )
+            )
+            session.run(jobs)
+            assert session.maintenance_reports == []
+
+    def test_end_generation_raises_mid_backup(self):
+        session = BackupSession("RevDedup", SMALL)
+        session.engine.begin_backup(0)
+        with pytest.raises(RuntimeError):
+            session.engine.end_generation([])

@@ -12,6 +12,7 @@ from repro.dedup.silo import SiLoEngine
 from repro.restore.reader import RestoreReader
 
 from tests.conftest import TEST_PROFILE
+from repro.storage.store import StoreConfig
 
 
 def fresh_resources():
@@ -92,7 +93,7 @@ class TestCrossEngineInvariants:
 
     def test_every_recipe_restorable(self, all_runs):
         for name, (res, reports) in all_runs.items():
-            reader = RestoreReader(res.store, cache_containers=4)
+            reader = RestoreReader(res.store, config=StoreConfig(cache_containers=4))
             rr = reader.restore(reports[-1].recipe)
             assert rr.logical_bytes == reports[-1].logical_bytes, name
 

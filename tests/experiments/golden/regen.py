@@ -38,6 +38,22 @@ def regenerate() -> None:
     path = GOLDEN_DIR / "fig4_small_bytes.txt"
     path.write_text(byte_results["fig4"].table() + "\n")
     print(f"wrote {path}")
+    # the placement-policy frontier (all engines, maintenance driven)
+    frontier_results, frontier_errors = run_suite(["frontier"], config, jobs=1)
+    if frontier_errors:
+        raise SystemExit(f"cannot regenerate, experiments failed: {frontier_errors}")
+    path = GOLDEN_DIR / "frontier_small.txt"
+    path.write_text(frontier_results["frontier"].table(fmt="{:.2f}") + "\n")
+    print(f"wrote {path}")
+    # fig4 with the two maintenance engines riding along
+    ext_results, ext_errors = run_suite(
+        ["fig4"], config.with_(extended_engines=True), jobs=1
+    )
+    if ext_errors:
+        raise SystemExit(f"cannot regenerate, experiments failed: {ext_errors}")
+    path = GOLDEN_DIR / "fig4_small_extended.txt"
+    path.write_text(ext_results["fig4"].table() + "\n")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

@@ -70,30 +70,30 @@ class TestPresets:
 
 
 class TestBuilders:
-    def test_build_resources(self):
-        from repro.experiments.common import build_resources
+    def test_create_resources(self):
+        from repro.api import create_resources
 
-        res = build_resources(ExperimentConfig.small())
+        res = create_resources(ExperimentConfig.small())
         assert res.store.seal_seeks == 0
         assert res.disk.profile is APPLIANCE_2012
 
-    def test_build_engine_names(self):
+    def test_create_engine_names(self):
+        from repro.api import create_engine
         from repro.core.defrag import DeFragEngine
         from repro.dedup.ddfs import DDFSEngine
         from repro.dedup.exact import ExactEngine
         from repro.dedup.silo import SiLoEngine
-        from repro.experiments.common import build_engine
 
         cfg = ExperimentConfig.small()
-        assert isinstance(build_engine("DDFS-Like", cfg), DDFSEngine)
-        assert isinstance(build_engine("SiLo-Like", cfg), SiLoEngine)
-        assert isinstance(build_engine("DeFrag", cfg), DeFragEngine)
-        assert isinstance(build_engine("Exact", cfg), ExactEngine)
+        assert isinstance(create_engine("DDFS-Like", cfg), DDFSEngine)
+        assert isinstance(create_engine("SiLo-Like", cfg), SiLoEngine)
+        assert isinstance(create_engine("DeFrag", cfg), DeFragEngine)
+        assert isinstance(create_engine("Exact", cfg), ExactEngine)
         with pytest.raises(ValueError):
-            build_engine("nope", cfg)
+            create_engine("nope", cfg)
 
     def test_defrag_alpha_wired(self):
-        from repro.experiments.common import build_engine
+        from repro.api import create_engine
 
-        eng = build_engine("DeFrag", ExperimentConfig.small().with_(alpha=0.33))
+        eng = create_engine("DeFrag", ExperimentConfig.small().with_(alpha=0.33))
         assert eng.policy.alpha == 0.33

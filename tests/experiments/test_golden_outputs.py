@@ -87,6 +87,62 @@ class TestGoldenTables:
                 f"\n{diff}"
             )
 
+    def test_frontier_byte_identical(self):
+        """The policy-frontier table (every engine, maintenance driven)
+        is pinned too — it is the PR's acceptance artifact, and its
+        verification notes (RevDedup beats DeFrag on latest-backup seeks,
+        loses on total cost) must stay True by construction."""
+        results, errors = run_suite(["frontier"], ExperimentConfig.small(), jobs=1)
+        assert not errors, errors
+        table = results["frontier"].table(fmt="{:.2f}") + "\n"
+        assert "revdedup_latest_seeks_lt_defrag" in table
+        assert "True" in table and "False" not in table
+        golden_path = GOLDEN_DIR / "frontier_small.txt"
+        expected = golden_path.read_text()
+        if table != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(),
+                    table.splitlines(),
+                    fromfile=str(golden_path),
+                    tofile="frontier (current)",
+                    lineterm="",
+                )
+            )
+            pytest.fail(
+                "frontier table drifted from its golden snapshot; if "
+                "intentional run tests/experiments/golden/regen.py:"
+                f"\n{diff}"
+            )
+
+    def test_extended_fig4_byte_identical(self):
+        """fig4 with ``--extended-engines`` covers RevDedup and Hybrid
+        columns; pinned so the maintenance engines' ingest path cannot
+        drift silently either."""
+        results, errors = run_suite(
+            ["fig4"], ExperimentConfig.small().with_(extended_engines=True), jobs=1
+        )
+        assert not errors, errors
+        table = results["fig4"].table() + "\n"
+        assert "RevDedup" in table and "Hybrid" in table
+        golden_path = GOLDEN_DIR / "fig4_small_extended.txt"
+        expected = golden_path.read_text()
+        if table != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(),
+                    table.splitlines(),
+                    fromfile=str(golden_path),
+                    tofile="fig4 --extended-engines (current)",
+                    lineterm="",
+                )
+            )
+            pytest.fail(
+                "extended fig4 table drifted from its golden snapshot; "
+                "if intentional run tests/experiments/golden/regen.py:"
+                f"\n{diff}"
+            )
+
     def test_default_fig6_has_no_restore_columns(self, suite_results):
         """The restore-subsystem columns only appear under non-default
         restore knobs; the recorded default table must not grow them."""
@@ -98,3 +154,5 @@ class TestGoldenTables:
         for name in FIGURES:
             assert (GOLDEN_DIR / f"{name}_small.txt").is_file()
         assert (GOLDEN_DIR / "fig4_small_bytes.txt").is_file()
+        assert (GOLDEN_DIR / "frontier_small.txt").is_file()
+        assert (GOLDEN_DIR / "fig4_small_extended.txt").is_file()

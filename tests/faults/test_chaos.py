@@ -14,6 +14,12 @@ class TestClassify:
         assert classify_tags(("gc", "seal")) == "gc"
         assert classify_tags(("gc", "journal")) == "gc"
 
+    def test_maintenance_context_wins_over_gc(self):
+        # a maintenance pass runs journaled GC inside its own tag scope,
+        # so ops carry both tags; the maint window owns them
+        assert classify_tags(("maint", "gc")) == "maint"
+        assert classify_tags(("maint", "gc", "seal")) == "maint"
+
     def test_commit_protocol_windows(self):
         assert classify_tags(("seal",)) == "seal"
         assert classify_tags(("seal_marker",)) == "seal_marker"
@@ -30,6 +36,7 @@ class TestSelection:
         + [("write", ("seal_marker",))] * 3
         + [("write", ("index_flush",))] * 2
         + [("write", ("gc", "journal"))] * 2
+        + [("write", ("maint", "gc", "journal"))] * 2
     )
 
     def test_deterministic(self):

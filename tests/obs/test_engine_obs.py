@@ -26,6 +26,7 @@ from repro.segmenting.segmenter import ContentDefinedSegmenter
 from repro.workloads.generators import single_user_incrementals
 
 from tests.conftest import TEST_PROFILE
+from repro.storage.store import StoreConfig
 
 # high enough that the small 6-generation workload crosses the rewrite
 # threshold (at 0.1 nothing fragments this quickly)
@@ -197,7 +198,7 @@ class TestDecisionTrace:
 class TestRestoreObservability:
     def test_restore_records_into_ambient_session(self):
         engine, reports = run_defrag(obs=None)
-        reader = RestoreReader(engine.res.store, cache_containers=4)
+        reader = RestoreReader(engine.res.store, config=StoreConfig(cache_containers=4))
         sink = ListEventSink()
         with obs_session(Observability(events=sink)) as obs:
             report = reader.restore(reports[-1].recipe)
@@ -212,6 +213,6 @@ class TestRestoreObservability:
 
     def test_restore_without_session_records_nothing(self):
         engine, reports = run_defrag(obs=None)
-        reader = RestoreReader(engine.res.store, cache_containers=4)
+        reader = RestoreReader(engine.res.store, config=StoreConfig(cache_containers=4))
         reader.restore(reports[-1].recipe)
         assert len(NULL_OBS.registry) == 0

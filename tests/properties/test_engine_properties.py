@@ -17,6 +17,7 @@ from repro.segmenting.segmenter import ContentDefinedSegmenter
 from repro.workloads.generators import BackupJob
 
 from tests.conftest import TEST_PROFILE
+from repro.storage.store import StoreConfig
 
 
 def small_segmenter():
@@ -91,7 +92,7 @@ class TestEngineInvariantProperties:
             eng = fresh(factory)
             run_backup(eng, BackupJob(0, "p", s1), small_segmenter())
             r = run_backup(eng, BackupJob(1, "p", s2), small_segmenter())
-            rr = RestoreReader(eng.res.store, cache_containers=4).restore(r.recipe)
+            rr = RestoreReader(eng.res.store, config=StoreConfig(cache_containers=4)).restore(r.recipe)
             assert rr.logical_bytes == s2.total_bytes
 
     @given(stream_strategy)

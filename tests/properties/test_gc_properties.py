@@ -14,6 +14,7 @@ from repro.workloads.generators import BackupJob
 from repro.workloads.fs_model import ChurnProfile, FileSystemModel
 
 from tests.conftest import TEST_PROFILE
+from repro.storage.store import StoreConfig
 
 
 def small_segmenter():
@@ -61,7 +62,7 @@ class TestGCProperties:
         retained = [r.recipe for r in reports[-retain:]]
         gc = GarbageCollector(res.store, index=res.index)
         report, remapped = gc.collect(retained, min_utilization=threshold)
-        reader = RestoreReader(res.store, cache_containers=4)
+        reader = RestoreReader(res.store, config=StoreConfig(cache_containers=4))
         for original, recipe in zip(reports[-retain:], remapped):
             rr = reader.restore(recipe)
             assert rr.logical_bytes == original.logical_bytes

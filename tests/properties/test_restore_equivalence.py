@@ -33,6 +33,7 @@ from repro.storage.recipe import RecipeBuilder
 from repro.workloads.generators import BackupJob
 
 from tests.conftest import TEST_PROFILE
+from repro.storage.store import StoreConfig
 
 
 # -- strategies ---------------------------------------------------------
@@ -212,7 +213,7 @@ class TestRestoreEquivalence:
         for kwargs in READER_COMBOS:
             reads = recorded_reads(res.store)
             rr = RestoreReader(
-                res.store, cache_containers=capacity, **kwargs
+                res.store, config=StoreConfig(cache_containers=capacity), **kwargs
             ).restore(report.recipe)
             assert rr.logical_bytes == stream.total_bytes
             assert rr.n_chunks == len(stream.fps)
@@ -227,7 +228,7 @@ class TestRestoreEquivalence:
         res, report = ingest(stream)
         expected = scalar_lru_reference(report.recipe, capacity)
         reads = recorded_reads(res.store)
-        rr = RestoreReader(res.store, cache_containers=capacity).restore(report.recipe)
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=capacity)).restore(report.recipe)
         assert reads == expected, "default path must replay the scalar reader"
         assert rr.container_reads == len(expected)
         assert rr.seeks == len(expected)
@@ -240,7 +241,7 @@ class TestRestoreEquivalence:
         for policy in ("lru", "lfu", "belady"):
             rr = RestoreReader(
                 res.store,
-                cache_containers=capacity,
+                config=StoreConfig(cache_containers=capacity),
                 policy=policy,
                 faa_window=window,
             ).restore(report.recipe)

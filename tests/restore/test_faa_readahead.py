@@ -16,6 +16,7 @@ from repro.restore.faa import access_trace, plan_assembly
 from repro.restore.reader import RestoreReader
 from repro.storage.recipe import RecipeBuilder
 from repro.workloads.generators import author_fs_20_full
+from repro.storage.store import StoreConfig
 
 
 def recipe_of(cids, size=512):
@@ -116,10 +117,10 @@ class TestReadAheadBatching:
         res, report = self.ingest(segmenter)
         n_containers = report.recipe.unique_containers().size
         assert n_containers > 2
-        base = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        base = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(report.recipe)
         faa = RestoreReader(
             res.store,
-            cache_containers=4,
+            config=StoreConfig(cache_containers=4),
             faa_window=report.recipe.n_chunks,
             readahead=True,
         ).restore(report.recipe)
@@ -132,9 +133,9 @@ class TestReadAheadBatching:
 
     def test_restored_bytes_unaffected(self, segmenter):
         res, report = self.ingest(segmenter)
-        base = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        base = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(report.recipe)
         faa = RestoreReader(
-            res.store, cache_containers=4, faa_window=128, readahead=True
+            res.store, config=StoreConfig(cache_containers=4), faa_window=128, readahead=True
         ).restore(report.recipe)
         assert faa.logical_bytes == base.logical_bytes
         assert faa.n_chunks == base.n_chunks
@@ -142,18 +143,18 @@ class TestReadAheadBatching:
     def test_readahead_without_faa_uses_bounded_horizon(self, segmenter):
         res, report = self.ingest(segmenter)
         ra = RestoreReader(
-            res.store, cache_containers=4, readahead=True
+            res.store, config=StoreConfig(cache_containers=4), readahead=True
         ).restore(report.recipe)
-        base = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        base = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(report.recipe)
         assert ra.seeks <= base.seeks
         assert ra.logical_bytes == base.logical_bytes
 
     def test_faa_reduces_time_not_just_seeks(self, segmenter):
         res, report = self.ingest(segmenter)
-        base = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        base = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(report.recipe)
         faa = RestoreReader(
             res.store,
-            cache_containers=4,
+            config=StoreConfig(cache_containers=4),
             faa_window=report.recipe.n_chunks,
             readahead=True,
         ).restore(report.recipe)
@@ -190,9 +191,9 @@ class TestSmallPresetSeekReduction:
 
     def test_faa_readahead_at_least_1_5x_fewer_seeks(self, ddfs_final):
         store, recipe = ddfs_final
-        base = RestoreReader(store, cache_containers=4).restore(recipe)
+        base = RestoreReader(store, config=StoreConfig(cache_containers=4)).restore(recipe)
         faa = RestoreReader(
-            store, cache_containers=4, faa_window=2048, readahead=True
+            store, config=StoreConfig(cache_containers=4), faa_window=2048, readahead=True
         ).restore(recipe)
         assert faa.logical_bytes == base.logical_bytes
         assert base.seeks >= 1.5 * faa.seeks, (

@@ -9,6 +9,7 @@ from repro.workloads.fs_model import ChurnProfile, FileSystemModel
 from repro.workloads.generators import BackupJob
 
 from tests.conftest import TEST_PROFILE
+from repro.storage.store import StoreConfig
 
 
 def fresh_resources():
@@ -53,7 +54,7 @@ class TestRestoreFile:
         res = fresh_resources()
         eng = ExactEngine(res)
         report = run_backup(eng, BackupJob(0, "t", stream), segmenter)
-        reader = RestoreReader(res.store, cache_containers=4)
+        reader = RestoreReader(res.store, config=StoreConfig(cache_containers=4))
         fid, start, n = extents[len(extents) // 2]
         rr = reader.restore_file(report.recipe, start, n)
         expected = int(stream.sizes[start : start + n].sum())
@@ -73,7 +74,7 @@ class TestRestoreFile:
         fs.evolve()
         report1 = run_backup(eng, BackupJob(1, "t", fs.full_backup()), segmenter)
         extents = fs.file_extents()
-        reader = RestoreReader(res.store, cache_containers=2)
+        reader = RestoreReader(res.store, config=StoreConfig(cache_containers=2))
         # pick the file with the most chunks (most likely edited)
         fid, start, n = max(extents, key=lambda e: e[2])
         rr0 = reader.restore_file(report0.recipe, 0, min(n, report0.recipe.n_chunks))
@@ -86,7 +87,7 @@ class TestRestoreFile:
         res = fresh_resources()
         eng = ExactEngine(res)
         report = run_backup(eng, BackupJob(0, "t", fs.full_backup()), segmenter)
-        reader = RestoreReader(res.store, cache_containers=4)
+        reader = RestoreReader(res.store, config=StoreConfig(cache_containers=4))
         fid, start, n = fs.file_extents()[0]
         rr = reader.restore_file(report.recipe, start, n)
         assert rr.eq1_seconds > 0

@@ -9,6 +9,7 @@ from repro.storage.disk import DiskProfile, HDD_2012
 from repro.workloads.generators import BackupJob
 
 from tests.conftest import TEST_PROFILE, make_stream
+from repro.storage.store import StoreConfig
 
 
 def ingest(stream, segmenter, gen=0, res=None):
@@ -59,14 +60,14 @@ class TestRestoreReader:
     def test_restores_full_byte_count(self, segmenter):
         s = make_stream(200, seed=1)
         res, report = ingest(s, segmenter)
-        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(report.recipe)
         assert rr.logical_bytes == s.total_bytes
         assert rr.n_chunks == 200
 
     def test_linear_recipe_one_read_per_container(self, segmenter):
         s = make_stream(200, seed=2)
         res, report = ingest(s, segmenter)
-        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(report.recipe)
         assert rr.container_reads == report.recipe.unique_containers().size
         assert rr.cache_hits == rr.n_runs - rr.container_reads
 
@@ -76,7 +77,7 @@ class TestRestoreReader:
         res, r0 = ingest(s, segmenter)
         eng = ExactEngine(res)
         r1 = run_backup(eng, BackupJob(1, "t", s), segmenter)
-        rr = RestoreReader(res.store, cache_containers=4).restore(r1.recipe)
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(r1.recipe)
         assert rr.read_rate > 0
         assert set(r1.recipe.unique_containers()) == set(r0.recipe.unique_containers())
 
@@ -84,7 +85,7 @@ class TestRestoreReader:
         s = make_stream(100, seed=4)
         res, report = ingest(s, segmenter)
         t0 = res.disk.clock.now
-        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(report.recipe)
         assert res.disk.clock.now - t0 == pytest.approx(rr.elapsed_seconds)
         assert rr.elapsed_seconds > 0
 
@@ -93,13 +94,13 @@ class TestRestoreReader:
         reads each container once."""
         s = make_stream(100, seed=5)
         res, report = ingest(s, segmenter)
-        big_cache = RestoreReader(res.store, cache_containers=64).restore(report.recipe)
+        big_cache = RestoreReader(res.store, config=StoreConfig(cache_containers=64)).restore(report.recipe)
         assert big_cache.container_reads == report.recipe.unique_containers().size
 
     def test_eq1_estimate_close_to_operational(self, segmenter):
         s = make_stream(300, seed=6)
         res, report = ingest(s, segmenter)
-        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(report.recipe)
         # Eq.1 with N = container reads should be within 2x (payload
         # transfer includes metadata + full containers vs logical bytes)
         assert rr.eq1_seconds <= rr.elapsed_seconds * 1.5
@@ -116,10 +117,10 @@ class TestRestoreReader:
     def test_seeks_per_mib(self, segmenter):
         s = make_stream(200, seed=7)
         res, report = ingest(s, segmenter)
-        rr = RestoreReader(res.store, cache_containers=4).restore(report.recipe)
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(report.recipe)
         assert rr.seeks_per_mib > 0
 
     def test_rejects_bad_cache(self, segmenter):
         res, _ = ingest(make_stream(10), segmenter)
         with pytest.raises(ValueError):
-            RestoreReader(res.store, cache_containers=0)
+            RestoreReader(res.store, config=StoreConfig(cache_containers=0))

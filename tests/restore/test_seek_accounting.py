@@ -17,6 +17,7 @@ from repro.restore.reader import RestoreReader
 from repro.workloads.generators import BackupJob
 
 from tests.conftest import TEST_PROFILE, make_stream
+from repro.storage.store import StoreConfig
 
 
 @pytest.fixture
@@ -36,14 +37,14 @@ class TestSeeksAreUncachedVisits:
         res, r0, _ = ingested
         for policy in ("lru", "lfu", "belady"):
             rr = RestoreReader(
-                res.store, cache_containers=4, policy=policy
+                res.store, config=StoreConfig(cache_containers=4), policy=policy
             ).restore(r0.recipe)
             assert rr.seeks == rr.cache_misses == rr.container_reads
 
     def test_seeks_match_disk_positionings(self, ingested):
         res, r0, _ = ingested
         before = res.disk.stats.snapshot()
-        rr = RestoreReader(res.store, cache_containers=4).restore(r0.recipe)
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(r0.recipe)
         delta = res.disk.stats.delta_since(before)
         assert delta.seeks == rr.seeks
 
@@ -52,7 +53,7 @@ class TestSeeksAreUncachedVisits:
         before = res.disk.stats.snapshot()
         rr = RestoreReader(
             res.store,
-            cache_containers=4,
+            config=StoreConfig(cache_containers=4),
             faa_window=r0.recipe.n_chunks,
             readahead=True,
         ).restore(r0.recipe)
@@ -65,7 +66,7 @@ class TestSeeksAreUncachedVisits:
 
     def test_each_restore_builds_a_fresh_client_cache(self, ingested):
         res, r0, _ = ingested
-        reader = RestoreReader(res.store, cache_containers=64)
+        reader = RestoreReader(res.store, config=StoreConfig(cache_containers=64))
         n_containers = r0.recipe.unique_containers().size
         first = reader.restore(r0.recipe)
         assert first.seeks == n_containers
@@ -77,7 +78,7 @@ class TestSeeksAreUncachedVisits:
     def test_cache_hit_prices_nothing(self, ingested):
         """A recipe revisiting a cached container adds no positioning."""
         res, r0, _ = ingested
-        rr = RestoreReader(res.store, cache_containers=64).restore(r0.recipe)
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=64)).restore(r0.recipe)
         assert rr.cache_hits == rr.n_runs - rr.container_reads
         assert rr.seeks == rr.container_reads
 
@@ -87,7 +88,7 @@ class TestSeeksAreUncachedVisits:
         res, r0, _ = ingested
         rr = RestoreReader(
             res.store,
-            cache_containers=4,
+            config=StoreConfig(cache_containers=4),
             faa_window=r0.recipe.n_chunks,
             readahead=True,
         ).restore(r0.recipe)
@@ -99,14 +100,14 @@ class TestSeeksAreUncachedVisits:
 class TestRestoreFileAccounting:
     def test_file_extent_seeks_are_distinct_uncached_visits(self, ingested):
         res, r0, _ = ingested
-        reader = RestoreReader(res.store, cache_containers=4)
+        reader = RestoreReader(res.store, config=StoreConfig(cache_containers=4))
         n = r0.recipe.n_chunks
         rr = reader.restore_file(r0.recipe, n // 4, n // 2)
         assert rr.seeks == rr.cache_misses == rr.container_reads
 
     def test_single_container_file_is_one_seek(self, ingested):
         res, r0, _ = ingested
-        rr = RestoreReader(res.store, cache_containers=4).restore_file(
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore_file(
             r0.recipe, 0, 1
         )
         assert rr.seeks == 1
@@ -114,7 +115,7 @@ class TestRestoreFileAccounting:
 
     def test_out_of_bounds_extent_rejected(self, ingested):
         res, r0, _ = ingested
-        reader = RestoreReader(res.store, cache_containers=4)
+        reader = RestoreReader(res.store, config=StoreConfig(cache_containers=4))
         with pytest.raises(ValueError):
             reader.restore_file(r0.recipe, 0, r0.recipe.n_chunks + 1)
         with pytest.raises(ValueError):

@@ -19,6 +19,7 @@ from repro.restore.reader import RestoreReader
 from repro.workloads.generators import BackupJob
 
 from tests.conftest import TEST_PROFILE, make_stream
+from repro.storage.store import StoreConfig
 
 
 def build_store(segmenter, n_gens=3):
@@ -37,7 +38,7 @@ def build_store(segmenter, n_gens=3):
 def run_restores(segmenter, *, obs=None, **reader_kwargs):
     """Fresh ingest + restore of every generation; returns (stats, t)."""
     res, reports = build_store(segmenter)
-    reader = RestoreReader(res.store, cache_containers=4, **reader_kwargs)
+    reader = RestoreReader(res.store, config=StoreConfig(cache_containers=4), **reader_kwargs)
     t0 = res.disk.clock.now
     if obs is not None:
         with obs_session(obs):
@@ -115,7 +116,7 @@ class TestTwinRun:
 
     def test_cumulative_stats_fold_reports(self, segmenter):
         res, reports = build_store(segmenter)
-        reader = RestoreReader(res.store, cache_containers=4)
+        reader = RestoreReader(res.store, config=StoreConfig(cache_containers=4))
         rrs = [reader.restore(r.recipe) for r in reports]
         assert reader.stats.restores == len(rrs)
         assert reader.stats.logical_bytes == sum(r.logical_bytes for r in rrs)

@@ -2,7 +2,7 @@ import pytest
 
 from repro.storage.container import CHUNK_METADATA_BYTES, Container
 from repro.storage.disk import DiskModel
-from repro.storage.store import ContainerStore
+from repro.storage.store import ContainerStore, StoreConfig
 
 from tests.conftest import TEST_PROFILE
 
@@ -58,7 +58,9 @@ class TestContainer:
 class TestContainerStore:
     def make(self, capacity=1000):
         disk = DiskModel(profile=TEST_PROFILE)
-        return ContainerStore(disk, container_bytes=capacity, seal_seeks=0)
+        return ContainerStore(
+            disk, config=StoreConfig(container_bytes=capacity, seal_seeks=0)
+        )
 
     def test_append_assigns_cids_monotonically(self):
         s = self.make(capacity=250)
@@ -130,8 +132,14 @@ class TestAppendRun:
 
     def _twin_stores(self):
         return (
-            ContainerStore(DiskModel(profile=TEST_PROFILE), container_bytes=100),
-            ContainerStore(DiskModel(profile=TEST_PROFILE), container_bytes=100),
+            ContainerStore(
+                DiskModel(profile=TEST_PROFILE),
+                config=StoreConfig(container_bytes=100),
+            ),
+            ContainerStore(
+                DiskModel(profile=TEST_PROFILE),
+                config=StoreConfig(container_bytes=100),
+            ),
         )
 
     def _assert_equivalent(self, fps, sizes):

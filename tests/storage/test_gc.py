@@ -12,6 +12,7 @@ from repro.storage.gc import GarbageCollector
 from repro.workloads.generators import BackupJob
 
 from tests.conftest import TEST_PROFILE, make_stream
+from repro.storage.store import StoreConfig
 
 
 def fresh_resources():
@@ -66,7 +67,7 @@ class TestCollect:
         res, eng, reports = rewriting_run(segmenter)
         gc = GarbageCollector(res.store, index=res.index)
         _, remapped = gc.collect([reports[-1].recipe], min_utilization=0.9)
-        rr = RestoreReader(res.store, cache_containers=4).restore(remapped[0])
+        rr = RestoreReader(res.store, config=StoreConfig(cache_containers=4)).restore(remapped[0])
         assert rr.logical_bytes == reports[-1].logical_bytes
 
     def test_remap_preserves_logical_content(self, segmenter):
@@ -135,7 +136,7 @@ class TestWorkloadGC:
         gc = GarbageCollector(res.store, index=res.index)
         report, remapped = gc.collect(retained, min_utilization=0.6)
         # every retained backup restores bit-for-bit after compaction
-        reader = RestoreReader(res.store, cache_containers=4)
+        reader = RestoreReader(res.store, config=StoreConfig(cache_containers=4))
         for original, new in zip(reports[-2:], remapped):
             rr = reader.restore(new)
             assert rr.logical_bytes == original.logical_bytes

@@ -4,14 +4,15 @@ import pytest
 
 from repro.storage.container import CHUNK_METADATA_BYTES
 from repro.storage.disk import DiskModel
-from repro.storage.store import ContainerStore
+from repro.storage.store import ContainerStore, StoreConfig
 
 from tests.conftest import TEST_PROFILE
 
 
 def make_store(capacity=1000):
     return ContainerStore(
-        DiskModel(profile=TEST_PROFILE), container_bytes=capacity, seal_seeks=0
+        DiskModel(profile=TEST_PROFILE),
+        config=StoreConfig(container_bytes=capacity, seal_seeks=0),
     )
 
 
