@@ -16,7 +16,11 @@ Measures, in one sitting:
   to ``BENCH_restore.json``), and
 * byte-level Gear CDC over a fixed random buffer — the skip-then-scan
   fast path vs the exact 64-pass reference sweep (written to
-  ``BENCH_chunking.json`` via ``--chunking-out``).
+  ``BENCH_chunking.json`` via ``--chunking-out``), and
+* the sharded fingerprint index — 1-shard byte-identity plus routed
+  N-shard batched-lookup throughput (written to ``BENCH_shard.json``
+  via ``--shard-out``, including the absolute lookup floor the gate
+  enforces).
 
 The JSON it writes is the committed baseline that ``python -m repro
 bench`` gates wall-clock regressions against. With ``--append-history``
@@ -45,12 +49,15 @@ from repro.bench import (  # noqa: E402
     HISTORY_FILENAME,
     MEMORY_BASELINE_FILENAME,
     RESTORE_BASELINE_FILENAME,
+    SHARD_BASELINE_FILENAME,
+    SHARD_LOOKUP_FLOOR_PER_S,
     append_history,
     history_record,
     run_bench,
     run_chunking_bench,
     run_memory_bench,
     run_restore_bench,
+    run_shard_bench,
 )
 
 
@@ -142,6 +149,14 @@ def main() -> int:
         "--skip-chunking",
         action="store_true",
         help="do not (re)record the byte-level chunking baseline",
+    )
+    parser.add_argument(
+        "--shard-out", default=str(REPO_ROOT / SHARD_BASELINE_FILENAME)
+    )
+    parser.add_argument(
+        "--skip-shard",
+        action="store_true",
+        help="do not (re)record the sharded-index baseline",
     )
     parser.add_argument(
         "--skip-end-to-end",
@@ -274,6 +289,20 @@ def main() -> int:
         chunking_out.write_text(json.dumps(chunking_record, indent=2) + "\n")
         print(json.dumps(chunking_record, indent=2))
         print(f"\nwrote {chunking_out}")
+
+    if not args.skip_shard:
+        shard = run_shard_bench(repeats=args.repeats)
+        shard["lookup_floor_per_s"] = SHARD_LOOKUP_FLOOR_PER_S
+        shard_record = {
+            "recorded_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "shard": shard,
+        }
+        shard_out = Path(args.shard_out)
+        shard_out.write_text(json.dumps(shard_record, indent=2) + "\n")
+        print(json.dumps(shard_record, indent=2))
+        print(f"\nwrote {shard_out}")
 
     memory_record = None
     if args.memory:

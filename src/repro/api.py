@@ -206,6 +206,13 @@ def create_resources(
     so seals are pure sequential transfer (``seal_seeks=0``) and the
     restore reader's cache is ``config.restore_cache_containers``.
 
+    A ``config.shard`` (:class:`~repro.sharding.config.ShardConfig`)
+    swaps the single on-disk index for a
+    :class:`~repro.sharding.ShardedChunkIndex` over the same disk —
+    behind the identical interface, so every engine runs unchanged
+    (with ``n_shards=1`` the wrapper delegates verbatim and results
+    stay byte-identical to the unsharded substrate).
+
     Args:
         config: experiment knobs (defaults to
             ``ExperimentConfig.default()``).
@@ -226,13 +233,32 @@ def create_resources(
             seal_seeks=0,
             cache_containers=config.restore_cache_containers,
         )
-    return EngineResources.create(
+    resources = EngineResources.create(
         profile=config.disk,
         expected_entries=config.bloom_capacity,
         index_page_cache_pages=config.index_page_cache_pages,
         store_config=store_config,
         disk=disk,
     )
+    shard = getattr(config, "shard", None)
+    if shard is not None:
+        from repro.sharding import ShardedChunkIndex
+
+        sharded = ShardedChunkIndex.create(
+            resources.disk,
+            n_shards=shard.n_shards,
+            expected_entries=config.bloom_capacity,
+            page_cache_pages=config.index_page_cache_pages,
+            journaled=store_config.journal,
+            retry=store_config.retry,
+            vnodes=shard.vnodes,
+        )
+        resources = EngineResources(
+            disk=resources.disk,
+            store=resources.store,
+            index=sharded,  # type: ignore[arg-type]
+        )
+    return resources
 
 
 def create_engine(

@@ -46,6 +46,14 @@ CHUNKING_BASELINE_FILENAME = "BENCH_chunking.json"
 #: committed bounded-RSS budget for the out-of-core memory bench
 MEMORY_BASELINE_FILENAME = "BENCH_memory.json"
 
+#: committed baseline for the sharded-index measurement
+SHARD_BASELINE_FILENAME = "BENCH_shard.json"
+
+#: absolute floor on routed N-shard batched-lookup throughput
+#: (fingerprints resolved per wall-clock second); the committed
+#: baseline can raise it but the gate never accepts less than this
+SHARD_LOOKUP_FLOOR_PER_S = 50_000.0
+
 #: append-only perf trajectory: one compact JSON line per recorded run
 #: (grown by ``benchmarks/record.py --append-history``, plotted by
 #: ``repro dash``, annotated by ``repro bench``)
@@ -554,6 +562,150 @@ def check_memory_regression(result: Dict, baseline: Dict) -> Optional[str]:
     from repro.memory import check_memory_gate
 
     return check_memory_gate(result, baseline)
+
+
+def run_shard_bench(
+    *,
+    repeats: int = 3,
+    n_shards: int = 4,
+    n_entries: int = 50_000,
+    batch: int = 4096,
+) -> Dict:
+    """Measure the sharded index and return the result record.
+
+    Two halves, matching the two halves of the gate:
+
+    * **identity** — a deterministic mixed lookup/insert workload is
+      driven through a plain ``DiskChunkIndex`` and a 1-shard
+      ``ShardedChunkIndex`` built with identical parameters; answers,
+      stats, and the simulated clock must match exactly
+      (``one_shard_identical``).
+    * **throughput** — ``n_entries`` fingerprints are inserted into an
+      ``n_shards``-shard index, then resolved in ``batch``-sized
+      ``lookup_many`` calls (half hits, half misses); best-of
+      ``repeats`` wall-clock gives ``lookup_per_s``.
+    """
+    from repro._util.rng import rng_from
+    from repro.index.full_index import ChunkLocation, DiskChunkIndex
+    from repro.sharding import ShardedChunkIndex
+    from repro.storage.disk import DiskModel
+
+    config = ExperimentConfig.small()
+
+    # -- identity half ---------------------------------------------------
+    rng = rng_from(2012, "shard-bench")
+    fps = [int(x) for x in rng.integers(1, 1 << 60, size=4096)]
+
+    def drive(index) -> tuple:
+        answers = []
+        for i in range(0, len(fps), 256):
+            chunk = fps[i : i + 256]
+            answers.append(
+                [loc is not None for loc in index.lookup_many(chunk)]
+            )
+            index.insert_many(
+                chunk, [ChunkLocation(i % 7, j) for j in range(len(chunk))]
+            )
+            index.flush()
+        answers.append([loc is not None for loc in index.lookup_many(fps)])
+        return answers, dict(vars(index.stats)), index.disk.stats.total_time_s
+
+    plain = drive(DiskChunkIndex(DiskModel(profile=config.disk), expected_entries=n_entries))
+    one = drive(
+        ShardedChunkIndex.create(
+            DiskModel(profile=config.disk), n_shards=1, expected_entries=n_entries
+        )
+    )
+    one_shard_identical = plain == one
+
+    # -- throughput half -------------------------------------------------
+    sharded = ShardedChunkIndex.create(
+        DiskModel(profile=config.disk),
+        n_shards=n_shards,
+        expected_entries=n_entries,
+    )
+    rng = rng_from(2012, "shard-bench-load")
+    load = [int(x) for x in rng.integers(1, 1 << 60, size=n_entries)]
+    for i in range(0, n_entries, batch):
+        chunk = load[i : i + batch]
+        sharded.insert_many(chunk, [ChunkLocation(0, j) for j in range(len(chunk))])
+    sharded.flush()
+    probes = load[: n_entries // 2] + [
+        int(x) for x in rng.integers(1 << 61, 1 << 62, size=n_entries // 2)
+    ]
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        hits = 0
+        for i in range(0, len(probes), batch):
+            for loc in sharded.lookup_many(probes[i : i + batch]):
+                if loc is not None:
+                    hits += 1
+        best = min(best, time.perf_counter() - t0)
+    assert hits == n_entries // 2
+
+    return {
+        "benchmark": f"{n_shards}-shard routed index, {n_entries} entries",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "n_shards": n_shards,
+        "n_entries": n_entries,
+        "batch": batch,
+        "one_shard_identical": bool(one_shard_identical),
+        "lookup_seconds": round(best, 4),
+        "lookup_per_s": round(len(probes) / best, 1),
+        "fill_balance": round(
+            sharded.router.fill_balance(sharded.shard_fill()), 4
+        ),
+        "manifest": _bench_manifest(),
+    }
+
+
+def load_shard_baseline(path: Optional[Path] = None) -> Optional[Dict]:
+    """The committed shard baseline record, or None when absent."""
+    p = Path(path) if path is not None else Path(SHARD_BASELINE_FILENAME)
+    if not p.is_file():
+        return None
+    return json.loads(p.read_text())
+
+
+def check_shard_regression(
+    result: Dict,
+    baseline: Dict,
+    factor: float = REGRESSION_FACTOR,
+    floor: float = SHARD_LOOKUP_FLOOR_PER_S,
+) -> Optional[str]:
+    """None if the shard measurement holds all three gates, else a
+    failure message.
+
+    Gate 1 (identity): the 1-shard wrapper must be byte-identical to
+    the plain index — answers, stats, and simulated clock. Gate 2
+    (floor): routed lookup throughput must clear the absolute
+    ``floor`` (the baseline may pin a higher one). Gate 3 (regression):
+    lookup wall-clock within ``factor`` of the committed baseline.
+    """
+    if not result.get("one_shard_identical", False):
+        return (
+            "1-shard ShardedChunkIndex diverged from the plain "
+            "DiskChunkIndex (answers, stats, or simulated clock)"
+        )
+    rec = baseline.get("shard", baseline)
+    floor = max(floor, float(rec.get("lookup_floor_per_s", 0.0)))
+    rate = float(result["lookup_per_s"])
+    if rate < floor:
+        return (
+            f"routed lookup throughput {rate:.0f}/s is below the "
+            f"{floor:.0f}/s floor"
+        )
+    base = rec.get("lookup_seconds")
+    now = result["lookup_seconds"]
+    if base is not None and now > factor * base:
+        return (
+            f"sharded lookup wall-clock regressed: {now:.3f}s vs "
+            f"committed {base:.3f}s baseline (>{factor:.1f}x)"
+        )
+    return None
 
 
 def reference_summary(baseline: Dict) -> str:

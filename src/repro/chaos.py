@@ -57,8 +57,12 @@ from repro.storage.recovery import RecoveryScanner
 from repro.storage.store import ContainerStore, StoreConfig
 from repro.workloads.generators import single_user_stream
 
-#: crash-site classes the sweep stratifies over (and reports coverage of)
-CRASH_CLASSES = ("maint", "gc", "seal_marker", "seal", "index_flush", "ingest")
+#: crash-site classes the sweep stratifies over (and reports coverage
+#: of); ``shard`` only appears when the scenario runs a sharded index
+#: (``n_shards > 1``) — a 1-shard index delegates verbatim, no tag
+CRASH_CLASSES = (
+    "maint", "gc", "shard", "seal_marker", "seal", "index_flush", "ingest"
+)
 
 
 def classify_tags(tags: Sequence[str]) -> str:
@@ -67,12 +71,17 @@ def classify_tags(tags: Sequence[str]) -> str:
     ``maint`` must be checked before ``gc``: an out-of-line maintenance
     pass runs the journaled GC protocol *inside* its own tag scope, so
     its disk ops carry both tags — and the crash site we want reported
-    is the maintenance pass, not the mechanism it borrows.
+    is the maintenance pass, not the mechanism it borrows. ``shard``
+    likewise wraps each per-shard ``index_flush``, so it is checked
+    before the flush tag: a crash there lands *between* shard flushes —
+    after some shards are durable and before others.
     """
     if "maint" in tags:
         return "maint"
     if "gc" in tags:
         return "gc"
+    if "shard" in tags:
+        return "shard"
     if "seal_marker" in tags:
         return "seal_marker"
     if "seal" in tags:
@@ -127,15 +136,25 @@ class ChaosScenario:
     #: points land while the bulk of the store is spilled, exercising
     #: recovery over the spill/evict/fault-back paths
     resident_containers: Optional[int] = None
+    #: shard the scenario's fingerprint index (>1 wraps it in a
+    #: :class:`~repro.sharding.ShardedChunkIndex`), adding the ``shard``
+    #: crash class — points that fire between per-shard flushes
+    n_shards: int = 1
 
     def experiment_config(self) -> ExperimentConfig:
         """The experiment config for this scenario, journal + retry on."""
+        shard = None
+        if self.n_shards > 1:
+            from repro.sharding import ShardConfig
+
+            shard = ShardConfig(n_shards=self.n_shards)
         return ExperimentConfig.small().with_(
             seed=self.seed,
             fs_bytes=self.fs_bytes,
             n_generations=self.n_generations,
             container_bytes=self.container_bytes,
             bloom_capacity=100_000,
+            shard=shard,
             store=StoreConfig(
                 container_bytes=self.container_bytes,
                 seal_seeks=0,

@@ -50,6 +50,7 @@ _FIGURES: Dict[str, str] = {
     "related-work": "repro.experiments.extensions:related_work_comparison",
     "gc-study": "repro.experiments.extensions:gc_study",
     "frontier": "repro.experiments.frontier:run",
+    "tenants": "repro.experiments.tenants:run",
 }
 
 
@@ -57,7 +58,12 @@ def _resolve(name: str) -> Callable[[ExperimentConfig], "FigureResult"]:
     modname, funcname = _FIGURES[name].split(":")
     return getattr(importlib.import_module(modname), funcname)
 
-_FLOAT_FMT = {"fig3": "{:.3f}", "fig5": "{:.3f}", "frontier": "{:.2f}"}
+_FLOAT_FMT = {
+    "fig3": "{:.3f}",
+    "fig5": "{:.3f}",
+    "frontier": "{:.2f}",
+    "tenants": "{:.2f}",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -194,6 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for spilled containers (default: an in-memory "
         "shim; requires --resident-containers)",
+    )
+    shard = parser.add_argument_group("sharding options")
+    shard.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the fingerprint index N ways behind the same "
+        "interface (1 = degenerate wrapper, byte-identical to the "
+        "unsharded substrate; also applies to the chaos scenario)",
     )
     bench = parser.add_argument_group("bench options")
     bench.add_argument(
@@ -404,16 +420,19 @@ def _run_bench(args: argparse.Namespace) -> int:
         check_chunking_regression,
         check_regression,
         check_restore_regression,
+        check_shard_regression,
         drift_summary,
         history_record,
         load_baseline,
         load_chunking_baseline,
         load_history,
         load_restore_baseline,
+        load_shard_baseline,
         reference_summary,
         run_bench,
         run_chunking_bench,
         run_restore_bench,
+        run_shard_bench,
     )
 
     if args.memory:
@@ -429,6 +448,8 @@ def _run_bench(args: argparse.Namespace) -> int:
     print(json.dumps(restore_result, indent=2))
     chunking_result = run_chunking_bench(repeats=repeats, exact=not args.quick)
     print(json.dumps(chunking_result, indent=2))
+    shard_result = run_shard_bench(repeats=repeats)
+    print(json.dumps(shard_result, indent=2))
     if args.no_baseline:
         return 0
     exit_code = 0
@@ -471,6 +492,22 @@ def _run_bench(args: argparse.Namespace) -> int:
                 "OK: chunking within 2x of committed baseline "
                 f"({rec.get('seqcdc_seconds')}s) and >=5x the committed "
                 f"exact-path rate ({rec.get('exact_mb_per_s')} MB/s)"
+            )
+    shard_baseline = load_shard_baseline()
+    if shard_baseline is None:
+        print("no committed BENCH_shard.json found; skipping shard gate")
+    else:
+        failure = check_shard_regression(shard_result, shard_baseline)
+        if failure is not None:
+            print(f"FAIL: {failure}")
+            exit_code = 1
+        else:
+            rec = shard_baseline.get("shard", shard_baseline)
+            print(
+                "OK: 1-shard wrapper byte-identical, routed lookups "
+                f"within 2x of committed baseline "
+                f"({rec.get('lookup_seconds')}s) and above the "
+                f"{rec.get('lookup_floor_per_s')}/s floor"
             )
     history = load_history()
     if history:
@@ -550,6 +587,10 @@ def _run_chaos(args: argparse.Namespace) -> int:
         # a tight budget over the chaos workload's container count, so
         # crash points land while most of the store is spilled
         overrides["resident_containers"] = 2
+    if args.shards is not None and args.shards > 1:
+        # adds the "shard" crash class: points that fire between
+        # per-shard index flushes
+        overrides["n_shards"] = args.shards
     if args.engine is not None:
         from repro.api import engine_info
 
@@ -589,6 +630,10 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
         config = config.with_(restore_faa_window=args.faa_window)
     if args.readahead:
         config = config.with_(restore_readahead=True)
+    if args.shards is not None:
+        from repro.sharding import ShardConfig
+
+        config = config.with_(shard=ShardConfig(n_shards=args.shards))
     if args.resident_containers is not None or args.spill_dir is not None:
         from repro.storage.store import StoreConfig
 

@@ -143,6 +143,7 @@ def _config_key(config: ExperimentConfig) -> Tuple:
         c.index_page_cache_pages,
         c.bloom_capacity, c.bloom_fp_rate, c.churn_full, c.batch, c.store,
         c.byte_level, c.hybrid_cache_chunks, c.maintenance_min_utilization,
+        c.shard, c.tenant_cache_chunks,
     )
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro._util import MIB
+from repro.sharding.config import ShardConfig
 from repro.storage.disk import DiskProfile
 from repro.storage.store import StoreConfig
 from repro.workloads.fs_model import ChurnProfile
@@ -124,6 +125,19 @@ class ExperimentConfig:
     #: ``restore_cache_containers`` reader cache, no journal — exactly
     #: what the recorded figures were measured with.
     store: Optional[StoreConfig] = None
+    #: shard the on-disk fingerprint index: ``None`` keeps the classic
+    #: single :class:`~repro.index.full_index.DiskChunkIndex` (the
+    #: recorded figures' substrate); a :class:`~repro.sharding.config
+    #: .ShardConfig` routes it through ``repro.sharding`` — with
+    #: ``n_shards=1`` the wrapper drives one identically-sized shard
+    #: verbatim, byte-identical to ``None`` on every experiment (the
+    #: bench gate pins this)
+    shard: Optional[ShardConfig] = None
+    #: inline fingerprint-cache budget (chunks) shared by all tenants in
+    #: the ``tenants`` experiment — the HPDedup contention point; sized
+    #: well below the tenants' combined working set so allocation policy
+    #: matters
+    tenant_cache_chunks: int = 4096
     #: hybrid engine: bounded inline RAM fingerprint cache, in chunks
     #: (the engine's *only* inline dedup structure; sized well below a
     #: generation's chunk count so deferred dedup has work to do)
@@ -153,6 +167,7 @@ class ExperimentConfig:
             silo_similarity_capacity=56,
             restore_cache_containers=4,
             hybrid_cache_chunks=1024,
+            tenant_cache_chunks=512,
         )
 
     @classmethod
@@ -171,6 +186,7 @@ class ExperimentConfig:
             silo_similarity_capacity=1200,
             restore_cache_containers=24,
             hybrid_cache_chunks=32768,
+            tenant_cache_chunks=8192,
         )
 
     @classmethod

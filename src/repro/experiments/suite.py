@@ -55,6 +55,10 @@ GRID_EXPERIMENTS: Dict[str, Tuple[str, str]] = {
         "repro.experiments.frontier:cells",
         "repro.experiments.frontier:assemble",
     ),
+    "tenants": (
+        "repro.experiments.tenants:cells",
+        "repro.experiments.tenants:assemble",
+    ),
 }
 
 #: what ``repro all`` runs, in print order

@@ -56,7 +56,11 @@ def run_memory_probe(
             nightly smoke's knob); None runs the preset's full count.
         resident_containers: the store's resident budget.
         spill_dir: where container/recipe/oracle spill files live; a
-            temporary directory (cleaned up afterwards) when None.
+            temporary directory (cleaned up afterwards) when None. The
+            store carves its own ``store-<pid>-<seq>`` subdirectory out
+            of this root, so concurrent probes (or parallel grid cells
+            running out-of-core stores, ROADMAP item 5) can safely
+            share one root.
         restore_last: newest backups replayed through the restore
             reader, one recipe at a time.
         progress: emit one stderr line per backup.

@@ -1,0 +1,337 @@
+"""The multi-tenant ingest front-end.
+
+Multiplexes many tenants' backup streams over one sharded fingerprint
+index: streams advance round-robin in fixed tenant order, one bounded
+chunk batch per turn, and every index interaction is batched — the
+front-end namespaces the batch, probes the bounded *inline cache*, and
+folds the cache misses into per-shard ``lookup_many`` /
+``insert_many`` calls via the
+:class:`~repro.sharding.index.ShardedChunkIndex` router. Containers are
+placed tenant-aware through a
+:class:`~repro.sharding.tenancy.TenantStoreSet`.
+
+The inline cache is the HPDedup (arXiv:1702.08153) contention point:
+all tenants share one bounded fingerprint-cache budget, and the
+*allocator* decides who gets how much of it:
+
+* :class:`GlobalLRUAllocator` — one shared LRU; a low-locality tenant's
+  unique fingerprints flood the cache and evict other tenants' useful
+  entries (cache pollution).
+* :class:`PrioritizedAllocator` — per-tenant partitions resized by a
+  windowed locality estimate (recent inline hit rate), HPDedup's
+  prioritized allocation: low-locality tenants shrink toward a floor,
+  high-locality tenants keep their working sets resident.
+
+With ``cache_only=True`` (the HPDedup regime) a cache miss is *final*
+for the inline phase — the chunk is written and its dedup deferred —
+so the aggregate inline dedup ratio directly measures allocation
+quality. With ``cache_only=False`` misses fall through to the
+authoritative sharded index (exact dedup; the mode the tenant-isolation
+equivalence tests pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.index.cache import LRUCache
+from repro.index.full_index import ChunkLocation
+from repro.sharding.index import ShardedChunkIndex
+from repro.sharding.tenancy import TenantNamespace, TenantStoreSet
+from repro.storage.recipe import BackupRecipe, RecipeBuilder
+from repro.workloads.generators import BackupJob
+
+__all__ = [
+    "TenantStream",
+    "TenantReport",
+    "GlobalLRUAllocator",
+    "PrioritizedAllocator",
+    "IngestFrontend",
+]
+
+
+@dataclass
+class TenantStream:
+    """One tenant's backup sequence (jobs are consumed in order)."""
+
+    tenant: str
+    jobs: Sequence[BackupJob]
+
+
+@dataclass
+class TenantReport:
+    """Per-tenant ingest accounting."""
+
+    tenant: str
+    logical_bytes: int = 0
+    removed_bytes: int = 0
+    written_bytes: int = 0
+    cache_lookups: int = 0
+    cache_hits: int = 0
+    recipes: List[BackupRecipe] = field(default_factory=list)
+
+    @property
+    def inline_dedup_pct(self) -> float:
+        """Bytes removed inline, as % of logical bytes."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return 100.0 * self.removed_bytes / self.logical_bytes
+
+
+class GlobalLRUAllocator:
+    """One shared LRU over the whole inline-cache budget."""
+
+    name = "global-lru"
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._cache = LRUCache(capacity)
+
+    def register(self, tenant: str) -> None:
+        pass
+
+    def probe(self, tenant: str, fp: int) -> bool:
+        return self._cache.get(fp) is not None
+
+    def admit(self, tenant: str, fp: int) -> None:
+        self._cache.put(fp, True)
+
+    def shares(self) -> Dict[str, int]:
+        return {"*": self.capacity}
+
+
+class PrioritizedAllocator:
+    """HPDedup-style prioritized per-tenant cache allocation.
+
+    Each tenant owns a private LRU partition. Every
+    ``rebalance_every`` probes the budget is redistributed
+    proportionally to each tenant's inline locality estimate — an EWMA
+    of windowed hit rates, so a tenant that was simply *quiet* during a
+    window (its batches are shorter than the polluter's) keeps its
+    earned share rather than being reset to zero — plus a floor so a
+    tenant whose locality recovers can climb back. Shrunken partitions
+    drop their oldest entries — exactly what an LRU under a smaller
+    budget would have dropped first.
+    """
+
+    name = "prioritized"
+
+    def __init__(
+        self,
+        capacity: int,
+        floor_frac: float = 0.05,
+        rebalance_every: int = 2048,
+        ewma_carry: float = 0.85,
+    ) -> None:
+        self.capacity = int(capacity)
+        self.floor_frac = float(floor_frac)
+        self.rebalance_every = int(rebalance_every)
+        self.ewma_carry = float(ewma_carry)
+        self._caches: Dict[str, LRUCache] = {}
+        self._window: Dict[str, List[int]] = {}  # tenant -> [probes, hits]
+        self._ewma: Dict[str, float] = {}  # tenant -> locality estimate
+        self._since_rebalance = 0
+
+    def register(self, tenant: str) -> None:
+        if tenant in self._caches:
+            return
+        self._caches[tenant] = LRUCache(1)  # placeholder; resized below
+        self._window[tenant] = [0, 0]
+        self._ewma[tenant] = 0.0
+        self._split_evenly()
+
+    def _split_evenly(self) -> None:
+        n = len(self._caches)
+        share = max(1, self.capacity // n)
+        for cache in self._caches.values():
+            self._resize(cache, share)
+
+    @staticmethod
+    def _resize(cache: LRUCache, capacity: int) -> None:
+        cache.capacity = max(1, int(capacity))
+        while len(cache._data) > cache.capacity:
+            cache._data.popitem(last=False)
+
+    def probe(self, tenant: str, fp: int) -> bool:
+        window = self._window[tenant]
+        window[0] += 1
+        hit = self._caches[tenant].get(fp) is not None
+        if hit:
+            window[1] += 1
+        self._since_rebalance += 1
+        if self._since_rebalance >= self.rebalance_every:
+            self._rebalance()
+        return hit
+
+    def admit(self, tenant: str, fp: int) -> None:
+        self._caches[tenant].put(fp, True)
+
+    def _rebalance(self) -> None:
+        self._since_rebalance = 0
+        floor = self.floor_frac
+        weights = {}
+        for tenant, (probes, hits) in self._window.items():
+            if probes:
+                # fold the fresh sample into the estimate; a tenant
+                # with no probes this window keeps its earned locality,
+                # and the slow carry stops one evicted window from
+                # death-spiraling a mid-locality tenant to the floor
+                carry = self.ewma_carry
+                self._ewma[tenant] = carry * self._ewma[tenant] + (
+                    1.0 - carry
+                ) * (hits / probes)
+            weights[tenant] = max(self._ewma[tenant], floor)
+        total = sum(weights.values())
+        if total <= 0:
+            return
+        for tenant in sorted(self._caches):
+            share = max(1, int(self.capacity * weights[tenant] / total))
+            self._resize(self._caches[tenant], share)
+        for window in self._window.values():
+            window[0] = window[1] = 0
+
+    def shares(self) -> Dict[str, int]:
+        return {t: c.capacity for t, c in sorted(self._caches.items())}
+
+
+class IngestFrontend:
+    """Round-robin multiplexer of tenant streams over one shard plane."""
+
+    def __init__(
+        self,
+        index: ShardedChunkIndex,
+        stores: TenantStoreSet,
+        allocator,
+        *,
+        isolated: bool = True,
+        cache_only: bool = False,
+        batch_chunks: int = 512,
+    ) -> None:
+        self.index = index
+        self.stores = stores
+        self.allocator = allocator
+        self.isolated = isolated
+        self.cache_only = cache_only
+        self.batch_chunks = int(batch_chunks)
+        self._namespaces: Dict[str, TenantNamespace] = {}
+        self._sids: Dict[str, int] = {}
+
+    def _namespace(self, tenant: str) -> TenantNamespace:
+        ns = self._namespaces.get(tenant)
+        if ns is None:
+            ns = self._namespaces[tenant] = TenantNamespace(
+                tenant, isolated=self.isolated
+            )
+        return ns
+
+    # ------------------------------------------------------------------
+
+    def run(self, streams: Sequence[TenantStream]) -> Dict[str, TenantReport]:
+        """Ingest every tenant's jobs, interleaved round-robin.
+
+        Generations advance in lockstep: all tenants' job *g* are
+        multiplexed batch-by-batch before any tenant starts job *g+1*
+        (the concurrent-backup-window regime HPDedup models).
+        """
+        reports = {s.tenant: TenantReport(tenant=s.tenant) for s in streams}
+        for stream in streams:
+            self.allocator.register(stream.tenant)
+        n_rounds = max((len(s.jobs) for s in streams), default=0)
+        for round_no in range(n_rounds):
+            active = []
+            for stream in streams:
+                if round_no < len(stream.jobs):
+                    job = stream.jobs[round_no]
+                    builder = RecipeBuilder(job.generation, label=job.label)
+                    active.append((stream.tenant, job, builder, [0]))
+            # round-robin: one bounded chunk batch per tenant per turn
+            while active:
+                still = []
+                for tenant, job, builder, cursor in active:
+                    start = cursor[0]
+                    stop = min(start + self.batch_chunks, len(job.stream.fps))
+                    self._ingest_batch(
+                        tenant,
+                        job.stream.fps[start:stop],
+                        job.stream.sizes[start:stop],
+                        builder,
+                        reports[tenant],
+                    )
+                    cursor[0] = stop
+                    if stop < len(job.stream.fps):
+                        still.append((tenant, job, builder, cursor))
+                    else:
+                        reports[tenant].recipes.append(builder.finalize())
+                        self.stores.store_for(tenant).flush()
+                        self.index.flush()
+                active = still
+        return reports
+
+    # ------------------------------------------------------------------
+
+    def _ingest_batch(
+        self,
+        tenant: str,
+        fps,
+        sizes,
+        builder: RecipeBuilder,
+        report: TenantReport,
+    ) -> None:
+        """One multiplexed batch: namespace, probe the inline cache,
+        resolve misses (batched through the shard router unless
+        ``cache_only``), write the rest tenant-aware."""
+        ns = self._namespace(tenant)
+        wrapped = ns.wrap_many(fps).tolist()
+        sizes = [int(s) for s in sizes]
+        n = len(wrapped)
+        report.logical_bytes += sum(sizes)
+        report.cache_lookups += n
+
+        probe = self.allocator.probe
+        admit = self.allocator.admit
+        known: List[Optional[ChunkLocation]] = [None] * n
+        misses: List[int] = []
+        for i, fp in enumerate(wrapped):
+            if probe(tenant, fp):
+                known[i] = self.index.peek(fp)
+                report.cache_hits += 1
+            else:
+                misses.append(i)
+        if misses and not self.cache_only:
+            # the batched per-shard path: one lookup_many through the
+            # router resolves every cache miss of this batch
+            for i, loc in zip(
+                misses, self.index.lookup_many([wrapped[i] for i in misses])
+            ):
+                known[i] = loc
+
+        store = self.stores.store_for(tenant)
+        sid = self._sids.get(tenant, 0)
+        new_fps: List[int] = []
+        new_locs: List[ChunkLocation] = []
+        batch_new: Dict[int, ChunkLocation] = {}
+        for i, fp in enumerate(wrapped):
+            size = sizes[i]
+            loc = known[i]
+            if loc is None:
+                # intra-batch duplicate of a chunk this very batch wrote
+                # (the index insert is batched at the end, so the
+                # router's lookup could not have seen it yet)
+                loc = batch_new.get(fp)
+            if loc is not None:
+                report.removed_bytes += size
+                builder.add(fp, size, loc.cid)
+            else:
+                cid = store.append(fp, size)
+                loc = ChunkLocation(cid, sid)
+                batch_new[fp] = loc
+                new_fps.append(fp)
+                new_locs.append(loc)
+                report.written_bytes += size
+                builder.add(fp, size, cid)
+            admit(tenant, fp)
+        if new_fps:
+            # batched per-shard insert of everything this batch wrote
+            self.index.insert_many(new_fps, new_locs)
+        self._sids[tenant] = sid + 1

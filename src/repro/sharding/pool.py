@@ -1,0 +1,213 @@
+"""N shard workers as real processes, with per-shard spill directories.
+
+The deterministic experiments drive the in-process
+:class:`~repro.sharding.index.ShardedChunkIndex`; this module is the
+*deployment* half of the tentpole — N worker processes, each owning one
+shard's fingerprint map, served batched ``lookup_many`` /
+``insert_many`` commands over pipes. It reuses the :mod:`repro.parallel` worker
+conventions (the fork start method with a spawn fallback, stable
+shard-ordered merges) and the same consistent-hash router as the
+in-process index, so the two deployments route identically.
+
+Durability reuses the journaled-flush idea of the index (PR 4) at the
+process level: each worker owns ``spill_root/shard-<k>`` and, on
+``flush``, appends its unflushed entries to an fsynced append-only
+journal there (fixed 24-byte records). :meth:`ShardWorkerPool.recover`
+rebuilds every shard map by replaying the journals — entries that were
+inserted but never flushed are lost on a kill, exactly like the
+simulated index's crash semantics, and the chaos-style pool test pins
+that flushed data always survives ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import struct
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.index.full_index import ChunkLocation
+from repro.sharding.router import ShardRouter
+
+__all__ = ["ShardWorkerPool", "replay_journal"]
+
+#: journal record: fingerprint, cid, sid
+_RECORD = struct.Struct("<Qqq")
+
+_JOURNAL_NAME = "journal.bin"
+
+
+def _shard_dir(spill_root: str, shard: int) -> Path:
+    return Path(spill_root) / f"shard-{shard:03d}"
+
+
+def replay_journal(path: Path) -> Dict[int, ChunkLocation]:
+    """Rebuild one shard's map from its append-only journal.
+
+    A torn tail (partial trailing record from a crash mid-append) is
+    truncated, mirroring the recovery scanner's torn-container rule.
+    """
+    entries: Dict[int, ChunkLocation] = {}
+    if not path.is_file():
+        return entries
+    blob = path.read_bytes()
+    usable = len(blob) - (len(blob) % _RECORD.size)
+    for off in range(0, usable, _RECORD.size):
+        fp, cid, sid = _RECORD.unpack_from(blob, off)
+        entries[fp] = ChunkLocation(cid, sid)
+    return entries
+
+
+def _worker_main(shard: int, spill_root: Optional[str], conn) -> None:
+    """One shard worker: dict + optional journal, command loop."""
+    entries: Dict[int, ChunkLocation] = {}
+    unflushed: List[Tuple[int, int, int]] = []
+    journal: Optional[Path] = None
+    if spill_root is not None:
+        shard_dir = _shard_dir(spill_root, shard)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        journal = shard_dir / _JOURNAL_NAME
+        entries.update(replay_journal(journal))
+    while True:
+        cmd, payload = conn.recv()
+        if cmd == "lookup_many":
+            conn.send([entries.get(fp) for fp in payload])
+        elif cmd == "insert_many":
+            fps, locs = payload
+            for fp, loc in zip(fps, locs):
+                entries[fp] = ChunkLocation(*loc)
+                unflushed.append((fp, loc[0], loc[1]))
+            conn.send(len(fps))
+        elif cmd == "flush":
+            n = len(unflushed)
+            if journal is not None and unflushed:
+                with open(journal, "ab") as fh:
+                    for rec in unflushed:
+                        fh.write(_RECORD.pack(*rec))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            unflushed.clear()
+            conn.send(n)
+        elif cmd == "len":
+            conn.send(len(entries))
+        elif cmd == "stop":
+            conn.send(True)
+            conn.close()
+            return
+
+
+class ShardWorkerPool:
+    """Batched fingerprint service over N shard worker processes."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        spill_root: Optional[str] = None,
+        vnodes: int = 128,
+    ) -> None:
+        self.router = ShardRouter(n_shards, vnodes=vnodes)
+        self.n_shards = n_shards
+        self.spill_root = spill_root
+        # same start-method ladder as repro.parallel.grid
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-posix fallback
+            ctx = mp.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        for shard in range(n_shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(shard, spill_root, child),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+
+    def _scatter_gather(self, cmd: str, parts, default):
+        """Send one command to every shard with work, concurrently (all
+        sends go out before any receive — the shards genuinely overlap),
+        then gather in shard order."""
+        touched = sorted(parts)
+        for shard in touched:
+            self._conns[shard].send((cmd, parts[shard]))
+        return {shard: self._conns[shard].recv() for shard in touched}
+
+    def lookup_many(self, fps: Sequence[int]) -> List[Optional[ChunkLocation]]:
+        parts = self.router.partition([int(fp) for fp in fps])
+        replies = self._scatter_gather(
+            "lookup_many", {s: p[1] for s, p in parts.items()}, None
+        )
+        out: List[Optional[ChunkLocation]] = [None] * len(fps)
+        for shard, (positions, _) in parts.items():
+            for pos, loc in zip(positions, replies[shard]):
+                out[pos] = ChunkLocation(*loc) if loc is not None else None
+        return out
+
+    def insert_many(self, fps: Sequence[int], locations) -> int:
+        parts = self.router.partition([int(fp) for fp in fps])
+        locations = [tuple(loc) for loc in locations]
+        payloads = {
+            s: (p[1], [locations[i] for i in p[0]]) for s, p in parts.items()
+        }
+        replies = self._scatter_gather("insert_many", payloads, 0)
+        return sum(replies.values())
+
+    def flush(self) -> int:
+        """Journal every shard's unflushed entries (fsynced)."""
+        for conn in self._conns:
+            conn.send(("flush", None))
+        return sum(conn.recv() for conn in self._conns)
+
+    def __len__(self) -> int:
+        for conn in self._conns:
+            conn.send(("len", None))
+        return sum(conn.recv() for conn in self._conns)
+
+    def close(self) -> None:
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                conn.send(("stop", None))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+            proc.join(timeout=5)
+        self._procs = []
+        self._conns = []
+
+    def kill(self) -> None:
+        """Hard-kill every worker (the pool chaos test's crash)."""
+        for proc in self._procs:
+            proc.kill()
+            proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, spill_root: str) -> Dict[int, ChunkLocation]:
+        """Replay every shard journal under ``spill_root`` into one map
+        (what a restarted pool's workers do shard-by-shard)."""
+        entries: Dict[int, ChunkLocation] = {}
+        root = Path(spill_root)
+        if not root.is_dir():
+            return entries
+        for shard_dir in sorted(root.glob("shard-*")):
+            entries.update(replay_journal(shard_dir / _JOURNAL_NAME))
+        return entries

@@ -1,0 +1,136 @@
+"""Consistent-hash routing of fingerprints to shards.
+
+The router is a pure function of ``(n_shards, vnodes)``: each shard
+plants ``vnodes`` points on a 64-bit ring (blake2b over a stable label,
+so the ring is identical in every process and Python version), and a
+fingerprint belongs to the shard owning the first ring point at or
+after its hashed position.
+
+Fingerprints are mixed through one splitmix64 round before the ring
+search so structured fingerprint spaces (sequential synthetic ids,
+tenant-salted namespaces) spread evenly; the mix is the same bijection
+:mod:`repro.chunking.fingerprint` uses, so it is vectorizable for batch
+routing.
+
+Routing invariants (property-locked by
+``tests/properties/test_shard_equivalence.py``):
+
+* **partition** — every fingerprint maps to exactly one shard, and
+  :meth:`ShardRouter.partition` splits a batch into per-shard runs that
+  cover the batch exactly once;
+* **stability** — ``shard_of`` is a pure function of the fingerprint
+  and the ring parameters: the same fp routes identically across
+  processes, interpreter restarts, and batch vs scalar paths;
+* **degeneracy** — with one shard the ring is bypassed entirely, so a
+  1-shard index drives its single shard verbatim.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ShardRouter"]
+
+
+def _ring_point(shard: int, replica: int) -> int:
+    """A full-width 64-bit ring position for one vnode (blake2b over a
+    stable label — process- and version-stable, unlike ``hash()``; the
+    63-bit :func:`~repro._util.rng.derive_seed` would leave the ring's
+    top half empty and skew the partition)."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(f"shard-ring\x1f{shard}\x1f{replica}".encode())
+    return int.from_bytes(h.digest(), "little")
+
+#: splitmix64 mixing constants (same finalizer the fingerprint fold uses)
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+_U64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _mix(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array (vectorized)."""
+    x = (x ^ (x >> np.uint64(30))) * _M1
+    x = (x ^ (x >> np.uint64(27))) * _M2
+    return x ^ (x >> np.uint64(31))
+
+
+def _mix_scalar(x: int) -> int:
+    x &= 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class ShardRouter:
+    """Maps fingerprints to shard ids over a consistent-hash ring."""
+
+    def __init__(self, n_shards: int, vnodes: int = 128) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.n_shards = int(n_shards)
+        self.vnodes = int(vnodes)
+        points: List[Tuple[int, int]] = []
+        for shard in range(self.n_shards):
+            for replica in range(self.vnodes):
+                points.append((_ring_point(shard, replica), shard))
+        points.sort()
+        self._points = np.array([p for p, _ in points], dtype=np.uint64)
+        self._owners = np.array([s for _, s in points], dtype=np.int64)
+        self._points_list = [p for p, _ in points]
+        self._owners_list = [s for _, s in points]
+
+    def shard_of(self, fp: int) -> int:
+        """The owning shard of one fingerprint (pure, process-stable)."""
+        if self.n_shards == 1:
+            return 0
+        key = _mix_scalar(int(fp))
+        # first ring point at or after the key, wrapping at the top
+        i = bisect.bisect_left(self._points_list, key)
+        if i == len(self._points_list):
+            i = 0
+        return self._owners_list[i]
+
+    def route_many(self, fps: Sequence[int]) -> np.ndarray:
+        """Owning shard of every fingerprint in a batch (vectorized)."""
+        arr = np.asarray(fps, dtype=np.uint64)
+        if self.n_shards == 1:
+            return np.zeros(len(arr), dtype=np.int64)
+        keys = _mix(arr & _U64)
+        idx = np.searchsorted(self._points, keys, side="left")
+        idx[idx == len(self._points)] = 0
+        return self._owners[idx]
+
+    def partition(
+        self, fps: Sequence[int]
+    ) -> Dict[int, Tuple[List[int], List[int]]]:
+        """Split a batch into per-shard runs, preserving in-shard order.
+
+        Returns ``{shard: (positions, fingerprints)}`` where
+        ``positions`` index into the input batch; the position lists of
+        all shards are disjoint and cover ``range(len(fps))`` exactly —
+        the partition invariant the property suite pins.
+        """
+        owners = self.route_many(fps)
+        out: Dict[int, Tuple[List[int], List[int]]] = {}
+        for pos, (fp, shard) in enumerate(zip(fps, owners)):
+            entry = out.get(int(shard))
+            if entry is None:
+                entry = out[int(shard)] = ([], [])
+            entry[0].append(pos)
+            entry[1].append(int(fp))
+        return out
+
+    def fill_balance(self, counts: Sequence[int]) -> float:
+        """Max/mean shard fill ratio (1.0 = perfectly even)."""
+        counts = list(counts)
+        total = sum(counts)
+        if total == 0 or not counts:
+            return 1.0
+        mean = total / len(counts)
+        return max(counts) / mean

@@ -13,6 +13,8 @@ the restore reader (container reads), all priced on one
 from __future__ import annotations
 
 import contextlib
+import itertools
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
@@ -39,6 +41,10 @@ COMMIT_MARKER_BYTES = 16
 
 #: Bytes charged per journaled GC record entry (victim cid or move).
 JOURNAL_ENTRY_BYTES = 16
+
+#: Per-process sequence for unique store spill subdirectories — cid
+#: spaces overlap across stores, so each instance must own its own dir.
+_SPILL_SEQ = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -69,9 +75,15 @@ class StoreConfig:
             the pre-spill behavior. Spill IO is real machine IO, never
             charged to the simulated disk, so results are byte-
             identical with spilling on or off.
-        spill_dir: directory for the spill files; ``None`` uses the
-            in-memory shim (tests, chaos). Only meaningful together
-            with ``resident_containers``.
+        spill_dir: root directory for the spill files; ``None`` uses
+            the in-memory shim (tests, chaos). Only meaningful together
+            with ``resident_containers``. Each store instance owns a
+            unique subdirectory under this root (``store-<pid>-<seq>``),
+            so concurrent stores — parallel grid cells, per-tenant
+            stores, per-engine memoized runs — can share one configured
+            root without clobbering each other's container files (cid
+            spaces overlap across stores). The live path is
+            :attr:`ContainerStore.spill_path`.
     """
 
     container_bytes: int = DEFAULT_CONTAINER_BYTES
@@ -159,8 +171,18 @@ class ContainerStore:
         self._meta: Dict[int, _MetaEntry] = {}
         self._spill: Optional[ContainerSpill] = None
         self._resident_budget = 0
+        self._spill_path: Optional[str] = None
         if config.resident_containers is not None:
-            self._spill = make_spill(config.spill_dir)
+            if config.spill_dir is not None:
+                # every store instance gets its own subdirectory: cid
+                # spaces overlap across stores (each starts at cid 0),
+                # so two stores sharing one root would silently
+                # overwrite each other's {cid}.ctn files
+                self._spill_path = os.path.join(
+                    config.spill_dir,
+                    f"store-{os.getpid()}-{next(_SPILL_SEQ):04d}",
+                )
+            self._spill = make_spill(self._spill_path)
             self._resident_budget = int(config.resident_containers)
         self._open: Optional[Container] = None
         self._next_cid = 0
@@ -210,6 +232,13 @@ class ContainerStore:
     def spilling(self) -> bool:
         """True when a resident budget (and spill backend) is active."""
         return self._spill is not None
+
+    @property
+    def spill_path(self) -> Optional[str]:
+        """This instance's unique spill directory (``None`` for the
+        in-memory shim). Always a fresh ``store-<pid>-<seq>``
+        subdirectory of ``config.spill_dir``."""
+        return self._spill_path
 
     def current_cid(self, size: int) -> int:
         """The container id the *next* chunk of ``size`` bytes will land in

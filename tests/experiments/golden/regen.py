@@ -54,6 +54,13 @@ def regenerate() -> None:
     path = GOLDEN_DIR / "fig4_small_extended.txt"
     path.write_text(ext_results["fig4"].table() + "\n")
     print(f"wrote {path}")
+    # the multi-tenant cache-allocation table (HPDedup effect)
+    tenants_results, tenants_errors = run_suite(["tenants"], config, jobs=1)
+    if tenants_errors:
+        raise SystemExit(f"cannot regenerate, experiments failed: {tenants_errors}")
+    path = GOLDEN_DIR / "tenants_small.txt"
+    path.write_text(tenants_results["tenants"].table(fmt="{:.2f}") + "\n")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

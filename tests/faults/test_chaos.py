@@ -25,6 +25,11 @@ class TestClassify:
         assert classify_tags(("seal_marker",)) == "seal_marker"
         assert classify_tags(("index_flush",)) == "index_flush"
 
+    def test_shard_context_wins_over_index_flush(self):
+        # a sharded flush wraps each per-shard index_flush in the shard
+        # tag; the crash window reported is the between-shards one
+        assert classify_tags(("shard", "index_flush")) == "shard"
+
     def test_plain_io_is_ingest(self):
         assert classify_tags(()) == "ingest"
 
@@ -35,6 +40,7 @@ class TestSelection:
         + [("write", ("seal",))] * 3
         + [("write", ("seal_marker",))] * 3
         + [("write", ("index_flush",))] * 2
+        + [("write", ("shard", "index_flush"))] * 2
         + [("write", ("gc", "journal"))] * 2
         + [("write", ("maint", "gc", "journal"))] * 2
     )

@@ -1,0 +1,84 @@
+"""The shard worker pool: real processes, journaled durability.
+
+The deployment half of the sharding tentpole. Pins that the pool
+routes identically to the in-process index (same router), that batched
+commands scatter/gather correctly, and — the chaos-style half — that a
+``kill -9`` of every worker loses exactly the unflushed tail: flushed
+entries always survive ``ShardWorkerPool.recover``, and a torn journal
+tail is truncated like a torn container.
+"""
+
+from repro.index.full_index import ChunkLocation
+from repro.sharding import ShardWorkerPool
+from repro.sharding.pool import _RECORD, _shard_dir, replay_journal
+from repro.sharding.router import ShardRouter
+
+
+def test_lookup_insert_roundtrip():
+    with ShardWorkerPool(3) as pool:
+        fps = [fp * 131 for fp in range(1, 200)]
+        locs = [ChunkLocation(fp % 7, fp % 3) for fp in fps]
+        assert pool.lookup_many(fps) == [None] * len(fps)
+        assert pool.insert_many(fps, locs) == len(fps)
+        assert pool.lookup_many(fps) == locs
+        assert len(pool) == len(fps)
+        # misses interleaved with hits scatter back to the right slots
+        probes = [fps[0], 10**15, fps[1], 10**15 + 1]
+        assert pool.lookup_many(probes) == [locs[0], None, locs[1], None]
+
+
+def test_pool_routes_like_the_in_process_router():
+    router = ShardRouter(4)
+    with ShardWorkerPool(4) as pool:
+        fps = [fp * 977 for fp in range(1, 300)]
+        pool.insert_many(fps, [ChunkLocation(fp, 0) for fp in fps])
+        pool.flush()
+        assert pool.router.n_shards == router.n_shards
+        for fp in fps[:50]:
+            assert pool.router.shard_of(fp) == router.shard_of(fp)
+
+
+def test_flushed_entries_survive_kill(tmp_path):
+    root = str(tmp_path / "pool")
+    pool = ShardWorkerPool(3, spill_root=root)
+    durable_fps = list(range(1, 61))
+    pool.insert_many(durable_fps, [ChunkLocation(fp, 0) for fp in durable_fps])
+    assert pool.flush() == 60
+    volatile_fps = list(range(61, 121))
+    pool.insert_many(volatile_fps, [ChunkLocation(fp, 1) for fp in volatile_fps])
+    pool.kill()  # crash before the second flush
+
+    recovered = ShardWorkerPool.recover(root)
+    assert set(recovered) == set(durable_fps)
+    for fp in durable_fps:
+        assert recovered[fp] == ChunkLocation(fp, 0)
+
+    # a restarted pool replays its journals on start
+    with ShardWorkerPool(3, spill_root=root) as pool2:
+        assert len(pool2) == 60
+        assert pool2.lookup_many(durable_fps) == [
+            ChunkLocation(fp, 0) for fp in durable_fps
+        ]
+        assert pool2.lookup_many(volatile_fps) == [None] * 60
+
+
+def test_torn_journal_tail_is_truncated(tmp_path):
+    root = str(tmp_path / "pool")
+    with ShardWorkerPool(2, spill_root=root) as pool:
+        fps = list(range(1, 41))
+        pool.insert_many(fps, [ChunkLocation(fp, 0) for fp in fps])
+        pool.flush()
+    # simulate a crash mid-append: chop a journal mid-record
+    journal = _shard_dir(root, 0) / "journal.bin"
+    blob = journal.read_bytes()
+    assert len(blob) % _RECORD.size == 0 and blob
+    journal.write_bytes(blob[: len(blob) - _RECORD.size // 2])
+    entries = replay_journal(journal)
+    assert len(entries) == len(blob) // _RECORD.size - 1
+    # recover() sees the truncated shard plus the intact one
+    recovered = ShardWorkerPool.recover(root)
+    assert len(recovered) == 39
+
+
+def test_recover_on_missing_root_is_empty(tmp_path):
+    assert ShardWorkerPool.recover(str(tmp_path / "nope")) == {}

@@ -1,0 +1,191 @@
+"""Tenant isolation guarantees.
+
+The tenancy model is structural: namespacing makes cross-tenant index
+keys disjoint, and the store set gives every tenant its own containers.
+These tests pin the two halves of the ISSUE's isolation contract —
+interleaving tenants changes nothing a tenant can observe (per-tenant
+recipes identical to a solo run), and with isolation on no index entry
+or container is ever shared across tenants.
+"""
+
+import numpy as np
+
+from repro.sharding import (
+    GlobalLRUAllocator,
+    IngestFrontend,
+    ShardedChunkIndex,
+    TenantNamespace,
+    TenantStoreSet,
+    TenantStream,
+)
+from repro.storage.disk import DiskModel
+from repro.storage.store import StoreConfig
+from repro.workloads.fs_model import ChurnProfile
+from repro.workloads.generators import derive, single_user_stream
+
+from tests.conftest import TEST_PROFILE
+
+
+def tenant_jobs(name, seed, n_generations=3):
+    return list(
+        single_user_stream(
+            n_generations=n_generations,
+            fs_bytes=1 << 20,
+            seed=seed,
+            churn=ChurnProfile(modify_frac=0.1, file_create_frac=0.01),
+            label=name,
+        )
+    )
+
+
+def make_frontend(n_shards=2, isolated=True, cache_only=False):
+    disk = DiskModel(profile=TEST_PROFILE)
+    index = ShardedChunkIndex.create(
+        disk, n_shards=n_shards, expected_entries=50_000
+    )
+    stores = TenantStoreSet(
+        disk,
+        StoreConfig(container_bytes=64 * 1024, seal_seeks=0),
+        isolated=isolated,
+    )
+    frontend = IngestFrontend(
+        index,
+        stores,
+        GlobalLRUAllocator(4096),
+        isolated=isolated,
+        cache_only=cache_only,
+        batch_chunks=128,
+    )
+    return frontend
+
+
+def recipe_tuples(report):
+    return [
+        (
+            r.generation,
+            r.label,
+            tuple(r.fingerprints.tolist()),
+            tuple(r.containers.tolist()),
+        )
+        for r in report.recipes
+    ]
+
+
+class TestNamespace:
+    def test_wrap_is_a_stable_per_tenant_bijection(self):
+        ns = TenantNamespace("alpha")
+        fps = [int(x) for x in np.random.default_rng(3).integers(1, 1 << 60, 500)]
+        wrapped = [ns.wrap(fp) for fp in fps]
+        assert len(set(wrapped)) == len(fps)
+        assert wrapped == [TenantNamespace("alpha").wrap(fp) for fp in fps]
+        assert wrapped == ns.wrap_many(fps).tolist()
+
+    def test_tenants_occupy_disjoint_key_spaces(self):
+        fps = list(range(1, 2001))
+        a = set(TenantNamespace("alpha").wrap_many(fps).tolist())
+        b = set(TenantNamespace("beta").wrap_many(fps).tolist())
+        assert not (a & b)
+
+    def test_unisolated_namespace_is_the_identity(self):
+        ns = TenantNamespace("alpha", isolated=False)
+        fps = list(range(1, 100))
+        assert [ns.wrap(fp) for fp in fps] == fps
+        assert ns.wrap_many(fps).tolist() == fps
+
+
+class TestStoreSet:
+    def test_isolated_tenants_get_distinct_stores(self):
+        stores = TenantStoreSet(
+            DiskModel(profile=TEST_PROFILE),
+            StoreConfig(container_bytes=64 * 1024, seal_seeks=0),
+        )
+        assert stores.store_for("a") is not stores.store_for("b")
+        assert stores.store_for("a") is stores.store_for("a")
+        assert [t for t, _ in stores.items()] == ["a", "b"]
+
+    def test_unisolated_tenants_share_one_store(self):
+        stores = TenantStoreSet(
+            DiskModel(profile=TEST_PROFILE),
+            StoreConfig(container_bytes=64 * 1024, seal_seeks=0),
+            isolated=False,
+        )
+        assert stores.store_for("a") is stores.store_for("b")
+        assert [t for t, _ in stores.items()] == ["*"]
+
+
+class TestInterleavingInvariance:
+    def test_interleaved_run_matches_solo_runs(self):
+        """Multiplexing tenants changes nothing a tenant can observe:
+        recipes (exact dedup decisions and container placement) are
+        identical to running each tenant alone."""
+        streams = [
+            TenantStream("alpha", tenant_jobs("alpha", derive(11, "a"))),
+            TenantStream("beta", tenant_jobs("beta", derive(11, "b"))),
+        ]
+        together = make_frontend().run(streams)
+        for stream in streams:
+            solo = make_frontend().run([stream])
+            assert recipe_tuples(together[stream.tenant]) == recipe_tuples(
+                solo[stream.tenant]
+            )
+            assert (
+                together[stream.tenant].written_bytes
+                == solo[stream.tenant].written_bytes
+            )
+
+    def test_interleaving_invariance_holds_at_any_shard_count(self):
+        streams = [
+            TenantStream("alpha", tenant_jobs("alpha", derive(11, "a"))),
+            TenantStream("beta", tenant_jobs("beta", derive(11, "b"))),
+        ]
+        ref = make_frontend(n_shards=1).run(streams)
+        for n_shards in (2, 4):
+            got = make_frontend(n_shards=n_shards).run(streams)
+            for tenant in ("alpha", "beta"):
+                assert recipe_tuples(got[tenant]) == recipe_tuples(ref[tenant])
+
+
+class TestCrossTenantIsolation:
+    def test_identical_bytes_never_dedup_across_tenants(self):
+        """Two tenants ingesting the *same* jobs share no index entries
+        and no containers — each writes its own copy."""
+        jobs = tenant_jobs("shared", derive(23, "same"))
+        streams = [
+            TenantStream("alpha", jobs),
+            TenantStream("beta", jobs),
+        ]
+        frontend = make_frontend()
+        reports = frontend.run(streams)
+        # both tenants wrote the full unique set: no cross-tenant dedup
+        assert (
+            reports["alpha"].written_bytes == reports["beta"].written_bytes > 0
+        )
+        # disjoint namespaced index keys
+        ns_a = frontend._namespace("alpha")
+        ns_b = frontend._namespace("beta")
+        fps = {fp for job in jobs for fp in job.stream.fps.tolist()}
+        keys_a = {ns_a.wrap(fp) for fp in fps}
+        keys_b = {ns_b.wrap(fp) for fp in fps}
+        assert not (keys_a & keys_b)
+        # separate stores, and no container holds both tenants' chunks
+        store_a = frontend.stores.store_for("alpha")
+        store_b = frontend.stores.store_for("beta")
+        assert store_a is not store_b
+        in_a = {
+            fp for cid in store_a.cids() for fp in store_a.get(cid).fingerprints
+        }
+        in_b = {
+            fp for cid in store_b.cids() for fp in store_b.get(cid).fingerprints
+        }
+        assert in_a == keys_a
+        assert in_b == keys_b
+
+    def test_unisolated_tenants_do_share(self):
+        jobs = tenant_jobs("shared", derive(23, "same"))
+        streams = [TenantStream("alpha", jobs), TenantStream("beta", jobs)]
+        frontend = make_frontend(isolated=False)
+        reports = frontend.run(streams)
+        # alpha goes first in every round-robin turn, so beta's copy
+        # dedups against alpha's — global dedup across tenants
+        assert reports["beta"].written_bytes == 0
+        assert reports["alpha"].written_bytes > 0

@@ -5,6 +5,8 @@ number (disk charges, cids, packing, stats) must be byte-identical with
 spilling on or off — the spill layer is machine IO only.
 """
 
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -169,7 +171,11 @@ class TestResidentBudget:
         spill_dir = tmp_path / "ctn"
         store = make_store(resident=1, spill_dir=str(spill_dir))
         ingest(store, n_chunks=40)
-        files = list(spill_dir.glob("*.ctn"))
+        # files live under the store's own unique subdirectory of the
+        # configured root (two stores sharing a root must not collide)
+        spill_path = pathlib.Path(store.spill_path)
+        assert spill_path.parent == spill_dir
+        files = list(spill_path.glob("*.ctn"))
         assert len(files) == store.n_containers
 
     def test_remove_deletes_spill_copy(self, tmp_path):
@@ -179,7 +185,9 @@ class TestResidentBudget:
         victim = store.cids()[0]
         store.remove(victim)
         assert not store.has(victim)
-        assert not (spill_dir / f"{victim:012d}.ctn").exists()
+        assert not (
+            pathlib.Path(store.spill_path) / f"{victim:012d}.ctn"
+        ).exists()
         with pytest.raises(KeyError):
             store.get(victim)
 
